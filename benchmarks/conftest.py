@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the figure-reproduction benchmarks.
+
+Each benchmark file regenerates one figure of the paper's evaluation.
+Results (the rows/series the paper plots) are printed and appended to
+``results/figXX.txt`` next to this directory, and the paper's
+qualitative claims are asserted.
+
+Environment:
+
+* ``REPRO_FULL=1`` — run the full 300-net population (Figures 13/14);
+  the default uses a smaller seeded subset to keep the suite quick.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.netgen import NetGenerator
+from repro.core.analysis import DelayNoiseAnalyzer
+from repro.core.superposition import ModelCache
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def population_size(default: int, full: int) -> int:
+    return full if full_run() else default
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Write an experiment's text output to results/<name>.txt."""
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+    return _record
+
+
+@pytest.fixture(scope="session")
+def model_cache():
+    return ModelCache()
+
+
+@pytest.fixture(scope="session")
+def analyzer(model_cache):
+    return DelayNoiseAnalyzer(cache=model_cache)
+
+
+@pytest.fixture(scope="session")
+def make_generator():
+    """Factory for per-figure generators: execution-order independent."""
+    def _make(figure: int) -> NetGenerator:
+        return NetGenerator(seed=2001 + figure)  # DAC 2001
+    return _make
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

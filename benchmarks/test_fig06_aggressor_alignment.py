@@ -1,0 +1,100 @@
+"""Figure 6 — delay vs relative alignment of two aggressors.
+
+Paper: with a small receiver output load the worst case occurs when the
+two aggressor noise peaks coincide; with a large load the receiver acts
+as a stronger low-pass filter and a wider, lower composite (non-aligned
+peaks) can be worse — but the delay difference between the true worst
+and the aligned-peaks approximation is tiny (2.7 ps in the paper's
+example; < 5% in all their simulations).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.netgen import canonical_net
+from repro.bench.runner import format_table
+from repro.core.alignment import composite_pulse, peak_align_shifts
+from repro.core.exhaustive import exhaustive_worst_alignment
+from repro.core.net import ReceiverSpec
+from repro.core.superposition import SuperpositionEngine
+from repro.units import FF, NS, PS
+from repro.waveform.pulses import pulse_peak
+
+#: Relative offsets of aggressor 2's peak vs aggressor 1's peak.
+OFFSETS_PS = (-300, -200, -120, -60, 0, 60, 120, 200, 300)
+
+
+def experiment(model_cache):
+    # Fast victim + slow, strong aggressors: the regime the paper names
+    # for non-aligned worst cases ("victim transition relatively fast,
+    # aggressor transition relatively slow, or receiver load large").
+    net = canonical_net(n_aggressors=2, victim_slew=0.08 * NS,
+                        aggressor_slew=0.3 * NS, aggressor_scale=8.0,
+                        coupling_ratio=1.6)
+    vdd = net.vdd
+    engine = SuperpositionEngine(net, cache=model_cache)
+    noiseless = (engine.victim_transition().at_receiver
+                 + net.victim_initial_level())
+    t50 = noiseless.crossing_time(vdd / 2, rising=True)
+
+    pulses = {a.name: engine.aggressor_noise(a.name).at_receiver
+              for a in net.aggressors}
+    base_shifts = peak_align_shifts(pulses, t50)
+
+    results = {}
+    for c_load, label in ((4 * FF, "small"), (250 * FF, "large")):
+        receiver = ReceiverSpec(net.receiver.gate, c_load=c_load)
+        delays = []
+        for offset_ps in OFFSETS_PS:
+            shifts = dict(base_shifts)
+            shifts["agg1"] = base_shifts["agg1"] + offset_ps * PS
+            shape = composite_pulse(pulses, shifts)
+            sweep = exhaustive_worst_alignment(
+                receiver, noiseless, shape, vdd, True, steps=13,
+                refine=6, dt=2 * PS)
+            delays.append(sweep.best_extra_output)
+        results[label] = np.asarray(delays)
+
+    rows = [
+        [off, results["small"][i] / PS, results["large"][i] / PS]
+        for i, off in enumerate(OFFSETS_PS)
+    ]
+    table = format_table(
+        ["peak offset (ps)", "delay, small load (ps)",
+         "delay, large load (ps)"],
+        rows,
+        title="Figure 6 — combined delay vs inter-aggressor alignment")
+
+    i_zero = OFFSETS_PS.index(0)
+    summary_rows = []
+    for label in ("small", "large"):
+        best = float(results[label].max())
+        at_aligned = float(results[label][i_zero])
+        summary_rows.append([label, best / PS, at_aligned / PS,
+                             (best - at_aligned) / PS,
+                             100 * (best - at_aligned) / best])
+    table += "\n" + format_table(
+        ["receiver load", "worst (ps)", "aligned peaks (ps)",
+         "gap (ps)", "gap (%)"],
+        summary_rows)
+    return table, results, i_zero
+
+
+def test_fig06(benchmark, model_cache, record):
+    table, results, i_zero = run_once(
+        benchmark, lambda: experiment(model_cache))
+    record("fig06_aggressor_alignment", table)
+
+    for label in ("small", "large"):
+        delays = results[label]
+        best = delays.max()
+        at_aligned = delays[i_zero]
+        # Aligned peaks lose at most 5% against the true worst case
+        # (the paper's bound for the aligned-peaks approximation).
+        assert best - at_aligned <= 0.05 * best + 1 * PS, label
+
+    # Small load: coincident peaks ARE the worst case.
+    assert int(np.argmax(results["small"])) == i_zero
+    # Large load: the receiver low-pass filters the tall, narrow aligned
+    # composite; a wider non-aligned composite wins (by a little).
+    assert results["large"].max() > results["large"][i_zero]

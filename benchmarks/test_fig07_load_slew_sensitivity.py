@@ -1,0 +1,103 @@
+"""Figure 7 — delay vs alignment for (a) receiver loads, (b) victim slews.
+
+Paper:
+
+* (a) For small receiver output loads the alignment is very sensitive —
+  a small shift produces a dramatic delay change; for large loads the
+  curve is flat, which is why characterizing the alignment at *minimum*
+  load is safe for all loads.
+* (b) Measured relative to the victim's 50% crossing, the worst-case
+  alignment is nearly a *linear* function of the victim transition time
+  — the basis for characterizing only two slews and interpolating.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.runner import format_table
+from repro.core.exhaustive import exhaustive_worst_alignment
+from repro.core.net import ReceiverSpec
+from repro.core.precharacterize import characterization_victim
+from repro.gates import inverter
+from repro.units import FF, NS, PS
+from repro.waveform import noise_pulse
+
+VDD = 1.8
+LOADS = (2 * FF, 10 * FF, 40 * FF, 160 * FF)
+SLEWS = (0.15 * NS, 0.3 * NS, 0.45 * NS, 0.6 * NS, 0.75 * NS)
+
+
+def sensitivity(sweep) -> float:
+    """Delay lost 50 ps away from the optimum, relative to the peak —
+    a scalar proxy for how 'sharp' the curve is."""
+    best_t = sweep.best_peak_time
+    nearby = min(sweep.delay_at(best_t - 50 * PS),
+                 sweep.delay_at(best_t + 50 * PS))
+    return (sweep.best_extra_output - nearby) / sweep.best_extra_output
+
+
+def experiment():
+    gate = inverter(scale=2)
+    pulse = noise_pulse(0.0, -0.5, 0.2 * NS)
+
+    # (a) Load sweep at fixed victim slew.
+    victim = characterization_victim(0.3 * NS, VDD, True)
+    load_rows = []
+    sharpness = []
+    for c_load in LOADS:
+        receiver = ReceiverSpec(gate, c_load=c_load)
+        sweep = exhaustive_worst_alignment(receiver, victim, pulse, VDD,
+                                           True, steps=21, refine=8,
+                                           dt=2 * PS)
+        s = sensitivity(sweep)
+        sharpness.append(s)
+        load_rows.append([c_load / FF, sweep.best_peak_time / PS,
+                          sweep.best_extra_output / PS, 100 * s])
+
+    # (b) Slew sweep at minimum load; worst alignment relative to t50.
+    receiver = ReceiverSpec(gate, c_load=2 * FF)
+    slew_rows = []
+    offsets = []
+    for slew in SLEWS:
+        victim = characterization_victim(slew, VDD, True)
+        sweep = exhaustive_worst_alignment(receiver, victim, pulse, VDD,
+                                           True, steps=21, refine=8,
+                                           dt=2 * PS)
+        offset = sweep.best_peak_time  # victim t50 is at 0 by design
+        offsets.append(offset)
+        slew_rows.append([slew / PS, offset / PS,
+                          sweep.best_extra_output / PS])
+
+    # Linearity of worst alignment vs slew (R^2 of a linear fit).
+    slews = np.asarray(SLEWS)
+    offs = np.asarray(offsets)
+    coeffs = np.polyfit(slews, offs, 1)
+    fit = np.polyval(coeffs, slews)
+    ss_res = float(np.sum((offs - fit) ** 2))
+    ss_tot = float(np.sum((offs - offs.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot
+
+    table = format_table(
+        ["load (fF)", "worst peak (ps)", "worst delay (ps)",
+         "sensitivity @50ps (%)"],
+        load_rows,
+        title="Figure 7(a) — alignment sensitivity vs receiver load")
+    table += "\n\n" + format_table(
+        ["victim slew (ps)", "worst peak offset from t50 (ps)",
+         "worst delay (ps)"],
+        slew_rows,
+        title="Figure 7(b) — worst alignment vs victim slew (min load)")
+    table += f"\nlinear fit R^2 of offset vs slew: {r_squared:.4f}"
+    return table, sharpness, r_squared
+
+
+def test_fig07(benchmark, record):
+    table, sharpness, r_squared = run_once(benchmark, experiment)
+    record("fig07_load_slew_sensitivity", table)
+
+    # (a) Sensitivity decreases monotonically from the smallest to the
+    # largest load, and large loads are much flatter.
+    assert sharpness[0] > sharpness[-1]
+    assert sharpness[-1] < 0.5 * sharpness[0]
+    # (b) Near-linear worst alignment vs slew.
+    assert r_squared > 0.95

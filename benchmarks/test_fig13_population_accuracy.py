@@ -1,0 +1,119 @@
+"""Figure 13 — linear driver model accuracy over a net population.
+
+Paper: 300 nets from a high-performance microprocessor block.  For each
+net, the extra delay from the linear flow — with the traditional
+Thevenin holding resistance and with the transient holding resistance —
+is plotted against the extra delay from full non-linear (Spice)
+simulation.  Reported: average error 48.63% (Thevenin) vs 7.41% (Rtr);
+the Thevenin model underestimates in every case and errs more on
+larger-delay nets.
+
+Our substitute population uses the "high-performance block" generator
+preset (fast victim edges, strong coupling, slow strong aggressors — see
+DESIGN.md).  Model accuracy is measured with each net's noise pulse
+peak-aligned on the victim's receiver-input 50% crossing: the classic
+mid-transition alignment where the extra delay is a smooth function of
+the injected noise.  (At a cliff-edge worst-case alignment the
+delay-vs-noise map is discontinuous, which turns a model comparison into
+a coin flip on cliff-adjacent nets.)  Extra delay is measured at the
+receiver input, matching the figure's axes.
+
+Default 40 nets; set ``REPRO_FULL=1`` for the paper's 300.
+"""
+
+import numpy as np
+from conftest import population_size, run_once
+
+from repro.bench.netgen import NetGenConfig, NetGenerator
+from repro.bench.runner import ErrorStats, format_table
+from repro.core.alignment import peak_align_shifts
+from repro.core.exhaustive import combined_extra_delays
+from repro.core.golden import golden_extra_delays
+from repro.core.holding_resistance import compute_rtr
+from repro.core.superposition import SuperpositionEngine
+from repro.units import NS, PS
+
+#: Nets whose golden extra delay is below this are dominated by
+#: measurement noise and excluded (the paper's per-net percentages
+#: implicitly cover nets with measurable delay noise).
+MIN_GOLDEN = 15 * PS
+
+
+def experiment(model_cache):
+    count = population_size(default=40, full=300)
+    generator = NetGenerator(seed=2013,
+                             config=NetGenConfig.high_performance())
+    nets = generator.population(count)
+
+    rows = []
+    gold, rtr, thev = [], [], []
+    skipped = 0
+    for net in nets:
+        engine = SuperpositionEngine(net, cache=model_cache)
+        vdd = net.vdd
+        victim = (engine.victim_transition().at_receiver
+                  + net.victim_initial_level())
+        t50 = victim.crossing_time(vdd / 2, rising=True)
+        pulses = {a.name: engine.aggressor_noise(a.name).at_receiver
+                  for a in net.aggressors}
+        shifts = peak_align_shifts(pulses, t50)
+
+        result = compute_rtr(engine, shifts)
+        t_stop = engine.t_stop + 1.5 * NS
+        noisy_th = victim + engine.total_noise(
+            shifts, victim_r=result.rth).at_receiver
+        noisy_rtr = victim + engine.total_noise(
+            shifts, victim_r=result.rtr).at_receiver
+        extra_th, _, _ = combined_extra_delays(
+            net.receiver, victim, noisy_th, vdd, True, t_stop)
+        extra_rtr, _, _ = combined_extra_delays(
+            net.receiver, victim, noisy_rtr, vdd, True, t_stop)
+
+        golden = golden_extra_delays(net, t_stop,
+                                     aggressor_shifts=shifts)
+        if golden.extra_input < MIN_GOLDEN:
+            skipped += 1
+            continue
+        gold.append(golden.extra_input)
+        thev.append(extra_th)
+        rtr.append(extra_rtr)
+        rows.append([net.name, golden.extra_input / PS, extra_th / PS,
+                     extra_rtr / PS])
+
+    stats_rtr = ErrorStats(rtr, gold)
+    stats_thev = ErrorStats(thev, gold)
+
+    table = format_table(
+        ["net", "golden (ps)", "Thevenin R (ps)", "transient R (ps)"],
+        rows,
+        title=f"Figure 13 — extra delay, linear models vs golden "
+              f"({len(rows)} nets, {skipped} below noise floor)")
+    table += (
+        f"\n\nThevenin R : avg err {stats_thev.mean_abs_pct_error():.2f}% "
+        f"worst {stats_thev.worst_abs_pct_error():.2f}% "
+        f"underestimates {100 * stats_thev.underestimation_fraction():.0f}%"
+        f" of nets   (paper: avg 48.63%, all underestimate)"
+        f"\ntransient R: avg err {stats_rtr.mean_abs_pct_error():.2f}% "
+        f"worst {stats_rtr.worst_abs_pct_error():.2f}% "
+        f"underestimates {100 * stats_rtr.underestimation_fraction():.0f}%"
+        f" of nets   (paper: avg 7.41%)"
+        f"\ncorrelation with golden: Thevenin "
+        f"{stats_thev.correlation():.4f}, Rtr "
+        f"{stats_rtr.correlation():.4f}")
+    return table, stats_rtr, stats_thev
+
+
+def test_fig13(benchmark, model_cache, record):
+    table, stats_rtr, stats_thev = run_once(
+        benchmark, lambda: experiment(model_cache))
+    record("fig13_population_accuracy", table)
+
+    # Rtr is substantially more accurate on average.
+    assert stats_rtr.mean_abs_pct_error() < \
+        0.55 * stats_thev.mean_abs_pct_error()
+    # The Thevenin model underestimates essentially everywhere.
+    assert stats_thev.underestimation_fraction() > 0.9
+    # Thevenin's absolute error grows with the golden delay: correlation
+    # between |error| and golden value is positive.
+    corr = np.corrcoef(np.abs(stats_thev.errors), stats_thev.golden)[0, 1]
+    assert corr > 0.3

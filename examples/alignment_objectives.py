@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Alignment objectives compared: receiver input vs receiver output.
+
+Reproduces the paper's central argument (Figure 3) on a live circuit:
+aligning the aggressor noise to maximize the *interconnect* delay (the
+receiver-input objective of the prior art [5][6]) can place the pulse so
+late that the receiver has already switched — huge input disturbance,
+zero output delay, and the leftover output pulse is filtered below the
+functional-noise threshold.  The receiver-output objective (this paper)
+finds the true worst case.
+
+Run:  python examples/alignment_objectives.py
+"""
+
+from repro.bench.netgen import canonical_net
+from repro.core.alignment import (
+    composite_pulse,
+    input_objective_peak_time,
+    peak_align_shifts,
+)
+from repro.core.exhaustive import (
+    combined_extra_delays,
+    exhaustive_worst_alignment,
+)
+from repro.core.superposition import SuperpositionEngine
+from repro.units import NS, PS
+from repro.waveform import transition_slew
+from repro.waveform.pulses import pulse_peak, pulse_width
+
+
+def main() -> None:
+    net = canonical_net(n_aggressors=2)
+    vdd = net.vdd
+    engine = SuperpositionEngine(net)
+
+    noiseless = (engine.victim_transition().at_receiver
+                 + net.victim_initial_level())
+    t50 = noiseless.crossing_time(vdd / 2, rising=True)
+    slew = transition_slew(noiseless, vdd, rising=True)
+    print(f"victim at receiver: 50% crossing {t50 / NS:.3f} ns, "
+          f"slew {slew / PS:.0f} ps")
+
+    pulses = {a.name: engine.aggressor_noise(a.name).at_receiver
+              for a in net.aggressors}
+    shape = composite_pulse(pulses, peak_align_shifts(pulses, t50))
+    _, height = pulse_peak(shape)
+    width = pulse_width(shape)
+    print(f"composite pulse: {height:.3f} V, {width / PS:.0f} ps wide\n")
+
+    # Sweep the pulse position and evaluate both objectives.
+    sweep = exhaustive_worst_alignment(net.receiver, noiseless, shape,
+                                       vdd, True, steps=33, refine=8)
+    print("peak time (ns)   victim level (V)   extra@input (ps)   "
+          "extra@output (ps)")
+    for t, d_in, d_out in zip(sweep.peak_times[::3],
+                              sweep.extra_input_delays[::3],
+                              sweep.extra_output_delays[::3]):
+        print(f"   {t / NS:8.3f}         {noiseless(t):6.3f}         "
+              f"{d_in / PS:10.1f}          {d_out / PS:10.1f}")
+
+    t_input_obj = input_objective_peak_time(noiseless, height, vdd, True)
+    d_at_input_obj = sweep.delay_at(t_input_obj)
+    print(f"\nreceiver-INPUT objective  : peak at {t_input_obj / NS:.3f} ns "
+          f"-> output extra delay {d_at_input_obj / PS:6.1f} ps")
+    print(f"receiver-OUTPUT objective : peak at "
+          f"{sweep.best_peak_time / NS:.3f} ns "
+          f"-> output extra delay {sweep.best_extra_output / PS:6.1f} ps")
+
+    # Show the filtering: with the too-late alignment, the receiver
+    # output barely twitches (paper: pulse < 100 mV at the output).
+    tp0, _ = pulse_peak(shape)
+    noisy_late = noiseless + shape.shifted(t_input_obj - tp0)
+    _, _, out_late = combined_extra_delays(
+        net.receiver, noiseless, noisy_late, vdd, True,
+        sweep.peak_times[-1] + 1 * NS)
+    settle = out_late.clipped(t_input_obj, out_late.t_end)
+    print(f"\nresidual receiver-output pulse with the late alignment: "
+          f"{settle.value_range()[1] * 1000:.0f} mV "
+          f"(filtered, not a functional failure)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — crosstalk delay-noise analysis.
+
+A from-scratch reproduction of *"Driver Modeling and Alignment for
+Worst-Case Delay Noise"* (Sirichotiyakul, Blaauw, Oh, Levy, Zolotov, Zuo —
+DAC 2001): the transient holding resistance driver model and the
+pre-characterized worst-case aggressor alignment, together with every
+substrate they require (linear/non-linear transient simulation, PRIMA
+model order reduction, gate characterization, timing windows and a
+synthetic coupled-net benchmark generator).
+
+Quick start::
+
+    from repro.bench.netgen import NetGenerator
+    from repro.core.analysis import DelayNoiseAnalyzer
+
+    net = NetGenerator(seed=1).generate()
+    analyzer = DelayNoiseAnalyzer()
+    report = analyzer.analyze(net)
+    print(report.extra_delay_output)           # worst-case delay noise
+    print(report.extra_delay_output_thevenin)  # the traditional model
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-figure reproduction results.
+"""
+
+__version__ = "1.0.0"

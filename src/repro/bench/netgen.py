@@ -1,0 +1,220 @@
+"""Synthetic coupled-net generation.
+
+The paper evaluates on 300 nets extracted from a microprocessor block.
+We substitute a seeded generator covering the same axes of variation:
+driver strength, wire RC, coupling ratio, victim/aggressor edge rates,
+receiver size and loading, and aggressor count.  Absolute delays differ
+from the paper's silicon, but the population exposes the same model-error
+mechanisms (resistive shielding, conductance variation over the victim
+transition, receiver low-pass filtering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.topology import couple_nodes, rc_line
+from repro.core.net import AggressorSpec, CoupledNet, DriverSpec, ReceiverSpec
+from repro.gates.library import inverter
+from repro.units import FF, KOHM, NS, PS
+
+__all__ = ["NetGenerator", "NetGenConfig", "canonical_net"]
+
+
+@dataclass
+class NetGenConfig:
+    """Ranges of the generated population (see module docstring)."""
+
+    n_aggressors: tuple[int, int] = (1, 3)
+    segments: int = 8
+    #: Side branches hanging off the victim trunk (0 = point-to-point).
+    victim_branches: int = 0
+    branch_load_range: tuple[float, float] = (3 * FF, 12 * FF)
+    victim_driver_scales: tuple[float, ...] = (1.0, 2.0, 4.0)
+    aggressor_driver_scales: tuple[float, ...] = (2.0, 4.0, 8.0)
+    receiver_scales: tuple[float, ...] = (1.0, 2.0, 4.0)
+    victim_r_range: tuple[float, float] = (0.4 * KOHM, 2.5 * KOHM)
+    victim_c_range: tuple[float, float] = (20 * FF, 90 * FF)
+    aggressor_r_range: tuple[float, float] = (0.3 * KOHM, 1.5 * KOHM)
+    aggressor_c_range: tuple[float, float] = (15 * FF, 60 * FF)
+    coupling_ratio_range: tuple[float, float] = (0.4, 1.3)
+    victim_slews: tuple[float, ...] = (0.1 * NS, 0.2 * NS, 0.35 * NS)
+    aggressor_slews: tuple[float, ...] = (0.08 * NS, 0.15 * NS, 0.3 * NS)
+    receiver_load_range: tuple[float, float] = (4 * FF, 60 * FF)
+    aggressor_far_load_range: tuple[float, float] = (5 * FF, 30 * FF)
+    victim_input_start: float = 0.2 * NS
+    aggressor_input_start: float = 0.2 * NS
+
+    @classmethod
+    def high_performance(cls) -> "NetGenConfig":
+        """A "high-performance microprocessor block" flavour.
+
+        Fast victim edges over short, strongly-coupled wires attacked by
+        slow, strong aggressors — the regime of the paper's evaluation
+        block, where the noise pulse spans the whole victim transition
+        and the victim driver's conductance variation matters most.
+        """
+        return cls(
+            victim_driver_scales=(1.0, 2.0, 4.0),
+            aggressor_driver_scales=(4.0, 8.0, 12.0),
+            victim_r_range=(0.2 * KOHM, 1.0 * KOHM),
+            victim_c_range=(15 * FF, 50 * FF),
+            coupling_ratio_range=(0.8, 2.0),
+            victim_slews=(0.06 * NS, 0.1 * NS, 0.16 * NS),
+            aggressor_slews=(0.2 * NS, 0.35 * NS, 0.5 * NS),
+        )
+
+
+class NetGenerator:
+    """Seeded generator of :class:`CoupledNet` instances."""
+
+    def __init__(self, seed: int = 0, config: NetGenConfig | None = None):
+        self.rng = np.random.default_rng(seed)
+        self.config = config or NetGenConfig()
+
+    def _uniform(self, lo_hi: tuple[float, float]) -> float:
+        return float(self.rng.uniform(*lo_hi))
+
+    def _choice(self, options) -> float:
+        return float(self.rng.choice(options))
+
+    def generate(self, index: int = 0) -> CoupledNet:
+        """Generate one net (``index`` only names it)."""
+        cfg = self.config
+        rng = self.rng
+        n_agg = int(rng.integers(cfg.n_aggressors[0],
+                                 cfg.n_aggressors[1] + 1))
+
+        interconnect = Circuit(f"net{index}_wires")
+        victim_r = self._uniform(cfg.victim_r_range)
+        victim_c = self._uniform(cfg.victim_c_range)
+        victim_nodes = rc_line(
+            interconnect, "v_", "v_root", "v_rcv", cfg.segments,
+            victim_r, victim_c)
+
+        # Optional side branches: other receivers hanging off the trunk.
+        for b in range(cfg.victim_branches):
+            tap_index = int(rng.integers(1, len(victim_nodes) - 1))
+            prefix = f"vb{b}_"
+            rc_line(interconnect, prefix, victim_nodes[tap_index],
+                    f"{prefix}leaf", max(cfg.segments // 2, 1),
+                    0.5 * victim_r, 0.4 * victim_c)
+            interconnect.add_capacitor(
+                f"{prefix}cload", f"{prefix}leaf", GROUND,
+                self._uniform(cfg.branch_load_range))
+
+        victim_c_total = sum(
+            c.capacitance for c in interconnect.capacitors)
+
+        aggressors: list[AggressorSpec] = []
+        for a in range(n_agg):
+            prefix = f"a{a}_"
+            agg_nodes = rc_line(
+                interconnect, prefix, f"{prefix}root", f"{prefix}far",
+                cfg.segments,
+                self._uniform(cfg.aggressor_r_range),
+                self._uniform(cfg.aggressor_c_range))
+            interconnect.add_capacitor(
+                f"{prefix}cfar", f"{prefix}far", GROUND,
+                self._uniform(cfg.aggressor_far_load_range))
+
+            # Couple over a random contiguous overlap of the victim span.
+            span = cfg.segments + 1
+            length = int(rng.integers(span // 2, span + 1))
+            start = int(rng.integers(0, span - length + 1))
+            cc_total = (self._uniform(cfg.coupling_ratio_range)
+                        * victim_c_total / n_agg)
+            couple_nodes(interconnect, f"x{a}_",
+                         victim_nodes[start:start + length],
+                         agg_nodes[start:start + length], cc_total)
+
+            driver = DriverSpec(
+                gate=inverter(self._choice(cfg.aggressor_driver_scales)),
+                input_slew=self._choice(cfg.aggressor_slews),
+                output_rising=False,  # opposing the rising victim
+                input_start=cfg.aggressor_input_start,
+            )
+            aggressors.append(AggressorSpec(
+                name=f"agg{a}", driver=driver,
+                root=f"{prefix}root", far_end=f"{prefix}far"))
+
+        victim_driver = DriverSpec(
+            gate=inverter(self._choice(cfg.victim_driver_scales)),
+            input_slew=self._choice(cfg.victim_slews),
+            output_rising=True,
+            input_start=cfg.victim_input_start,
+        )
+        receiver = ReceiverSpec(
+            gate=inverter(self._choice(cfg.receiver_scales)),
+            c_load=self._uniform(cfg.receiver_load_range),
+        )
+        return CoupledNet(
+            name=f"net{index}",
+            interconnect=interconnect,
+            victim_root="v_root",
+            victim_receiver_node="v_rcv",
+            victim_driver=victim_driver,
+            receiver=receiver,
+            aggressors=aggressors,
+        )
+
+    def population(self, count: int) -> list[CoupledNet]:
+        """Generate ``count`` nets."""
+        return [self.generate(i) for i in range(count)]
+
+
+def canonical_net(*, n_aggressors: int = 1, coupling_ratio: float = 1.0,
+                  receiver_load: float = 10 * FF,
+                  victim_scale: float = 1.0,
+                  aggressor_scale: float = 4.0,
+                  receiver_scale: float = 2.0,
+                  victim_slew: float = 0.2 * NS,
+                  aggressor_slew: float = 0.12 * NS,
+                  segments: int = 8,
+                  victim_r: float = 1.5 * KOHM,
+                  victim_c: float = 50 * FF,
+                  victim_rising: bool = True,
+                  name: str = "canonical") -> CoupledNet:
+    """The deterministic hand-sized circuit used by the figure benches.
+
+    A victim line driven by a weak inverter, coupled to ``n_aggressors``
+    strongly-driven parallel aggressor lines over the full span, with an
+    inverter receiver.  Defaults give a noise pulse of roughly a third of
+    the supply — squarely in the regime the paper's figures illustrate.
+    """
+    interconnect = Circuit(f"{name}_wires")
+    victim_nodes = rc_line(interconnect, "v_", "v_root", "v_rcv",
+                           segments, victim_r, victim_c)
+    aggressors = []
+    for a in range(n_aggressors):
+        prefix = f"a{a}_"
+        agg_nodes = rc_line(interconnect, prefix, f"{prefix}root",
+                            f"{prefix}far", segments, 0.8 * KOHM, 40 * FF)
+        interconnect.add_capacitor(f"{prefix}cfar", f"{prefix}far",
+                                   GROUND, 10 * FF)
+        couple_nodes(interconnect, f"x{a}_", victim_nodes, agg_nodes,
+                     coupling_ratio * victim_c / n_aggressors)
+        aggressors.append(AggressorSpec(
+            name=f"agg{a}",
+            driver=DriverSpec(gate=inverter(aggressor_scale),
+                              input_slew=aggressor_slew,
+                              output_rising=not victim_rising,
+                              input_start=0.2 * NS),
+            root=f"{prefix}root", far_end=f"{prefix}far"))
+
+    return CoupledNet(
+        name=name,
+        interconnect=interconnect,
+        victim_root="v_root",
+        victim_receiver_node="v_rcv",
+        victim_driver=DriverSpec(gate=inverter(victim_scale),
+                                 input_slew=victim_slew,
+                                 output_rising=victim_rising,
+                                 input_start=0.2 * NS),
+        receiver=ReceiverSpec(gate=inverter(receiver_scale),
+                              c_load=receiver_load),
+        aggressors=aggressors,
+    )

@@ -1,0 +1,82 @@
+"""Error statistics and table formatting for the benchmark harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ErrorStats", "format_table"]
+
+
+@dataclass
+class ErrorStats:
+    """Error of predicted values against a golden reference."""
+
+    predicted: np.ndarray
+    golden: np.ndarray
+
+    def __post_init__(self):
+        self.predicted = np.asarray(self.predicted, dtype=float)
+        self.golden = np.asarray(self.golden, dtype=float)
+        if self.predicted.shape != self.golden.shape:
+            raise ValueError("predicted/golden shape mismatch")
+        if self.predicted.size == 0:
+            raise ValueError("empty sample")
+
+    @property
+    def errors(self) -> np.ndarray:
+        return self.predicted - self.golden
+
+    def mean_abs_error(self) -> float:
+        return float(np.abs(self.errors).mean())
+
+    def worst_abs_error(self) -> float:
+        return float(np.abs(self.errors).max())
+
+    def mean_abs_pct_error(self, floor: float = 0.0) -> float:
+        """Mean |error| / |golden| in percent.
+
+        ``floor`` guards tiny golden values from exploding the ratio (the
+        paper's per-net percentages are over nets with measurable noise).
+        """
+        denom = np.maximum(np.abs(self.golden), floor)
+        mask = denom > 0
+        return float(100.0 * (np.abs(self.errors)[mask] / denom[mask]).mean())
+
+    def worst_abs_pct_error(self, floor: float = 0.0) -> float:
+        denom = np.maximum(np.abs(self.golden), floor)
+        mask = denom > 0
+        return float(100.0 * (np.abs(self.errors)[mask] / denom[mask]).max())
+
+    def underestimation_fraction(self) -> float:
+        """Fraction of samples where the prediction is below golden."""
+        return float((self.errors < 0).mean())
+
+    def correlation(self) -> float:
+        if self.predicted.size < 2 or np.std(self.golden) == 0:
+            return float("nan")
+        return float(np.corrcoef(self.predicted, self.golden)[0, 1])
+
+
+def format_table(headers: list[str], rows: list[list],
+                 title: str | None = None) -> str:
+    """Render a plain-text results table (benchmark console output)."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Circuit representation: elements, netlist graph, MNA matrices.
+
+* :mod:`repro.circuit.elements` — passive/active element records.
+* :mod:`repro.circuit.netlist` — the :class:`Circuit` container (nodes,
+  elements, devices) with composition utilities.
+* :mod:`repro.circuit.mna` — modified nodal analysis stamping into
+  ``C x' + G x = B u`` descriptor form.
+* :mod:`repro.circuit.topology` — RC-tree / coupled-net constructors used
+  by tests, examples and the synthetic benchmark generator.
+* :mod:`repro.circuit.parser` — a SPICE-subset netlist reader.
+* :mod:`repro.circuit.writer` — its inverse (netlist emission).
+* :mod:`repro.circuit.moments` — Elmore / D2M wire-delay metrics.
+"""
+
+from repro.circuit.elements import (
+    Resistor,
+    Capacitor,
+    VoltageSource,
+    CurrentSource,
+)
+from repro.circuit.netlist import Circuit, GROUND
+from repro.circuit.mna import MnaSystem, build_mna
+from repro.circuit.writer import write_netlist
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Circuit",
+    "GROUND",
+    "MnaSystem",
+    "build_mna",
+    "write_netlist",
+]

@@ -1,0 +1,81 @@
+"""Linear circuit element records.
+
+Elements are lightweight, immutable descriptions; all numeric work happens
+in :mod:`repro.circuit.mna` (stamping) and :mod:`repro.sim` (simulation).
+
+Sign conventions
+----------------
+* :class:`VoltageSource` forces ``v(node_pos) - v(node_neg) = value(t)``.
+* :class:`CurrentSource` *injects* ``value(t)`` amps into ``node_pos`` and
+  draws the same current out of ``node_neg``.  This is the natural
+  convention for the noise-injection current of the transient holding
+  resistance flow: a positive pulse raises ``node_pos``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.waveform import Waveform
+
+__all__ = ["Resistor", "Capacitor", "VoltageSource", "CurrentSource",
+           "Stimulus", "stimulus_value"]
+
+#: A source value: constant volts/amps or a time-dependent waveform.
+Stimulus = Union[float, Waveform]
+
+
+def stimulus_value(stimulus: Stimulus, t) -> float:
+    """Evaluate a constant-or-waveform stimulus at time(s) ``t``."""
+    if isinstance(stimulus, Waveform):
+        return stimulus(t)
+    return stimulus
+
+
+@dataclass(frozen=True)
+class Resistor:
+    name: str
+    node1: str
+    node2: str
+    resistance: float
+
+    def __post_init__(self):
+        if self.resistance <= 0:
+            raise ValueError(f"resistor {self.name}: non-positive resistance")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A capacitor; ``coupling=True`` tags cross-coupling capacitors.
+
+    The tag does not change the electrical behaviour — it lets analysis
+    code (e.g. the superposition flow and the benchmark generator) identify
+    which capacitors couple a victim to an aggressor.
+    """
+
+    name: str
+    node1: str
+    node2: str
+    capacitance: float
+    coupling: bool = False
+
+    def __post_init__(self):
+        if self.capacitance <= 0:
+            raise ValueError(f"capacitor {self.name}: non-positive value")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    name: str
+    node_pos: str
+    node_neg: str
+    value: Stimulus
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    name: str
+    node_pos: str
+    node_neg: str
+    value: Stimulus

@@ -1,0 +1,165 @@
+"""Modified nodal analysis (MNA) stamping.
+
+A circuit's linear portion is stamped into the descriptor system
+
+    C x'(t) + G x(t) = rhs(t)
+
+with unknowns ``x = [node voltages; voltage-source branch currents]``.
+Voltage sources contribute algebraic rows (no ``C`` entries); current
+sources contribute only to the right-hand side.  The same
+:class:`MnaSystem` serves the linear transient solver, the PRIMA reducer
+(which consumes ``G``, ``C`` and input/output incidence vectors) and the
+non-linear co-simulator (which adds device stamps on top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.elements import stimulus_value
+from repro.circuit.netlist import GROUND, Circuit
+
+__all__ = ["MnaSystem", "build_mna"]
+
+
+@dataclass
+class MnaSystem:
+    """Stamped MNA matrices plus source bookkeeping.
+
+    Attributes
+    ----------
+    circuit:
+        The source circuit (kept for node/element lookups).
+    node_index:
+        Map from node name to row index in ``[0, n_nodes)``.
+    G, C:
+        Dense ``(dim, dim)`` conductance and capacitance matrices where
+        ``dim = n_nodes + n_vsources``.
+    vsource_index:
+        Map from voltage-source name to its branch-current row
+        (``n_nodes + k``).
+    """
+
+    circuit: Circuit
+    node_index: dict[str, int]
+    G: np.ndarray
+    C: np.ndarray
+    vsource_index: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_index)
+
+    @property
+    def dim(self) -> int:
+        return self.G.shape[0]
+
+    def index_of(self, node: str) -> int:
+        """Row index of a node (raises KeyError for ground/unknown)."""
+        if node == GROUND:
+            raise KeyError("ground has no MNA index")
+        return self.node_index[node]
+
+    # ------------------------------------------------------------------
+    # Right-hand side
+    # ------------------------------------------------------------------
+    def rhs_matrix(self, times: np.ndarray) -> np.ndarray:
+        """Right-hand side ``rhs(t)`` evaluated on a time grid.
+
+        Returns an array of shape ``(dim, len(times))``.
+        """
+        times = np.asarray(times, dtype=float)
+        rhs = np.zeros((self.dim, times.size))
+        for k, vs in enumerate(self.circuit.vsources):
+            rhs[self.n_nodes + k, :] += stimulus_value(vs.value, times)
+        for cs in self.circuit.isources:
+            current = stimulus_value(cs.value, times)
+            if cs.node_pos != GROUND:
+                rhs[self.node_index[cs.node_pos], :] += current
+            if cs.node_neg != GROUND:
+                rhs[self.node_index[cs.node_neg], :] -= current
+        return rhs
+
+    def input_incidence(self) -> np.ndarray:
+        """Incidence matrix ``B`` such that ``rhs(t) = B u(t)``.
+
+        Column order: voltage sources first (in circuit order), then
+        current sources.  Used by the PRIMA reducer.
+        """
+        n_in = len(self.circuit.vsources) + len(self.circuit.isources)
+        B = np.zeros((self.dim, n_in))
+        col = 0
+        for k, _vs in enumerate(self.circuit.vsources):
+            B[self.n_nodes + k, col] = 1.0
+            col += 1
+        for cs in self.circuit.isources:
+            if cs.node_pos != GROUND:
+                B[self.node_index[cs.node_pos], col] = 1.0
+            if cs.node_neg != GROUND:
+                B[self.node_index[cs.node_neg], col] = -1.0
+            col += 1
+        return B
+
+    def output_incidence(self, nodes: list[str]) -> np.ndarray:
+        """Selector matrix ``L`` with one column per requested node."""
+        L = np.zeros((self.dim, len(nodes)))
+        for col, node in enumerate(nodes):
+            L[self.index_of(node), col] = 1.0
+        return L
+
+
+def build_mna(circuit: Circuit, *, allow_devices: bool = False) -> MnaSystem:
+    """Stamp the linear portion of ``circuit`` into an :class:`MnaSystem`.
+
+    Raises ``ValueError`` if the circuit contains MOSFETs and
+    ``allow_devices`` is False — a guard against accidentally running a
+    non-linear circuit through the linear solver.
+    """
+    if circuit.mosfets and not allow_devices:
+        raise ValueError(
+            f"{circuit.name} contains MOSFETs; use the non-linear simulator "
+            "or pass allow_devices=True if you really want the linear part"
+        )
+
+    nodes = circuit.nodes()
+    node_index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    m = len(circuit.vsources)
+    dim = n + m
+    G = np.zeros((dim, dim))
+    C = np.zeros((dim, dim))
+
+    def stamp_pair(matrix: np.ndarray, node1: str, node2: str,
+                   value: float) -> None:
+        i = node_index[node1] if node1 != GROUND else None
+        j = node_index[node2] if node2 != GROUND else None
+        if i is not None:
+            matrix[i, i] += value
+        if j is not None:
+            matrix[j, j] += value
+        if i is not None and j is not None:
+            matrix[i, j] -= value
+            matrix[j, i] -= value
+
+    for r in circuit.resistors:
+        stamp_pair(G, r.node1, r.node2, 1.0 / r.resistance)
+    for c in circuit.capacitors:
+        stamp_pair(C, c.node1, c.node2, c.capacitance)
+
+    vsource_index: dict[str, int] = {}
+    for k, vs in enumerate(circuit.vsources):
+        row = n + k
+        vsource_index[vs.name] = row
+        if vs.node_pos != GROUND:
+            i = node_index[vs.node_pos]
+            G[i, row] += 1.0
+            G[row, i] += 1.0
+        if vs.node_neg != GROUND:
+            j = node_index[vs.node_neg]
+            G[j, row] -= 1.0
+            G[row, j] -= 1.0
+
+    return MnaSystem(circuit=circuit, node_index=node_index, G=G, C=C,
+                     vsource_index=vsource_index)

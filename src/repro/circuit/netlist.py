@@ -1,0 +1,212 @@
+"""The :class:`Circuit` container.
+
+A circuit is a bag of linear elements (:mod:`repro.circuit.elements`) and
+MOSFET devices (:mod:`repro.devices.mosfet`) over a shared namespace of
+string node names.  The ground node is ``"0"`` (SPICE convention); it is
+always index-less in MNA systems.
+
+Circuits compose: :meth:`Circuit.merge` imports another circuit under an
+optional node/name prefix, which is how the analysis flow splices gate
+models onto extracted interconnect.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Stimulus,
+    VoltageSource,
+)
+from repro.devices.mosfet import Mosfet, MosfetParams
+
+__all__ = ["Circuit", "GROUND"]
+
+GROUND = "0"
+
+
+class Circuit:
+    """Mutable netlist of elements and devices.
+
+    Parameters
+    ----------
+    name:
+        Optional identifier used in diagnostics.
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.resistors: list[Resistor] = []
+        self.capacitors: list[Capacitor] = []
+        self.vsources: list[VoltageSource] = []
+        self.isources: list[CurrentSource] = []
+        self.mosfets: list[Mosfet] = []
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Element addition
+    # ------------------------------------------------------------------
+    def _register(self, name: str) -> None:
+        if name in self._names:
+            raise ValueError(f"duplicate element name {name!r} in {self.name}")
+        self._names.add(name)
+
+    def add_resistor(self, name: str, node1: str, node2: str,
+                     resistance: float) -> Resistor:
+        self._register(name)
+        element = Resistor(name, node1, node2, resistance)
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(self, name: str, node1: str, node2: str,
+                      capacitance: float, *, coupling: bool = False
+                      ) -> Capacitor:
+        self._register(name)
+        element = Capacitor(name, node1, node2, capacitance,
+                            coupling=coupling)
+        self.capacitors.append(element)
+        return element
+
+    def add_vsource(self, name: str, node_pos: str, node_neg: str,
+                    value: Stimulus) -> VoltageSource:
+        self._register(name)
+        element = VoltageSource(name, node_pos, node_neg, value)
+        self.vsources.append(element)
+        return element
+
+    def add_isource(self, name: str, node_pos: str, node_neg: str,
+                    value: Stimulus) -> CurrentSource:
+        self._register(name)
+        element = CurrentSource(name, node_pos, node_neg, value)
+        self.isources.append(element)
+        return element
+
+    def add_mosfet(self, name: str, params: MosfetParams, drain: str,
+                   gate: str, source: str) -> Mosfet:
+        self._register(name)
+        device = Mosfet(name, params, drain, gate, source)
+        self.mosfets.append(device)
+        return device
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[str]:
+        """All non-ground node names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for pair in self._node_pairs():
+            for node in pair:
+                if node != GROUND:
+                    seen.setdefault(node)
+        return list(seen)
+
+    def _node_pairs(self) -> Iterator[tuple[str, ...]]:
+        for r in self.resistors:
+            yield (r.node1, r.node2)
+        for c in self.capacitors:
+            yield (c.node1, c.node2)
+        for v in self.vsources:
+            yield (v.node_pos, v.node_neg)
+        for i in self.isources:
+            yield (i.node_pos, i.node_neg)
+        for m in self.mosfets:
+            yield (m.drain, m.gate, m.source)
+
+    def element_count(self) -> int:
+        return (len(self.resistors) + len(self.capacitors)
+                + len(self.vsources) + len(self.isources)
+                + len(self.mosfets))
+
+    def grounded_cap_at(self, node: str) -> float:
+        """Total capacitance from ``node`` to ground."""
+        total = 0.0
+        for c in self.capacitors:
+            pair = {c.node1, c.node2}
+            if node in pair and GROUND in pair and node != GROUND:
+                total += c.capacitance
+        return total
+
+    def total_cap_at(self, node: str) -> float:
+        """Total capacitance incident on ``node`` (coupling counted once)."""
+        total = 0.0
+        for c in self.capacitors:
+            if node in (c.node1, c.node2):
+                total += c.capacitance
+        return total
+
+    def coupling_caps(self) -> list[Capacitor]:
+        return [c for c in self.capacitors if c.coupling]
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}, {len(self.nodes())} nodes, "
+                f"{self.element_count()} elements)")
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def merge(self, other: "Circuit", *, prefix: str = "",
+              node_map: dict[str, str] | None = None) -> None:
+        """Import all elements of ``other`` into this circuit.
+
+        ``node_map`` renames specific nodes (e.g. connecting a gate's
+        ``out`` to an interconnect's root); all other non-ground nodes get
+        ``prefix`` prepended, as do element names (preventing collisions
+        when the same cell is instantiated twice).
+        """
+        node_map = node_map or {}
+
+        def rename(node: str) -> str:
+            if node == GROUND:
+                return GROUND
+            if node in node_map:
+                return node_map[node]
+            return prefix + node
+
+        for r in other.resistors:
+            self.add_resistor(prefix + r.name, rename(r.node1),
+                              rename(r.node2), r.resistance)
+        for c in other.capacitors:
+            self.add_capacitor(prefix + c.name, rename(c.node1),
+                               rename(c.node2), c.capacitance,
+                               coupling=c.coupling)
+        for v in other.vsources:
+            self.add_vsource(prefix + v.name, rename(v.node_pos),
+                             rename(v.node_neg), v.value)
+        for i in other.isources:
+            self.add_isource(prefix + i.name, rename(i.node_pos),
+                             rename(i.node_neg), i.value)
+        for m in other.mosfets:
+            self.add_mosfet(prefix + m.name, m.params, rename(m.drain),
+                            rename(m.gate), rename(m.source))
+
+    def copy(self, name: str | None = None) -> "Circuit":
+        """Shallow structural copy (elements are immutable)."""
+        duplicate = Circuit(name or self.name)
+        duplicate.merge(self)
+        return duplicate
+
+    def without(self, names: Iterable[str]) -> "Circuit":
+        """Copy of this circuit excluding the named elements."""
+        drop = set(names)
+        result = Circuit(self.name)
+        for r in self.resistors:
+            if r.name not in drop:
+                result.add_resistor(r.name, r.node1, r.node2, r.resistance)
+        for c in self.capacitors:
+            if c.name not in drop:
+                result.add_capacitor(c.name, c.node1, c.node2,
+                                     c.capacitance, coupling=c.coupling)
+        for v in self.vsources:
+            if v.name not in drop:
+                result.add_vsource(v.name, v.node_pos, v.node_neg, v.value)
+        for i in self.isources:
+            if i.name not in drop:
+                result.add_isource(i.name, i.node_pos, i.node_neg, i.value)
+        for m in self.mosfets:
+            if m.name not in drop:
+                result.add_mosfet(m.name, m.params, m.drain, m.gate,
+                                  m.source)
+        return result

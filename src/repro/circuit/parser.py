@@ -1,0 +1,129 @@
+"""SPICE-subset netlist parser.
+
+Reads flat netlists of the element types the library supports:
+
+* ``R<name> n1 n2 value`` — resistor
+* ``C<name> n1 n2 value [COUPLING]`` — capacitor (optional coupling tag)
+* ``V<name> n+ n- DC value`` — constant voltage source
+* ``V<name> n+ n- PWL(t1 v1 t2 v2 ...)`` — piecewise-linear source
+* ``I<name> n+ n- DC value | PWL(...)`` — current source
+* ``*`` / ``;`` comments, ``.end``, blank lines, continuation lines (``+``)
+
+Values accept SPICE engineering suffixes (``1.2k``, ``35f``, ``0.4n``...).
+Node ``0`` (or ``gnd``) is ground.  This covers extracted-parasitic decks
+for coupled nets; transistor cards are out of scope (gates are built
+programmatically by :mod:`repro.gates`).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.waveform import Waveform
+
+__all__ = ["parse_netlist", "parse_value", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised on malformed netlist input."""
+
+
+_VALUE_RE = re.compile(
+    r"^([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)(meg|[tgkmunpfx]?)$",
+    re.IGNORECASE,
+)
+
+_SCALES = {
+    "t": 1e12, "g": 1e9, "meg": 1e6, "x": 1e6, "k": 1e3, "": 1.0,
+    "m": 1e-3, "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15,
+}
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number like ``1.2k`` or ``35f`` into SI units."""
+    match = _VALUE_RE.match(token.strip())
+    if not match:
+        raise NetlistError(f"cannot parse value {token!r}")
+    number, suffix = match.groups()
+    return float(number) * _SCALES[suffix.lower()]
+
+
+def _canonical_node(token: str) -> str:
+    return GROUND if token.lower() in ("0", "gnd") else token
+
+
+def _join_continuations(text: str) -> list[str]:
+    lines: list[str] = []
+    for raw in text.splitlines():
+        stripped = raw.split(";", 1)[0].rstrip()
+        if not stripped or stripped.lstrip().startswith("*"):
+            continue
+        if stripped.lstrip().startswith("+"):
+            if not lines:
+                raise NetlistError("continuation line with nothing to continue")
+            lines[-1] += " " + stripped.lstrip()[1:].strip()
+        else:
+            lines.append(stripped.strip())
+    return lines
+
+
+def _parse_source_value(tokens: list[str], line: str):
+    """Parse ``DC v`` or ``PWL(t v t v ...)`` trailing tokens."""
+    joined = " ".join(tokens)
+    upper = joined.upper()
+    if upper.startswith("DC"):
+        return parse_value(joined.split(None, 1)[1])
+    if upper.startswith("PWL"):
+        inner = joined[joined.index("(") + 1: joined.rindex(")")]
+        numbers = [parse_value(tok) for tok in inner.replace(",", " ").split()]
+        if len(numbers) < 4 or len(numbers) % 2:
+            raise NetlistError(f"PWL needs (t v) pairs: {line!r}")
+        return Waveform(numbers[0::2], numbers[1::2])
+    # Bare number: treat as DC.
+    if len(tokens) == 1:
+        return parse_value(tokens[0])
+    raise NetlistError(f"unsupported source specification: {line!r}")
+
+
+def parse_netlist(text: str, name: str = "netlist") -> Circuit:
+    """Parse netlist ``text`` into a :class:`Circuit`."""
+    circuit = Circuit(name)
+    for line in _join_continuations(text):
+        if line.lower() in (".end", ".ends"):
+            break
+        if line.startswith("."):
+            continue  # other control cards ignored
+        tokens = line.split()
+        card, rest = tokens[0], tokens[1:]
+        kind = card[0].upper()
+        if kind == "R":
+            if len(rest) != 3:
+                raise NetlistError(f"malformed resistor card: {line!r}")
+            circuit.add_resistor(card, _canonical_node(rest[0]),
+                                 _canonical_node(rest[1]),
+                                 parse_value(rest[2]))
+        elif kind == "C":
+            if len(rest) not in (3, 4):
+                raise NetlistError(f"malformed capacitor card: {line!r}")
+            coupling = len(rest) == 4 and rest[3].upper() == "COUPLING"
+            if len(rest) == 4 and not coupling:
+                raise NetlistError(f"unknown capacitor flag: {line!r}")
+            circuit.add_capacitor(card, _canonical_node(rest[0]),
+                                  _canonical_node(rest[1]),
+                                  parse_value(rest[2]), coupling=coupling)
+        elif kind == "V":
+            if len(rest) < 3:
+                raise NetlistError(f"malformed voltage source: {line!r}")
+            circuit.add_vsource(card, _canonical_node(rest[0]),
+                                _canonical_node(rest[1]),
+                                _parse_source_value(rest[2:], line))
+        elif kind == "I":
+            if len(rest) < 3:
+                raise NetlistError(f"malformed current source: {line!r}")
+            circuit.add_isource(card, _canonical_node(rest[0]),
+                                _canonical_node(rest[1]),
+                                _parse_source_value(rest[2:], line))
+        else:
+            raise NetlistError(f"unsupported card {card!r}")
+    return circuit

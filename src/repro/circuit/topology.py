@@ -1,0 +1,103 @@
+"""Interconnect topology constructors.
+
+Builders for the RC structures the paper's flow operates on: uniform RC
+lines (π-segment ladders), RC trees, and capacitively-coupled parallel
+lines.  All builders *append* to an existing :class:`Circuit`, returning
+the node names they created, so nets, gates and sources compose freely.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuit.netlist import GROUND, Circuit
+
+__all__ = ["rc_line", "couple_nodes", "rc_tree_from_graph", "pi_model"]
+
+
+def rc_line(circuit: Circuit, prefix: str, node_in: str, node_out: str,
+            n_segments: int, r_total: float, c_total: float) -> list[str]:
+    """Append a uniform RC line as a ladder of π segments.
+
+    The total wire resistance ``r_total`` is split across ``n_segments``
+    series resistors; the total wire-to-ground capacitance ``c_total`` is
+    lumped half at each segment boundary (π model), so end nodes get half
+    a segment's share — the standard discretization of a distributed line.
+
+    Returns the full ordered node list from ``node_in`` to ``node_out``
+    (including both ends), which callers use to attach coupling caps.
+    """
+    if n_segments < 1:
+        raise ValueError("need at least one segment")
+    nodes = [node_in]
+    nodes += [f"{prefix}n{i}" for i in range(1, n_segments)]
+    nodes.append(node_out)
+
+    r_seg = r_total / n_segments
+    c_seg = c_total / n_segments
+    for i in range(n_segments):
+        circuit.add_resistor(f"{prefix}r{i}", nodes[i], nodes[i + 1], r_seg)
+    # π capacitors: half-shares at ends, full shares inside.
+    caps = [c_seg / 2.0] + [c_seg] * (n_segments - 1) + [c_seg / 2.0]
+    for i, (node, c) in enumerate(zip(nodes, caps)):
+        circuit.add_capacitor(f"{prefix}c{i}", node, GROUND, c)
+    return nodes
+
+
+def couple_nodes(circuit: Circuit, prefix: str, nodes_a: list[str],
+                 nodes_b: list[str], cc_total: float) -> None:
+    """Distribute ``cc_total`` of coupling capacitance between two lines.
+
+    Couples positionally-corresponding nodes of the (resampled) shorter
+    node list; this models two wires routed in parallel over their common
+    span.  Capacitors are tagged ``coupling=True``.
+    """
+    count = min(len(nodes_a), len(nodes_b))
+    if count < 1:
+        raise ValueError("both node lists must be non-empty")
+
+    def pick(nodes: list[str], k: int) -> str:
+        # Spread k over the full list when lengths differ.
+        idx = round(k * (len(nodes) - 1) / max(count - 1, 1))
+        return nodes[idx]
+
+    cc_each = cc_total / count
+    for k in range(count):
+        circuit.add_capacitor(f"{prefix}cc{k}", pick(nodes_a, k),
+                              pick(nodes_b, k), cc_each, coupling=True)
+
+
+def rc_tree_from_graph(circuit: Circuit, prefix: str, tree: nx.Graph,
+                       root, node_name=None) -> dict:
+    """Append an RC tree described by a networkx tree.
+
+    Edge attributes ``r`` (series resistance) and ``c`` (capacitance to
+    ground, lumped at the child end) define the electrical content.  The
+    root's node name defaults to ``f"{prefix}{root}"``; pass ``node_name``
+    (a callable) to control naming, e.g. to attach the root to a driver
+    output node.
+
+    Returns a map from graph vertices to circuit node names.
+    """
+    if not nx.is_tree(tree):
+        raise ValueError("graph must be a tree")
+    if node_name is None:
+        def node_name(v):
+            return f"{prefix}{v}"
+
+    names = {v: node_name(v) for v in tree.nodes}
+    for i, (parent, child) in enumerate(nx.bfs_edges(tree, root)):
+        data = tree.edges[parent, child]
+        circuit.add_resistor(f"{prefix}r{i}", names[parent], names[child],
+                             data["r"])
+        circuit.add_capacitor(f"{prefix}c{i}", names[child], GROUND,
+                              data["c"])
+    return names
+
+
+def pi_model(circuit: Circuit, prefix: str, node_in: str, node_out: str,
+             c_near: float, r: float, c_far: float) -> None:
+    """Append a single π model (the classic C-R-C reduced load)."""
+    circuit.add_capacitor(f"{prefix}c_near", node_in, GROUND, c_near)
+    circuit.add_resistor(f"{prefix}r", node_in, node_out, r)
+    circuit.add_capacitor(f"{prefix}c_far", node_out, GROUND, c_far)

@@ -1,0 +1,79 @@
+"""SPICE-subset netlist writer — the parser's inverse.
+
+Emits decks that :func:`repro.circuit.parser.parse_netlist` reads back
+verbatim, which makes reduced circuits (e.g. TICER output) and
+generated interconnect exportable artifacts rather than in-memory-only
+objects.  Only the element types the parser supports are written;
+circuits with MOSFETs are rejected (gates are templates, not netlist
+cards, in this library).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.elements import Stimulus
+from repro.circuit.netlist import Circuit
+from repro.waveform import Waveform
+
+__all__ = ["write_netlist", "format_value"]
+
+_SUFFIXES = [
+    (1e12, "t"), (1e9, "g"), (1e6, "meg"), (1e3, "k"), (1.0, ""),
+    (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+]
+
+
+def format_value(value: float) -> str:
+    """Engineering-notation value the parser accepts (``1.2k``, ``35f``).
+
+    Magnitudes below the femto range (or zero) are written in plain
+    scientific notation, which the parser also accepts.
+    """
+    if value == 0.0:
+        return "0"
+    magnitude = abs(value)
+    for scale, suffix in _SUFFIXES:
+        scaled = value / scale
+        if 1.0 <= abs(scaled) < 1000.0:
+            text = f"{scaled:.6g}"
+            return f"{text}{suffix}"
+    return f"{value:.6e}"
+
+
+def _source_value(value: Stimulus) -> str:
+    if isinstance(value, Waveform):
+        pairs = " ".join(
+            f"{format_value(float(t))} {format_value(float(v))}"
+            for t, v in zip(value.times, value.values))
+        return f"PWL({pairs})"
+    return f"DC {format_value(float(value))}"
+
+
+def _card_name(prefix: str, name: str) -> str:
+    """Netlist card names must start with their element letter."""
+    if name and name[0].upper() == prefix:
+        return name
+    return f"{prefix}{name}"
+
+
+def write_netlist(circuit: Circuit, *, title: str | None = None) -> str:
+    """Render ``circuit`` as a netlist deck (returns the text)."""
+    if circuit.mosfets:
+        raise ValueError(
+            f"{circuit.name} contains MOSFETs; only passive elements and "
+            "sources can be written as netlist cards")
+    lines = [f"* {title or circuit.name}"]
+    for r in circuit.resistors:
+        lines.append(f"{_card_name('R', r.name)} {r.node1} {r.node2} "
+                     f"{format_value(r.resistance)}")
+    for c in circuit.capacitors:
+        tag = " COUPLING" if c.coupling else ""
+        lines.append(f"{_card_name('C', c.name)} {c.node1} {c.node2} "
+                     f"{format_value(c.capacitance)}{tag}")
+    for v in circuit.vsources:
+        lines.append(f"{_card_name('V', v.name)} {v.node_pos} "
+                     f"{v.node_neg} {_source_value(v.value)}")
+    for i in circuit.isources:
+        lines.append(f"{_card_name('I', i.name)} {i.node_pos} "
+                     f"{i.node_neg} {_source_value(i.value)}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,259 @@
+"""Command-line interface.
+
+Three entry points mirroring the production workflow:
+
+* ``repro characterize`` — build Thevenin and alignment tables for a set
+  of cells and save them as a characterization database (JSON).
+* ``repro analyze`` — run the delay-noise flow on a coupled net whose
+  parasitics come from a SPICE-style netlist file.
+* ``repro screen`` — sweep a seeded synthetic population and print the
+  functional/delay-noise screening table.
+
+Run ``python -m repro <command> --help`` for the options of each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.circuit.parser import parse_netlist, parse_value
+from repro.core.analysis import DelayNoiseAnalyzer
+from repro.core.functional import functional_noise
+from repro.core.net import (
+    AggressorSpec,
+    CoupledNet,
+    DriverSpec,
+    ReceiverSpec,
+)
+from repro.core.precharacterize import build_alignment_table
+from repro.core.superposition import SuperpositionEngine
+from repro.gates.library import standard_cell
+from repro.units import PS
+from repro.waveform.render import render_waveforms
+
+__all__ = ["main", "build_parser"]
+
+
+def _value(text: str) -> float:
+    """SPICE-style engineering value (``200p``, ``10f``, ``1.2k``)."""
+    try:
+        return parse_value(text)
+    except Exception as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Crosstalk delay-noise analysis (DAC 2001 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_char = sub.add_parser(
+        "characterize",
+        help="build Thevenin + alignment tables and save a database")
+    p_char.add_argument("--cells", required=True,
+                        help="comma-separated cell names, e.g. "
+                             "INV_X1,INV_X2")
+    p_char.add_argument("--slews", default="100p,200p,400p",
+                        help="comma-separated input slews for Thevenin "
+                             "tables")
+    p_char.add_argument("--out", required=True,
+                        help="output database path (JSON)")
+    p_char.add_argument("--skip-alignment", action="store_true",
+                        help="only build Thevenin tables")
+
+    p_an = sub.add_parser(
+        "analyze", help="analyze one coupled net from a netlist file")
+    p_an.add_argument("netlist", help="SPICE-subset parasitic deck")
+    p_an.add_argument("--victim-root", required=True)
+    p_an.add_argument("--victim-receiver", required=True)
+    p_an.add_argument("--victim-cell", default="INV_X1")
+    p_an.add_argument("--victim-slew", type=_value, default=200e-12)
+    p_an.add_argument("--victim-falling", action="store_true",
+                      help="analyze a falling victim transition")
+    p_an.add_argument("--receiver-cell", default="INV_X2")
+    p_an.add_argument("--receiver-load", type=_value, default=10e-15)
+    p_an.add_argument(
+        "--aggressor", action="append", required=True, metavar="SPEC",
+        help="name:root:far_end[:cell[:slew]] — repeat per aggressor")
+    p_an.add_argument("--alignment", default="table",
+                      choices=("table", "input-objective", "exhaustive"))
+    p_an.add_argument("--no-rtr", action="store_true",
+                      help="use the traditional Thevenin holding only")
+    p_an.add_argument("--chardb",
+                      help="characterization database to preload")
+    p_an.add_argument("--save-chardb",
+                      help="save the (possibly extended) database here")
+    p_an.add_argument("--plot", action="store_true",
+                      help="render the receiver-input waveforms")
+    p_an.add_argument("--functional", action="store_true",
+                      help="also run the static-victim functional check")
+
+    p_scr = sub.add_parser(
+        "screen", help="screen a synthetic population")
+    p_scr.add_argument("--seed", type=int, default=1)
+    p_scr.add_argument("--count", type=int, default=4)
+    p_scr.add_argument("--preset", choices=("default", "hp"),
+                       default="default")
+    p_scr.add_argument("--hold", action="store_true",
+                       help="also report worst-case hold speed-up")
+    return parser
+
+
+def _parse_aggressor(spec: str) -> dict:
+    parts = spec.split(":")
+    if len(parts) < 3:
+        raise SystemExit(
+            f"bad --aggressor {spec!r}: need name:root:far_end"
+            f"[:cell[:slew]]")
+    out = {"name": parts[0], "root": parts[1], "far_end": parts[2],
+           "cell": "INV_X4", "slew": 120e-12}
+    if len(parts) >= 4 and parts[3]:
+        out["cell"] = parts[3]
+    if len(parts) >= 5 and parts[4]:
+        out["slew"] = parse_value(parts[4])
+    return out
+
+
+def _cmd_characterize(args) -> int:
+    from repro.core.net import DriverSpec
+    from repro.storage import save_characterization
+
+    analyzer = DelayNoiseAnalyzer()
+    cells = [c.strip() for c in args.cells.split(",") if c.strip()]
+    slews = [parse_value(s.strip()) for s in args.slews.split(",")]
+    for name in cells:
+        gate = standard_cell(name)
+        for slew in slews:
+            for rising in (True, False):
+                driver = DriverSpec(gate, slew, output_rising=rising)
+                analyzer.cache.table_for(driver)
+                print(f"thevenin: {name} slew={slew / PS:.0f}ps "
+                      f"{'rising' if rising else 'falling'}")
+        if not args.skip_alignment:
+            for rising in (True, False):
+                analyzer.register_table(
+                    build_alignment_table(gate, victim_rising=rising))
+                print(f"alignment: {name} victim "
+                      f"{'rising' if rising else 'falling'}")
+    save_characterization(args.out, analyzer)
+    print(f"saved {args.out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.storage import load_characterization, save_characterization
+
+    with open(args.netlist) as handle:
+        wires = parse_netlist(handle.read(), name=args.netlist)
+
+    rising = not args.victim_falling
+    aggressors = []
+    for spec in args.aggressor:
+        info = _parse_aggressor(spec)
+        aggressors.append(AggressorSpec(
+            name=info["name"],
+            driver=DriverSpec(gate=standard_cell(info["cell"]),
+                              input_slew=info["slew"],
+                              output_rising=not rising,
+                              input_start=0.2e-9),
+            root=info["root"], far_end=info["far_end"]))
+
+    net = CoupledNet(
+        name=args.netlist,
+        interconnect=wires,
+        victim_root=args.victim_root,
+        victim_receiver_node=args.victim_receiver,
+        victim_driver=DriverSpec(gate=standard_cell(args.victim_cell),
+                                 input_slew=args.victim_slew,
+                                 output_rising=rising,
+                                 input_start=0.2e-9),
+        receiver=ReceiverSpec(gate=standard_cell(args.receiver_cell),
+                              c_load=args.receiver_load),
+        aggressors=aggressors,
+    )
+
+    analyzer = DelayNoiseAnalyzer()
+    if args.chardb:
+        load_characterization(args.chardb, analyzer)
+        print(f"loaded characterization from {args.chardb}")
+
+    report = analyzer.analyze(net, alignment=args.alignment,
+                              use_rtr=not args.no_rtr)
+    print(f"victim Ceff       : {report.ceff_victim * 1e15:8.1f} fF")
+    print(f"victim Rth / Rtr  : {report.rth_victim:8.0f} / "
+          f"{report.rtr:.0f} ohm")
+    print(f"composite pulse   : {report.pulse_height:8.3f} V x "
+          f"{report.pulse_width / PS:.0f} ps")
+    print(f"worst peak time   : {report.peak_time * 1e9:8.3f} ns "
+          f"({report.alignment_method})")
+    print(f"extra delay input : {report.extra_delay_input / PS:8.1f} ps")
+    print(f"extra delay output: {report.extra_delay_output / PS:8.1f} ps")
+    print(f"  [Thevenin-only  : {report.extra_delay_output_thevenin / PS:.1f}"
+          f" ps]")
+
+    if args.functional:
+        func = functional_noise(net, cache=analyzer.cache)
+        verdict = "FAIL" if func.fails else "ok"
+        print(f"functional noise  : {func.input_peak:8.3f} V in, "
+              f"{func.output_peak:.3f} V out -> {verdict}")
+
+    if args.plot:
+        print()
+        print(render_waveforms(
+            {"noiseless": report.noiseless_input,
+             "noisy": report.noisy_input},
+            width=70, height=15))
+
+    if args.save_chardb:
+        save_characterization(args.save_chardb, analyzer)
+        print(f"saved characterization to {args.save_chardb}")
+    return 0
+
+
+def _cmd_screen(args) -> int:
+    from repro.bench.netgen import NetGenConfig, NetGenerator
+
+    config = NetGenConfig.high_performance() if args.preset == "hp" \
+        else None
+    generator = NetGenerator(seed=args.seed, config=config)
+    analyzer = DelayNoiseAnalyzer()
+    header = ("net     aggr  func in/out (V)  func?   "
+              "delay in/out (ps)   Rtr/Rth")
+    if args.hold:
+        header += "   hold speedup (ps)"
+    print(header)
+    for net in generator.population(args.count):
+        engine = SuperpositionEngine(net, cache=analyzer.cache)
+        func = functional_noise(net, engine=engine)
+        report = analyzer.analyze(net, alignment="table")
+        verdict = "FAIL" if func.fails else "ok"
+        line = (f"{net.name:6s}  {len(net.aggressors):4d}  "
+                f"{func.input_peak:6.3f}/{func.output_peak:6.3f}  "
+                f"{verdict:5s}  "
+                f"{report.extra_delay_input / PS:7.1f}/"
+                f"{report.extra_delay_output / PS:7.1f}    "
+                f"{report.rtr / report.rth_victim:5.2f}")
+        if args.hold:
+            from repro.core.hold import hold_speedup
+            hold = hold_speedup(net, cache=analyzer.cache)
+            line += f"   {hold.speedup_output / PS:10.1f}"
+        print(line)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "characterize": _cmd_characterize,
+        "analyze": _cmd_analyze,
+        "screen": _cmd_screen,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

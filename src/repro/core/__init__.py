@@ -1,0 +1,89 @@
+"""Core delay-noise analysis — the paper's contribution.
+
+* :mod:`repro.core.net` — the :class:`CoupledNet` data model (victim
+  driver + interconnect + aggressors + receiver).
+* :mod:`repro.core.superposition` — the linear simulation + superposition
+  flow of Figure 1, with per-driver Ceff/Thevenin models.
+* :mod:`repro.core.holding_resistance` — the transient holding resistance
+  Rtr (Section 2).
+* :mod:`repro.core.alignment` — aggressor mutual alignment, composite
+  pulse construction, and the receiver-input alignment objective of the
+  prior art ([5], [6]).
+* :mod:`repro.core.exhaustive` — receiver-output delay evaluation and the
+  exhaustive (golden) worst-case alignment search.
+* :mod:`repro.core.precharacterize` — the 8-point alignment-voltage
+  pre-characterization and its interpolating predictor (Section 3.2).
+* :mod:`repro.core.golden` — full non-linear co-simulation of the entire
+  coupled circuit (the "Spice" reference).
+* :mod:`repro.core.analysis` — :class:`DelayNoiseAnalyzer`, the ClariNet
+  top-level flow iterating driver models and alignment to convergence.
+"""
+
+from repro.core.net import AggressorSpec, CoupledNet, DriverSpec, ReceiverSpec
+from repro.core.superposition import ModelCache, SuperpositionEngine
+from repro.core.holding_resistance import (
+    RtrResult,
+    compute_holder_rtr,
+    compute_rtr,
+)
+from repro.core.alignment import (
+    composite_pulse,
+    input_objective_peak_time,
+    peak_align_shifts,
+)
+from repro.core.exhaustive import (
+    exhaustive_worst_alignment,
+    receiver_output_waveform,
+)
+from repro.core.precharacterize import AlignmentTable, build_alignment_table
+from repro.core.golden import golden_extra_delays, golden_simulation
+from repro.core.functional import FunctionalNoiseReport, functional_noise
+from repro.core.filtering import (
+    AggressorRank,
+    filter_aggressors,
+    partition_nodes,
+    rank_aggressors,
+)
+from repro.core.analysis import DelayNoiseAnalyzer, NoiseReport
+from repro.core.block import BlockAnalyzer, BlockNet, BlockReport
+from repro.core.hold import HoldReport, hold_speedup
+from repro.core.statistical import (
+    DelayNoiseDistribution,
+    sample_alignment_delays,
+)
+
+__all__ = [
+    "AggressorSpec",
+    "CoupledNet",
+    "DriverSpec",
+    "ReceiverSpec",
+    "ModelCache",
+    "SuperpositionEngine",
+    "RtrResult",
+    "compute_rtr",
+    "compute_holder_rtr",
+    "composite_pulse",
+    "input_objective_peak_time",
+    "peak_align_shifts",
+    "exhaustive_worst_alignment",
+    "receiver_output_waveform",
+    "AlignmentTable",
+    "build_alignment_table",
+    "golden_extra_delays",
+    "FunctionalNoiseReport",
+    "functional_noise",
+    "AggressorRank",
+    "filter_aggressors",
+    "partition_nodes",
+    "rank_aggressors",
+    "golden_simulation",
+    "DelayNoiseAnalyzer",
+    "BlockAnalyzer",
+    "BlockNet",
+    "BlockReport",
+    "HoldReport",
+    "hold_speedup",
+    "DelayNoiseDistribution",
+    "sample_alignment_delays",
+    "NoiseReport",
+]

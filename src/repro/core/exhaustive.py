@@ -1,0 +1,196 @@
+"""Receiver-output delay evaluation and exhaustive alignment search.
+
+The paper's key observation (Section 1, Figure 3): the correct alignment
+objective is the combined interconnect **plus receiver** delay, measured
+at the receiver *output*.  This module provides
+
+* :func:`receiver_output_waveform` — non-linear simulation of the
+  receiver gate driven by an arbitrary (noisy) input waveform, per
+  Figure 1(d);
+* :func:`combined_extra_delays` — the extra delay a given noisy input
+  causes at the receiver input and output; and
+* :func:`exhaustive_worst_alignment` — brute-force sweep of the noise
+  pulse position maximizing the receiver-output delay.  This is the
+  "expensive search using a large number of non-linear simulations" the
+  pre-characterization replaces, and serves as the golden reference for
+  Figures 9 and 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.net import ReceiverSpec
+from repro.sim.nonlinear import simulate_nonlinear
+from repro.units import PS
+from repro.waveform import Waveform
+from repro.waveform.pulses import pulse_peak
+
+__all__ = ["receiver_output_waveform", "combined_extra_delays",
+           "exhaustive_worst_alignment", "AlignmentSweep"]
+
+
+def receiver_output_waveform(receiver: ReceiverSpec, v_input: Waveform,
+                             t_stop: float, dt: float = 1.0 * PS
+                             ) -> Waveform:
+    """Simulate the receiver gate with ``v_input`` at its input.
+
+    The input is driven by an ideal source (the interconnect interaction
+    is already baked into the waveform, per the superposition flow), the
+    output carries the receiver's external load.
+    """
+    circuit = receiver.gate.driven_circuit(
+        v_input, c_load_external=receiver.c_load,
+        switching_pin=receiver.input_pin, name="rcv_eval")
+    result = simulate_nonlinear(circuit, t_stop, dt,
+                                t_start=min(v_input.t_start, 0.0))
+    return result.voltage("out")
+
+
+def combined_extra_delays(receiver: ReceiverSpec, noiseless: Waveform,
+                          noisy: Waveform, vdd: float, victim_rising: bool,
+                          t_stop: float, dt: float = 1.0 * PS, *,
+                          clean_output: Waveform | None = None,
+                          minimize: bool = False
+                          ) -> tuple[float, float, Waveform]:
+    """Extra delay at the receiver input and output.
+
+    Returns ``(extra_at_input, extra_at_output, noisy_output_waveform)``.
+    Pass ``clean_output`` (from a previous call) to avoid re-simulating
+    the noiseless case inside sweeps.
+
+    ``minimize=False`` (setup / max-delay analysis): the noisy *last*
+    50% crossing is used — a pulse that drags the signal back across
+    threshold is penalized.  ``minimize=True`` (hold / min-delay
+    analysis, for aiding noise): the noisy *first* crossing is used, the
+    pessimistic choice when noise speeds the transition up — the paper's
+    "delay can either increase or decrease" other half.  If the noise
+    prevents the output from completing its transition inside the
+    window, the window end is used — a conservative saturation rather
+    than a failure.
+    """
+    half = vdd / 2.0
+    which_noisy = "first" if minimize else "last"
+    if clean_output is None:
+        clean_output = receiver_output_waveform(receiver, noiseless,
+                                                t_stop, dt)
+    noisy_output = receiver_output_waveform(receiver, noisy, t_stop, dt)
+
+    t_in_clean = noiseless.crossing_time(half, rising=victim_rising,
+                                         which="first")
+    try:
+        t_in_noisy = noisy.crossing_time(half, rising=victim_rising,
+                                         which=which_noisy)
+    except ValueError:
+        t_in_noisy = noisy.t_end
+    extra_input = t_in_noisy - t_in_clean
+
+    out_rising = (not victim_rising) if receiver.gate.inverting \
+        else victim_rising
+    t_out_clean = clean_output.crossing_time(half, rising=out_rising,
+                                             which="first")
+    try:
+        t_out_noisy = noisy_output.crossing_time(half, rising=out_rising,
+                                                 which=which_noisy)
+    except ValueError:
+        t_out_noisy = noisy_output.t_end
+    extra_output = t_out_noisy - t_out_clean
+    return extra_input, extra_output, noisy_output
+
+
+@dataclass
+class AlignmentSweep:
+    """Result of an exhaustive alignment search."""
+
+    peak_times: np.ndarray
+    extra_output_delays: np.ndarray
+    extra_input_delays: np.ndarray
+    best_peak_time: float
+    best_extra_output: float
+
+    def delay_at(self, peak_time: float) -> float:
+        """Interpolated receiver-output extra delay at a peak position."""
+        return float(np.interp(peak_time, self.peak_times,
+                               self.extra_output_delays))
+
+
+def exhaustive_worst_alignment(receiver: ReceiverSpec, noiseless: Waveform,
+                               pulse: Waveform, vdd: float,
+                               victim_rising: bool, *,
+                               t_stop: float | None = None,
+                               dt: float = 1.0 * PS,
+                               span: tuple[float, float] | None = None,
+                               steps: int = 33,
+                               refine: int = 0,
+                               minimize: bool = False) -> AlignmentSweep:
+    """Sweep the pulse peak position, maximizing receiver-output delay.
+
+    ``span`` is the absolute range of candidate *peak times* (default: a
+    window around the victim's transition sized by the victim slew and
+    the pulse width).  ``steps`` non-linear receiver simulations are run
+    (plus one for the noiseless reference).  ``refine`` adds a second,
+    zoomed sweep of that many points around the coarse optimum.
+    ``minimize=True`` searches for the worst *speed-up* instead (aiding
+    noise, hold analysis); ``best_extra_output`` is then the most
+    negative extra delay.
+    """
+    half = vdd / 2.0
+    t_peak0, _height = pulse_peak(pulse)
+    if span is None:
+        t50 = noiseless.crossing_time(half, rising=victim_rising,
+                                      which="first")
+        t_lo = noiseless.crossing_time(
+            0.05 * vdd if victim_rising else 0.95 * vdd,
+            rising=victim_rising, which="first")
+        t_hi = noiseless.crossing_time(
+            0.95 * vdd if victim_rising else 0.05 * vdd,
+            rising=victim_rising, which="last")
+        width = max(t_hi - t_lo, 1.0 * PS)
+        span = (t_lo - 0.5 * width, t_hi + 1.5 * width)
+        del t50
+    if t_stop is None:
+        t_stop = max(noiseless.t_end, span[1] + 2.0 * (span[1] - span[0]))
+
+    clean_output = receiver_output_waveform(receiver, noiseless, t_stop, dt)
+
+    peak_times = np.linspace(span[0], span[1], steps)
+    extra_out = np.empty(steps)
+    extra_in = np.empty(steps)
+    for i, t_peak in enumerate(peak_times):
+        noisy = noiseless + pulse.shifted(t_peak - t_peak0)
+        extra_in[i], extra_out[i], _ = combined_extra_delays(
+            receiver, noiseless, noisy, vdd, victim_rising, t_stop, dt,
+            clean_output=clean_output, minimize=minimize)
+
+    pick = np.argmin if minimize else np.argmax
+    best = int(pick(extra_out))
+
+    if refine > 0:
+        lo = peak_times[max(best - 1, 0)]
+        hi = peak_times[min(best + 1, steps - 1)]
+        fine_times = np.linspace(lo, hi, refine + 2)[1:-1]
+        fine_out = np.empty(fine_times.size)
+        fine_in = np.empty(fine_times.size)
+        for i, t_peak in enumerate(fine_times):
+            noisy = noiseless + pulse.shifted(t_peak - t_peak0)
+            fine_in[i], fine_out[i], _ = combined_extra_delays(
+                receiver, noiseless, noisy, vdd, victim_rising, t_stop, dt,
+                clean_output=clean_output, minimize=minimize)
+        peak_times = np.concatenate([peak_times, fine_times])
+        extra_out = np.concatenate([extra_out, fine_out])
+        extra_in = np.concatenate([extra_in, fine_in])
+        order = np.argsort(peak_times)
+        peak_times = peak_times[order]
+        extra_out = extra_out[order]
+        extra_in = extra_in[order]
+        best = int(pick(extra_out))
+
+    return AlignmentSweep(
+        peak_times=peak_times,
+        extra_output_delays=extra_out,
+        extra_input_delays=extra_in,
+        best_peak_time=float(peak_times[best]),
+        best_extra_output=float(extra_out[best]),
+    )

@@ -1,0 +1,157 @@
+"""Aggressor ranking and small-aggressor filtering.
+
+Industrial noise flows (ClariNet among them, see the paper's reference
+[7]) never run the full analysis against every capacitively-coupled
+neighbor: nets with thousands of tiny couplings are first *filtered* —
+insignificant aggressors are demoted to quiet wires, their coupling
+capacitance grounded at the victim side, and only the few significant
+aggressors enter the superposition/alignment machinery.
+
+This module provides that stage:
+
+* :func:`partition_nodes` — which interconnect node belongs to which
+  net (victim or a specific aggressor), from resistive connectivity;
+* :func:`rank_aggressors` — a cheap significance estimate per aggressor
+  (coupled-charge ratio, no simulation);
+* :func:`filter_aggressors` — a new :class:`CoupledNet` in which every
+  demoted aggressor's coupling capacitance is grounded at the victim
+  side (the standard conservative treatment of a quiet neighbor) and
+  its wire is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.core.net import CoupledNet
+
+__all__ = ["AggressorRank", "partition_nodes", "rank_aggressors",
+           "filter_aggressors"]
+
+
+def partition_nodes(net: CoupledNet) -> dict[str, str]:
+    """Map each interconnect node to its electrical net.
+
+    Nets are defined by resistive connectivity (coupling capacitors
+    separate nets); keys are ``"victim"`` or the aggressor name.  Nodes
+    not resistively reachable from any driver root (should not happen in
+    a well-formed net) are omitted.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(net.interconnect.nodes())
+    for r in net.interconnect.resistors:
+        if GROUND not in (r.node1, r.node2):
+            graph.add_edge(r.node1, r.node2)
+
+    roots = {"victim": net.victim_root}
+    for agg in net.aggressors:
+        roots[agg.name] = agg.root
+
+    assignment: dict[str, str] = {}
+    for key, root in roots.items():
+        for node in nx.node_connected_component(graph, root):
+            assignment[node] = key
+    return assignment
+
+
+@dataclass(frozen=True)
+class AggressorRank:
+    """Cheap significance estimate for one aggressor."""
+
+    name: str
+    coupling_cap: float
+    #: Coupling capacitance over the victim's total capacitance — a
+    #: first-order bound on the noise height as a fraction of Vdd.
+    charge_ratio: float
+
+    @property
+    def significant(self) -> bool:
+        return self.charge_ratio >= 0.05
+
+
+def rank_aggressors(net: CoupledNet) -> list[AggressorRank]:
+    """Rank aggressors by their coupled-charge ratio (descending)."""
+    nets = partition_nodes(net)
+    victim_cap = 0.0
+    coupling: dict[str, float] = {a.name: 0.0 for a in net.aggressors}
+    for cap in net.interconnect.capacitors:
+        sides = (nets.get(cap.node1), nets.get(cap.node2))
+        if "victim" in sides:
+            victim_cap += cap.capacitance
+            other = sides[0] if sides[1] == "victim" else sides[1]
+            if other in coupling:
+                coupling[other] += cap.capacitance
+    victim_cap += net.receiver.input_capacitance()
+
+    ranks = [
+        AggressorRank(name=name, coupling_cap=cc,
+                      charge_ratio=cc / victim_cap)
+        for name, cc in coupling.items()
+    ]
+    return sorted(ranks, key=lambda r: r.charge_ratio, reverse=True)
+
+
+def filter_aggressors(net: CoupledNet, *, threshold: float = 0.05,
+                      keep: set[str] | None = None) -> CoupledNet:
+    """Demote insignificant aggressors to grounded capacitance.
+
+    Aggressors whose charge ratio falls below ``threshold`` (and are not
+    listed in ``keep``) are removed: every coupling capacitor between
+    the victim and a demoted aggressor is replaced by an equal grounded
+    capacitor at its victim-side node — a quiet neighbor holds its line,
+    so the victim sees (approximately) the full capacitance to an AC
+    ground — and the demoted aggressor's own wire elements are dropped.
+
+    Returns a new :class:`CoupledNet`; the input is untouched.
+    """
+    keep = keep or set()
+    nets = partition_nodes(net)
+    demoted = {
+        rank.name for rank in rank_aggressors(net)
+        if rank.charge_ratio < threshold and rank.name not in keep
+    }
+    if not demoted:
+        return net
+
+    def owner(node: str) -> str | None:
+        return nets.get(node)
+
+    wires = Circuit(f"{net.name}_filtered_wires")
+    ground_counter = 0
+    for r in net.interconnect.resistors:
+        if owner(r.node1) in demoted or owner(r.node2) in demoted:
+            continue
+        wires.add_resistor(r.name, r.node1, r.node2, r.resistance)
+    for c in net.interconnect.capacitors:
+        own1, own2 = owner(c.node1), owner(c.node2)
+        sides = {own1, own2}
+        if not (sides & demoted):
+            wires.add_capacitor(c.name, c.node1, c.node2, c.capacitance,
+                                coupling=c.coupling)
+            continue
+        # Keep the victim-side share as grounded capacitance.
+        victim_side = None
+        if own1 == "victim":
+            victim_side = c.node1
+        elif own2 == "victim":
+            victim_side = c.node2
+        if victim_side is not None:
+            wires.add_capacitor(f"__demoted{ground_counter}",
+                                victim_side, GROUND, c.capacitance)
+            ground_counter += 1
+        # Couplings internal to demoted nets (or between two demoted
+        # aggressors) vanish with their wires.
+
+    survivors = [a for a in net.aggressors if a.name not in demoted]
+    return CoupledNet(
+        name=f"{net.name}_filtered",
+        interconnect=wires,
+        victim_root=net.victim_root,
+        victim_receiver_node=net.victim_receiver_node,
+        victim_driver=net.victim_driver,
+        receiver=net.receiver,
+        aggressors=survivors,
+    )

@@ -1,0 +1,127 @@
+"""Functional (static victim) noise analysis.
+
+The paper's introduction separates the two crosstalk failure modes: if
+the victim is *stable* when the aggressors switch, the induced pulse can
+flip downstream logic — **functional noise** — while a *switching*
+victim suffers **delay noise** (the paper's subject).  A noise tool
+needs both; this module provides the functional side on the same
+substrates:
+
+* the quiet victim driver is held by its *static* small-signal output
+  resistance (:meth:`repro.gates.Gate.holding_resistance` — the device
+  sits in triode at the rail, so the plain Thevenin/Rtr machinery does
+  not apply),
+* aggressor pulses superpose through the same Figure-1(b) flow with
+  their peaks aligned (worst case for a static victim is maximum pulse
+  height at the receiver input), and
+* the verdict is taken at the receiver *output*, because — as the paper
+  stresses for alignment — the receiver filters narrow pulses: an input
+  pulse can look alarming while the propagated output pulse stays under
+  100 mV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alignment import composite_pulse, peak_align_shifts
+from repro.core.exhaustive import receiver_output_waveform
+from repro.core.net import CoupledNet
+from repro.core.superposition import ModelCache, SuperpositionEngine
+from repro.units import NS, PS
+from repro.waveform import Waveform
+from repro.waveform.pulses import pulse_peak, pulse_width
+
+__all__ = ["FunctionalNoiseReport", "functional_noise"]
+
+
+@dataclass
+class FunctionalNoiseReport:
+    """Outcome of a functional-noise check on one quiet victim."""
+
+    net_name: str
+    victim_high: bool
+    holding_resistance: float
+    #: Composite pulse at the receiver input (delta volts).
+    input_pulse: Waveform
+    input_peak: float
+    input_width: float
+    #: Absolute receiver output waveform.
+    output_waveform: Waveform
+    #: Peak deviation of the receiver output from its quiet level.
+    output_peak: float
+    threshold: float
+
+    @property
+    def fails(self) -> bool:
+        """True when the propagated output pulse exceeds the threshold."""
+        return abs(self.output_peak) > self.threshold
+
+
+def functional_noise(net: CoupledNet, *,
+                     victim_high: bool | None = None,
+                     threshold: float | None = None,
+                     cache: ModelCache | None = None,
+                     dt: float = 1.0 * PS,
+                     engine: SuperpositionEngine | None = None
+                     ) -> FunctionalNoiseReport:
+    """Check a coupled net for functional noise on its quiet victim.
+
+    Parameters
+    ----------
+    net:
+        The coupled net (the victim's DriverSpec direction is ignored —
+        the victim is held static).
+    victim_high:
+        Victim's static level.  Default: the level the aggressors
+        attack (falling aggressors -> high victim).
+    threshold:
+        Failure threshold for the receiver-*output* deviation; default
+        40% of Vdd (a typical propagated-noise margin).
+    engine:
+        Reuse a pre-built superposition engine (e.g. from a delay-noise
+        run on the same net).
+    """
+    vdd = net.vdd
+    if victim_high is None:
+        victim_high = not net.aggressors[0].driver.output_rising
+    if threshold is None:
+        threshold = 0.4 * vdd
+
+    engine = engine or SuperpositionEngine(net, cache=cache, dt=dt)
+    r_hold = net.victim_driver.gate.holding_resistance(victim_high)
+
+    pulses = {
+        a.name: engine.aggressor_noise(a.name, victim_r=r_hold).at_receiver
+        for a in net.aggressors
+    }
+    # Static victim: maximum composite height is the worst case; align
+    # all pulse peaks at a common instant.
+    peaks = [pulse_peak(p)[0] for p in pulses.values()]
+    t_ref = max(peaks)
+    composite = composite_pulse(pulses, peak_align_shifts(pulses, t_ref))
+    t_peak, height = pulse_peak(composite)
+    width = pulse_width(composite)
+
+    level = vdd if victim_high else 0.0
+    noisy_input = (composite + level).extended(
+        t_start=composite.t_start - 0.5 * NS,
+        t_end=composite.t_end + 0.5 * NS)
+    t_stop = noisy_input.t_end
+    output = receiver_output_waveform(net.receiver, noisy_input, t_stop,
+                                      dt)
+    quiet_output = float(output.values[0])
+    deviation = output - quiet_output
+    _, output_peak = pulse_peak(deviation)
+
+    return FunctionalNoiseReport(
+        net_name=net.name,
+        victim_high=victim_high,
+        holding_resistance=r_hold,
+        input_pulse=composite,
+        input_peak=height,
+        input_width=width,
+        output_waveform=output,
+        output_peak=output_peak,
+        threshold=threshold,
+    )

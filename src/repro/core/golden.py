@@ -1,0 +1,154 @@
+"""Full non-linear co-simulation — the "Spice" golden reference.
+
+Simulates the complete coupled circuit with every gate at transistor
+level: victim driver, aggressor drivers, the full RC interconnect with
+coupling capacitors, and the victim receiver with its output load.  Used
+to calibrate the linear superposition flow (paper Figures 2, 5, 13) and
+to validate alignment predictions (Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.core.net import CoupledNet
+from repro.gates.gate import VDD_PORT
+from repro.sim.nonlinear import simulate_nonlinear
+from repro.sim.result import SimulationResult
+from repro.units import PS
+from repro.waveform import Waveform
+
+__all__ = ["GoldenResult", "golden_simulation", "golden_extra_delays"]
+
+
+@dataclass
+class GoldenResult:
+    """Waveforms from one full non-linear run (absolute volts)."""
+
+    at_root: Waveform
+    at_receiver_input: Waveform
+    at_receiver_output: Waveform
+    result: SimulationResult
+
+
+def _instantiate_driver(circuit: Circuit, prefix: str, driver, node: str,
+                        stimulus) -> None:
+    gate = driver.gate
+    pin = driver.switching_pin or gate.inputs[0]
+    in_node = f"{prefix}in"
+    circuit.add_vsource(f"{prefix}vin", in_node, GROUND, stimulus)
+    connections = {pin: in_node, "out": node, VDD_PORT: VDD_PORT}
+    for other in gate.inputs:
+        if other != pin:
+            connections[other] = VDD_PORT \
+                if gate.tie_level_high(other) else GROUND
+    gate.instantiate(circuit, prefix, connections)
+
+
+def golden_circuit(net: CoupledNet, *,
+                   aggressor_shifts: dict[str, float] | None = None,
+                   aggressors_switching: bool = True) -> Circuit:
+    """Build the full transistor-level circuit for a coupled net.
+
+    With ``aggressors_switching=False`` the aggressor inputs are held at
+    their quiet level — the gates stay in place (identical loading and DC
+    state) but inject no noise, giving the noiseless reference run.
+    """
+    shifts = aggressor_shifts or {}
+    circuit = net.interconnect.copy(f"{net.name}_golden")
+    circuit.add_vsource("vdd_src", VDD_PORT, GROUND, net.vdd)
+
+    _instantiate_driver(circuit, "vd_", net.victim_driver, net.victim_root,
+                        net.victim_driver.input_waveform())
+    for agg in net.aggressors:
+        if aggressors_switching:
+            stimulus = agg.driver.input_waveform(shifts.get(agg.name, 0.0))
+        else:
+            stimulus = agg.driver.quiet_input_level()
+        _instantiate_driver(circuit, f"ad_{agg.name}_", agg.driver,
+                            agg.root, stimulus)
+
+    receiver = net.receiver
+    connections = {receiver.pin: net.victim_receiver_node,
+                   "out": "rcv_out", VDD_PORT: VDD_PORT}
+    for other in receiver.gate.inputs:
+        if other != receiver.pin:
+            connections[other] = VDD_PORT \
+                if receiver.gate.tie_level_high(other) else GROUND
+    receiver.gate.instantiate(circuit, "rcv_", connections)
+    if receiver.c_load > 0.0:
+        circuit.add_capacitor("rcv_cload", "rcv_out", GROUND,
+                              receiver.c_load)
+    return circuit
+
+
+def golden_simulation(net: CoupledNet, t_stop: float, *,
+                      dt: float = 1.0 * PS,
+                      aggressor_shifts: dict[str, float] | None = None,
+                      aggressors_switching: bool = True) -> GoldenResult:
+    """Run the full non-linear co-simulation."""
+    circuit = golden_circuit(net, aggressor_shifts=aggressor_shifts,
+                             aggressors_switching=aggressors_switching)
+    result = simulate_nonlinear(circuit, t_stop, dt)
+    return GoldenResult(
+        at_root=result.voltage(net.victim_root),
+        at_receiver_input=result.voltage(net.victim_receiver_node),
+        at_receiver_output=result.voltage("rcv_out"),
+        result=result,
+    )
+
+
+@dataclass
+class GoldenDelays:
+    """Golden extra delays and the underlying waveform pairs."""
+
+    extra_input: float
+    extra_output: float
+    clean: GoldenResult
+    noisy: GoldenResult
+
+
+def golden_extra_delays(net: CoupledNet, t_stop: float, *,
+                        dt: float = 1.0 * PS,
+                        aggressor_shifts: dict[str, float] | None = None,
+                        clean: GoldenResult | None = None) -> GoldenDelays:
+    """Golden extra delay at the receiver input and output.
+
+    Runs the circuit twice — aggressors quiet, then switching at the
+    given shifts — and differences the 50% crossings.  Pass a previous
+    ``clean`` result to amortize it across alignment sweeps.
+    """
+    vdd = net.vdd
+    half = vdd / 2.0
+    rising = net.victim_rising
+    if clean is None:
+        clean = golden_simulation(net, t_stop, dt=dt,
+                                  aggressors_switching=False)
+    noisy = golden_simulation(net, t_stop, dt=dt,
+                              aggressor_shifts=aggressor_shifts,
+                              aggressors_switching=True)
+
+    t_in_clean = clean.at_receiver_input.crossing_time(
+        half, rising=rising, which="first")
+    try:
+        t_in_noisy = noisy.at_receiver_input.crossing_time(
+            half, rising=rising, which="last")
+    except ValueError:
+        t_in_noisy = noisy.at_receiver_input.t_end
+
+    out_rising = (not rising) if net.receiver.gate.inverting else rising
+    t_out_clean = clean.at_receiver_output.crossing_time(
+        half, rising=out_rising, which="first")
+    try:
+        t_out_noisy = noisy.at_receiver_output.crossing_time(
+            half, rising=out_rising, which="last")
+    except ValueError:
+        t_out_noisy = noisy.at_receiver_output.t_end
+
+    return GoldenDelays(
+        extra_input=t_in_noisy - t_in_clean,
+        extra_output=t_out_noisy - t_out_clean,
+        clean=clean,
+        noisy=noisy,
+    )

@@ -1,0 +1,114 @@
+"""Minimum-delay (hold) analysis: aiding noise speeds the victim up.
+
+The paper's introduction: "If the victim net itself is also switching
+when the aggressors switch, its delay can either increase or decrease
+depending on the aggressor and victim switching directions."  The delay
+*increase* (opposing noise) is the setup-side analysis the rest of
+:mod:`repro.core` performs; this module covers the *decrease* — an
+aggressor switching the *same* direction as the victim injects an aiding
+pulse that pulls the transition earlier, eroding hold margins downstream.
+
+The machinery is the same superposition flow with the worst case flipped:
+the aiding composite pulse is aligned (by exhaustive sweep with
+``minimize=True``) where it *minimizes* the combined delay, and the
+pessimistic crossing convention flips from last to first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.alignment import composite_pulse, peak_align_shifts
+from repro.core.exhaustive import (
+    combined_extra_delays,
+    exhaustive_worst_alignment,
+)
+from repro.core.net import CoupledNet
+from repro.core.superposition import ModelCache, SuperpositionEngine
+from repro.units import NS, PS
+from repro.waveform import Waveform
+from repro.waveform.pulses import pulse_peak, pulse_width
+
+__all__ = ["HoldReport", "hold_speedup"]
+
+
+@dataclass
+class HoldReport:
+    """Worst-case delay *decrease* of one coupled net."""
+
+    net_name: str
+    #: Aiding composite pulse (delta volts, same polarity as victim).
+    composite: Waveform
+    pulse_height: float
+    pulse_width: float
+    peak_time: float
+    #: Most negative extra delay at receiver input / output.
+    speedup_input: float
+    speedup_output: float
+    noiseless_input: Waveform
+    noisy_input: Waveform
+
+
+def _aiding_net(net: CoupledNet) -> CoupledNet:
+    """Copy of the net with every aggressor switching the victim's way."""
+    aggressors = [
+        dataclasses.replace(
+            agg, driver=dataclasses.replace(
+                agg.driver, output_rising=net.victim_rising))
+        for agg in net.aggressors
+    ]
+    return dataclasses.replace(net, aggressors=aggressors)
+
+
+def hold_speedup(net: CoupledNet, *, cache: ModelCache | None = None,
+                 dt: float = 1.0 * PS, steps: int = 25,
+                 refine: int = 6) -> HoldReport:
+    """Worst-case speed-up of a net's transition under aiding noise.
+
+    Aggressor directions in ``net`` are overridden to match the victim
+    (the aiding configuration); the composite pulse is peak-aligned and
+    swept for the alignment that *minimizes* the combined delay.  The
+    returned speed-ups are <= 0; their magnitudes are what a hold check
+    must subtract from the stage's minimum delay.
+    """
+    if not net.aggressors:
+        raise ValueError(f"{net.name} has no aggressors")
+    aiding = _aiding_net(net)
+    engine = SuperpositionEngine(aiding, cache=cache, dt=dt)
+    vdd = aiding.vdd
+    rising = aiding.victim_rising
+
+    noiseless = (engine.victim_transition().at_receiver
+                 + aiding.victim_initial_level())
+    t50 = noiseless.crossing_time(vdd / 2.0, rising=rising, which="first")
+
+    pulses = {a.name: engine.aggressor_noise(a.name).at_receiver
+              for a in aiding.aggressors}
+    shape = composite_pulse(pulses, peak_align_shifts(pulses, t50))
+    _t, height = pulse_peak(shape)
+    width = pulse_width(shape)
+
+    sweep = exhaustive_worst_alignment(
+        aiding.receiver, noiseless, shape, vdd, rising,
+        steps=steps, refine=refine, dt=dt, minimize=True)
+
+    t_peak0, _ = pulse_peak(shape)
+    composite = shape.shifted(sweep.best_peak_time - t_peak0)
+    noisy = noiseless + composite
+    t_stop = max(engine.t_stop, composite.t_end + 0.3 * NS)
+    speed_in, speed_out, _wave = combined_extra_delays(
+        aiding.receiver, noiseless, noisy, vdd, rising, t_stop, dt,
+        minimize=True)
+
+    return HoldReport(
+        net_name=net.name,
+        composite=composite,
+        pulse_height=height,
+        pulse_width=width,
+        peak_time=sweep.best_peak_time,
+        speedup_input=min(speed_in, 0.0),
+        speedup_output=min(speed_out, 0.0),
+        noiseless_input=noiseless,
+        noisy_input=noisy,
+    )

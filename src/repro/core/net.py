@@ -1,0 +1,162 @@
+"""The coupled-net data model.
+
+A :class:`CoupledNet` bundles everything the delay-noise flow needs about
+one victim net: the passive extracted interconnect (including coupling
+capacitors to the aggressor wires, which are part of the same circuit),
+the victim driver and receiver gates, and one :class:`AggressorSpec` per
+capacitively-coupled neighbor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import Circuit
+from repro.gates.gate import Gate
+from repro.waveform import Waveform, ramp
+
+__all__ = ["DriverSpec", "AggressorSpec", "ReceiverSpec", "CoupledNet"]
+
+
+@dataclass
+class DriverSpec:
+    """A gate driving a net with one specified transition.
+
+    Attributes
+    ----------
+    gate:
+        The driving cell.
+    input_slew:
+        0-100% ramp duration of the gate-input transition.
+    output_rising:
+        Direction of the *output* (net) transition.
+    input_start:
+        Absolute time the input ramp begins.
+    switching_pin:
+        Input pin carrying the transition (default: first input).
+    """
+
+    gate: Gate
+    input_slew: float
+    output_rising: bool
+    input_start: float = 0.0
+    switching_pin: str | None = None
+
+    def _input_rising(self) -> bool:
+        """Direction of the gate-input transition for this output move."""
+        return self.output_rising != self.gate.inverting
+
+    def input_waveform(self, extra_shift: float = 0.0) -> Waveform:
+        """Absolute gate-input ramp (direction per the cell's polarity)."""
+        vdd = self.gate.tech.vdd
+        rising_in = self._input_rising()
+        v_from = 0.0 if rising_in else vdd
+        v_to = vdd if rising_in else 0.0
+        return ramp(self.input_start + extra_shift, self.input_slew,
+                    v_from, v_to)
+
+    def quiet_input_level(self) -> float:
+        """Input level that keeps the output at its pre-transition value."""
+        vdd = self.gate.tech.vdd
+        return vdd if not self._input_rising() else 0.0
+
+
+@dataclass
+class AggressorSpec:
+    """One aggressor net coupled to the victim.
+
+    ``root`` is the aggressor driver's output node and ``far_end`` the
+    far end of the aggressor wire (its receiver loading is a grounded
+    capacitor inside the interconnect circuit).  ``window``, if given,
+    constrains the absolute time at which the aggressor's input
+    transition may start — the switching window from timing analysis.
+    """
+
+    name: str
+    driver: DriverSpec
+    root: str
+    far_end: str
+    window: tuple[float, float] | None = None
+
+    def clamp_shift(self, shift: float) -> float:
+        """Clamp an extra launch delay so the start stays in the window."""
+        if self.window is None:
+            return shift
+        lo = self.window[0] - self.driver.input_start
+        hi = self.window[1] - self.driver.input_start
+        return min(max(shift, lo), hi)
+
+
+@dataclass
+class ReceiverSpec:
+    """The victim's receiver gate and its output loading."""
+
+    gate: Gate
+    c_load: float
+    input_pin: str | None = None
+
+    @property
+    def pin(self) -> str:
+        return self.input_pin or self.gate.inputs[0]
+
+    def input_capacitance(self) -> float:
+        return self.gate.input_capacitance(self.pin)
+
+
+@dataclass
+class CoupledNet:
+    """A victim net with its aggressors — the unit of analysis.
+
+    Attributes
+    ----------
+    interconnect:
+        Passive circuit: wire resistances, grounded capacitances and
+        coupling capacitances of the victim *and* all aggressor wires.
+        Must not contain sources or devices.
+    victim_root:
+        Node where the victim driver output attaches.
+    victim_receiver_node:
+        Node where the victim receiver input attaches.
+    """
+
+    name: str
+    interconnect: Circuit
+    victim_root: str
+    victim_receiver_node: str
+    victim_driver: DriverSpec
+    receiver: ReceiverSpec
+    aggressors: list[AggressorSpec] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.interconnect.mosfets or self.interconnect.vsources \
+                or self.interconnect.isources:
+            raise ValueError(
+                f"{self.name}: interconnect must be passive (R/C only)")
+        nodes = set(self.interconnect.nodes())
+        for node in [self.victim_root, self.victim_receiver_node] + \
+                [a.root for a in self.aggressors] + \
+                [a.far_end for a in self.aggressors]:
+            if node not in nodes:
+                raise ValueError(
+                    f"{self.name}: node {node!r} not in interconnect")
+        names = [a.name for a in self.aggressors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate aggressor names")
+
+    @property
+    def vdd(self) -> float:
+        return self.victim_driver.gate.tech.vdd
+
+    @property
+    def victim_rising(self) -> bool:
+        return self.victim_driver.output_rising
+
+    def victim_initial_level(self) -> float:
+        """Steady-state victim voltage before the transition."""
+        return 0.0 if self.victim_rising else self.vdd
+
+    def aggressor(self, name: str) -> AggressorSpec:
+        for a in self.aggressors:
+            if a.name == name:
+                return a
+        raise KeyError(f"{self.name} has no aggressor {name!r}")

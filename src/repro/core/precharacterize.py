@@ -1,0 +1,225 @@
+"""Worst-case alignment pre-characterization (paper Section 3.2).
+
+A naive lookup table over the four parameters that govern the worst-case
+alignment — receiver output load, victim edge rate, noise pulse width and
+height — would need thousands of points.  The paper's reductions:
+
+* **Load**: the worst alignment at *minimum* receiver load is used for
+  all loads.  Small loads have a sharp, sensitive optimum; large loads
+  a flat one on the early side (the late-side cliff still moves with
+  load — the analyzer's measured probes cover that; see
+  :mod:`repro.core.analysis`).
+* **Edge rate**: measured relative to the victim's 50% crossing, the
+  worst alignment is nearly linear in the victim transition time —
+  characterize min and max slew only, interpolate between.
+* **Width / height**: the worst alignment *time* is non-linear in these,
+  but the **alignment voltage** — the noiseless victim voltage at the
+  instant of the noise peak — is nearly linear.  Characterize the four
+  (width, height) corners and interpolate the voltage.
+
+Total: 2 x 2 x 2 = **8 pre-characterization points** per receiver cell.
+At analysis time: bilinear interpolation of alignment voltage in
+(width, height), mapping through the actual victim waveform to times,
+then linear interpolation of the time in slew.
+
+Characterization stimuli
+------------------------
+Real victim transitions at a receiver input are a driver ramp filtered by
+the wire (an exponential settling tail), and real coupled-noise pulses
+rise fast and decay slowly.  The table is therefore characterized with a
+ramp-into-RC victim shape and an asymmetric double-exponential pulse
+(:func:`repro.waveform.noise_pulse`) — using an ideal saturated ramp and
+a symmetric pulse instead shifts the characterized alignment voltages by
+over 0.1 V on cliff-shaped delay curves (measured; see DESIGN.md).
+
+Cliff guard
+-----------
+Near the worst case the delay-vs-alignment curve of a lightly loaded
+receiver ends in a cliff: one picosecond later and the receiver output
+no longer re-crosses 50%, so the measured delay collapses (the paper's
+Figure 7(a) "very sensitive" regime).  Since interpolation error in the
+*late* direction is catastrophic while the *early* direction costs only
+the local slope, the predictor backs the alignment voltage off by
+``cliff_guard`` x pulse height (default 8%) toward the early side — a
+standard pessimism guard band for a sign-off tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exhaustive import exhaustive_worst_alignment
+from repro.core.net import ReceiverSpec
+from repro.gates.gate import Gate
+from repro.gates.thevenin import _normalized_response, ramp_rc_crossing
+from repro.units import FF, NS, PS
+from repro.waveform import Waveform, noise_pulse
+
+__all__ = ["AlignmentTable", "build_alignment_table",
+           "characterization_victim"]
+
+#: Tail time-constant of the characterization victim, as a fraction of
+#: its ramp duration (ramp-into-RC shape).
+_VICTIM_TAIL = 0.4
+
+
+def characterization_victim(slew: float, vdd: float, rising: bool, *,
+                            tail: float = _VICTIM_TAIL,
+                            samples: int = 400) -> Waveform:
+    """Canonical victim transition: saturated ramp filtered by an RC.
+
+    ``slew`` is the equivalent 0-100% transition time measured the same
+    way the analysis measures it (1.25x the 10-90% interval).  The 50%
+    crossing sits at t = 0.
+    """
+    if slew <= 0:
+        raise ValueError("slew must be positive")
+    s10 = ramp_rc_crossing(0.1, 1.0, tail)
+    s90 = ramp_rc_crossing(0.9, 1.0, tail)
+    scale = slew / (1.25 * (s90 - s10))
+    s = np.linspace(0.0, 1.0 + 8.0 * tail, samples) * scale
+    x = np.array([_normalized_response(t / scale, 1.0, tail) for t in s])
+    t50 = float(np.interp(0.5, x, s))
+    values = x * vdd if rising else (1.0 - x) * vdd
+    wave = Waveform(s - t50, values)
+    return wave.extended(t_start=wave.t_start - slew,
+                         t_end=wave.t_end + slew)
+
+
+def _lerp_fraction(value: float, lo: float, hi: float) -> float:
+    if hi <= lo:
+        return 0.0
+    return float(np.clip((value - lo) / (hi - lo), 0.0, 1.0))
+
+
+@dataclass(frozen=True)
+class AlignmentTable:
+    """The 8-point alignment-voltage table for one receiver cell.
+
+    ``va[i_slew, i_width, i_height]`` is the characterized alignment
+    voltage: the noiseless victim voltage at the worst-case noise-peak
+    instant, for the corner (slews[i], widths[j], heights[k]).
+    """
+
+    gate_name: str
+    vdd: float
+    victim_rising: bool
+    c_load: float
+    slews: tuple[float, float]
+    widths: tuple[float, float]
+    heights: tuple[float, float]
+    va: np.ndarray  # shape (2, 2, 2)
+    cliff_guard: float = 0.08
+
+    def __post_init__(self):
+        if self.va.shape != (2, 2, 2):
+            raise ValueError("va must have shape (2, 2, 2)")
+
+    def alignment_voltage(self, width: float, height: float,
+                          slew_index: int) -> float:
+        """Bilinear interpolation of Va in (width, height) at one slew."""
+        u = _lerp_fraction(width, *self.widths)
+        v = _lerp_fraction(abs(height), *self.heights)
+        grid = self.va[slew_index]
+        return float(
+            (1 - u) * (1 - v) * grid[0, 0] + u * (1 - v) * grid[1, 0]
+            + (1 - u) * v * grid[0, 1] + u * v * grid[1, 1])
+
+    def predict_peak_time(self, victim_absolute: Waveform, width: float,
+                          height: float, victim_slew: float) -> float:
+        """Worst-case noise-peak time for an actual victim transition.
+
+        The characterized alignment voltages (one per slew corner) are
+        guard-banded toward the early side, mapped to times through the
+        *actual* victim waveform, and the time is interpolated in the
+        victim slew dimension.
+        """
+        half = self.vdd / 2.0
+        t50 = victim_absolute.crossing_time(half, rising=self.victim_rising,
+                                            which="first")
+        lo, hi = victim_absolute.value_range()
+        margin = 0.01 * (hi - lo)
+        guard = self.cliff_guard * abs(height)
+
+        times = []
+        for i in (0, 1):
+            level = self.alignment_voltage(width, height, i)
+            # Early = lower voltage for a rising victim, higher for a
+            # falling one.
+            level = level - guard if self.victim_rising else level + guard
+            level = float(np.clip(level, lo + margin, hi - margin))
+            t = victim_absolute.crossing_time(
+                level, rising=self.victim_rising, which="first")
+            times.append(t - t50)
+        w = _lerp_fraction(victim_slew, *self.slews)
+        return t50 + (1 - w) * times[0] + w * times[1]
+
+
+def build_alignment_table(
+    receiver_gate: Gate,
+    *,
+    victim_rising: bool = True,
+    c_load: float | None = None,
+    slews: tuple[float, float] = (0.15 * NS, 1.2 * NS),
+    widths: tuple[float, float] = (0.08 * NS, 0.5 * NS),
+    heights: tuple[float, float] | None = None,
+    input_pin: str | None = None,
+    pulse_asymmetry: float = 4.0,
+    cliff_guard: float = 0.08,
+    sweep_steps: int = 17,
+    refine_steps: int = 8,
+    dt: float = 2.0 * PS,
+) -> AlignmentTable:
+    """Characterize the 8 corners of the alignment table.
+
+    For each (slew, width, height) corner, a canonical ramp-RC victim and
+    an asymmetric opposing noise pulse are swept through an exhaustive
+    worst-case alignment search at one characterization load; the victim
+    voltage at the winning peak instant is recorded.
+
+    ``c_load`` defaults to the paper's choice, a (near-)minimum receiver
+    load of 2 fF.  On loaded receivers the characterized alignment can
+    overshoot the delay cliff (the loaded receiver filters the pulse
+    harder, moving the cliff earlier than at min load); the analyzer's
+    measured alignment probes (see
+    :meth:`repro.core.analysis.DelayNoiseAnalyzer.analyze`) absorb those
+    rare transfer misses.
+
+    ``heights`` defaults to (0.15, 0.45) x Vdd — the delay-noise regime
+    (taller pulses are functional-noise failures first).
+    """
+    tech = receiver_gate.tech
+    vdd = tech.vdd
+    if c_load is None:
+        c_load = 2.0 * FF
+    if heights is None:
+        heights = (0.15 * vdd, 0.45 * vdd)
+    receiver = ReceiverSpec(receiver_gate, c_load=c_load,
+                            input_pin=input_pin)
+
+    va = np.empty((2, 2, 2))
+    for i, slew in enumerate(slews):
+        victim = characterization_victim(slew, vdd, victim_rising)
+        for j, width in enumerate(widths):
+            for k, height in enumerate(heights):
+                signed = -height if victim_rising else height
+                pulse = noise_pulse(0.0, signed, width,
+                                    asymmetry=pulse_asymmetry)
+                sweep = exhaustive_worst_alignment(
+                    receiver, victim, pulse, vdd, victim_rising,
+                    steps=sweep_steps, refine=refine_steps, dt=dt)
+                va[i, j, k] = victim(sweep.best_peak_time)
+
+    return AlignmentTable(
+        gate_name=receiver_gate.name,
+        vdd=vdd,
+        victim_rising=victim_rising,
+        c_load=c_load,
+        slews=tuple(slews),
+        widths=tuple(widths),
+        heights=tuple(heights),
+        va=va,
+        cliff_guard=cliff_guard,
+    )

@@ -1,0 +1,98 @@
+"""Statistical delay noise under uncertain aggressor alignment.
+
+The worst-case alignment of :mod:`repro.core.analysis` answers the
+sign-off question; the follow-up literature (e.g. Kahng/Liu/Xu,
+"Statistical Crosstalk Aggressor Alignment Aware Interconnect Delay
+Calculation") asks the statistical one: if each aggressor switches
+*uniformly at random* inside its timing window, what is the
+*distribution* of the extra delay?  Worst-casing every net at once is
+often vanishingly unlikely; the distribution quantifies the pessimism.
+
+The expensive part — extra delay as a function of the composite-pulse
+position — is exactly the :class:`~repro.core.exhaustive.AlignmentSweep`
+curve the exhaustive search already computes.  Sampling alignments then
+costs interpolation only, so full distributions come at the price of one
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exhaustive import AlignmentSweep
+from repro.sta.windows import Window
+
+__all__ = ["DelayNoiseDistribution", "sample_alignment_delays"]
+
+
+@dataclass
+class DelayNoiseDistribution:
+    """Sampled distribution of extra delay under random alignment."""
+
+    samples: np.ndarray
+
+    def __post_init__(self):
+        self.samples = np.sort(np.asarray(self.samples, dtype=float))
+        if self.samples.size == 0:
+            raise ValueError("empty sample set")
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.samples.std())
+
+    @property
+    def worst(self) -> float:
+        return float(self.samples[-1])
+
+    def quantile(self, q: float) -> float:
+        """Quantile of the extra delay, ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must lie in [0, 1]")
+        return float(np.quantile(self.samples, q))
+
+    def exceedance(self, threshold: float) -> float:
+        """P(extra delay > threshold)."""
+        return float((self.samples > threshold).mean())
+
+    def pessimism_of_worst_case(self, worst_case: float) -> float:
+        """``worst_case - q99.9`` — delay the deterministic bound spends
+        on alignments that essentially never happen."""
+        return worst_case - self.quantile(0.999)
+
+
+def sample_alignment_delays(sweep: AlignmentSweep,
+                            peak_window: Window, *,
+                            samples: int = 10000,
+                            seed: int = 0) -> DelayNoiseDistribution:
+    """Monte-Carlo delay-noise distribution from an alignment sweep.
+
+    Parameters
+    ----------
+    sweep:
+        Delay-vs-peak-time curve (receiver-output objective) from
+        :func:`~repro.core.exhaustive.exhaustive_worst_alignment`.
+    peak_window:
+        Window of possible composite-pulse *peak times* — an aggressor
+        switching window shifted by the injection latency.  Peak times
+        sampled outside the sweep's span evaluate to the curve's edge
+        values (zero delay well away from the transition).
+    samples, seed:
+        Monte-Carlo controls (deterministic for a given seed).
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    rng = np.random.default_rng(seed)
+    if peak_window.span == 0.0:
+        times = np.full(samples, peak_window.earliest)
+    else:
+        times = rng.uniform(peak_window.earliest, peak_window.latest,
+                            size=samples)
+    delays = np.interp(times, sweep.peak_times,
+                       sweep.extra_output_delays)
+    return DelayNoiseDistribution(delays)

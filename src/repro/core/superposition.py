@@ -1,0 +1,276 @@
+"""Linear simulation + superposition flow (paper Figure 1).
+
+The flow models every driver gate with a Thevenin model at its effective
+load, then simulates one driver at a time against the passive coupled
+interconnect while all other drivers are replaced by grounded *holding*
+resistances.  Waveforms are superposed at the victim receiver input.
+
+All linear simulations run in the **delta domain**: every waveform is the
+deviation from the pre-transition DC state.  This makes superposition and
+time-shifting exact (the network is LTI) and sidesteps bias bookkeeping —
+the absolute victim waveform is ``initial level + delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.mna import build_mna
+from repro.circuit.netlist import GROUND, Circuit
+from repro.core.net import CoupledNet, DriverSpec
+from repro.gates.ceff import effective_capacitance
+from repro.gates.thevenin import TheveninModel, TheveninTable
+from repro.sim.linear import simulate_linear
+from repro.units import PS
+from repro.waveform import Waveform
+
+__all__ = ["ModelCache", "SuperpositionEngine", "DriverSimOutput"]
+
+#: Key of the victim driver in the engine's model dictionaries.
+VICTIM = "victim"
+
+
+class ModelCache:
+    """Memoizes Thevenin tables across nets.
+
+    Table construction costs several non-linear gate simulations; within a
+    design the same (cell, slew, direction) combination recurs constantly,
+    so a shared cache makes population-level analysis tractable — mirroring
+    the pre-characterized gate tables of a production tool.
+    """
+
+    def __init__(self):
+        self._tables: dict[tuple, TheveninTable] = {}
+
+    def table_for(self, driver: DriverSpec) -> TheveninTable:
+        key = (driver.gate.name, round(driver.input_slew, 15),
+               driver.output_rising)
+        if key not in self._tables:
+            self._tables[key] = TheveninTable.build(
+                driver.gate, driver.input_slew, driver.output_rising,
+                switching_pin=driver.switching_pin)
+        return self._tables[key]
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def entries(self):
+        """Iterate ``(key, table)`` pairs (for persistence)."""
+        return self._tables.items()
+
+    def install(self, key: tuple, table: TheveninTable) -> None:
+        """Insert a pre-built table under an explicit key (persistence)."""
+        self._tables[key] = table
+
+
+@dataclass
+class DriverSimOutput:
+    """Delta-domain waveforms observed in one superposition simulation."""
+
+    at_receiver: Waveform
+    at_root: Waveform
+
+
+class SuperpositionEngine:
+    """Per-net orchestration of the Figure-1 superposition flow.
+
+    On construction the engine builds, for each driver (victim and
+    aggressors): the passive net seen by that driver, its effective
+    capacitance, and its Thevenin model.  Afterwards,
+    :meth:`victim_transition` and :meth:`aggressor_noise` run individual
+    linear simulations; launches can be shifted per-aggressor, which is
+    what the alignment search manipulates.
+    """
+
+    def __init__(self, net: CoupledNet, *, cache: ModelCache | None = None,
+                 dt: float = 1.0 * PS, t_stop: float | None = None):
+        self.net = net
+        self.dt = dt
+        # `cache or ...` would discard an *empty* shared cache
+        # (ModelCache defines __len__, so empty means falsy).
+        self.cache = cache if cache is not None else ModelCache()
+
+        self._drivers: dict[str, DriverSpec] = {VICTIM: net.victim_driver}
+        self._roots: dict[str, str] = {VICTIM: net.victim_root}
+        for agg in net.aggressors:
+            self._drivers[agg.name] = agg.driver
+            self._roots[agg.name] = agg.root
+
+        self.base = self._passive_base()
+        self.ceffs: dict[str, float] = {}
+        self.models: dict[str, TheveninModel] = {}
+        self._characterize_all()
+
+        self.t_stop = t_stop if t_stop is not None else self._horizon()
+        # One MNA per switching driver (holding resistors differ), built
+        # lazily and reused across shifted launches of the same driver.
+        self._mna_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _passive_base(self) -> Circuit:
+        """Interconnect + receiver input cap + driver diffusion caps."""
+        base = self.net.interconnect.copy(f"{self.net.name}_base")
+        base.add_capacitor("__rcv_cin", self.net.victim_receiver_node,
+                           GROUND, self.net.receiver.input_capacitance())
+        for key, driver in self._drivers.items():
+            base.add_capacitor(f"__cdiff_{key}", self._roots[key], GROUND,
+                               driver.gate.output_capacitance())
+        return base
+
+    def _characterize_all(self) -> None:
+        vdd = self.net.vdd
+        # First pass: holding resistors from crude drive estimates.
+        holding = {
+            key: drv.gate.drive_resistance_estimate(not drv.output_rising)
+            for key, drv in self._drivers.items()
+        }
+        # Two passes: the second re-derives Ceff with fitted Rth holders.
+        for _ in range(2):
+            for key, driver in self._drivers.items():
+                seen = self.base.copy(f"{self.net.name}_{key}_view")
+                for other, r_hold in holding.items():
+                    if other != key:
+                        seen.add_resistor(f"__hold_{other}",
+                                          self._roots[other], GROUND, r_hold)
+                table = self.cache.table_for(driver)
+                ceff, model = effective_capacitance(
+                    table.lookup, seen, self._roots[key], vdd)
+                self.ceffs[key] = ceff
+                self.models[key] = model
+            holding = {key: m.rth for key, m in self.models.items()}
+
+    def _horizon(self) -> float:
+        """Simulation window covering every transition plus settling."""
+        latest = 0.0
+        for key, driver in self._drivers.items():
+            model = self.models[key]
+            tau = model.rth * self.ceffs[key]
+            latest = max(latest,
+                         driver.input_start + model.t0 + model.dt
+                         + 25.0 * tau)
+        return latest + 0.3e-9
+
+    def driver_view(self, key: str) -> Circuit:
+        """The passive net a driver sees: base + other drivers' holders."""
+        if key not in self._drivers:
+            raise KeyError(f"unknown driver {key!r}")
+        view = self.base.copy(f"{self.net.name}_{key}_view")
+        for other, model in self.models.items():
+            if other != key:
+                view.add_resistor(f"__hold_{other}", self._roots[other],
+                                  GROUND, model.rth)
+        return view
+
+    # ------------------------------------------------------------------
+    # Simulations
+    # ------------------------------------------------------------------
+    def _simulate(self, switching: str, shift: float,
+                  holding_overrides: dict[str, float] | None,
+                  observe_root: str | None = None) -> DriverSimOutput:
+        """Simulate one switching driver, everyone else holding.
+
+        ``holding_overrides`` substitutes holding resistances (e.g. Rtr)
+        for specific held drivers.  ``observe_root`` selects which
+        driver's root to report (default: the victim's).
+
+        The circuit topology for a given (switching, overrides) pair is
+        fixed; only the source waveform moves with ``shift``.  By linear
+        time invariance a shifted launch produces an identically shifted
+        response, so the simulation always runs at shift 0 and the output
+        is shifted afterwards — one LU factorization per topology.
+        """
+        holding_overrides = holding_overrides or {}
+        key = (switching, tuple(sorted(holding_overrides.items())))
+        if key not in self._mna_cache:
+            circuit = self.base.copy(f"{self.net.name}_{switching}_sim")
+            driver = self._drivers[switching]
+            model = self.models[switching].shifted(driver.input_start)
+            model.install_switching(circuit, "__sw_", self._roots[switching])
+            for other, other_model in self.models.items():
+                if other == switching:
+                    continue
+                resistance = holding_overrides.get(other, other_model.rth)
+                other_model.install_holding(circuit, f"__h_{other}_",
+                                            self._roots[other], resistance)
+            self._mna_cache[key] = build_mna(circuit)
+        mna = self._mna_cache[key]
+
+        result = simulate_linear(mna, self.t_stop, self.dt)
+        at_receiver = result.voltage(self.net.victim_receiver_node)
+        root_node = observe_root if observe_root is not None \
+            else self.net.victim_root
+        at_root = result.voltage(root_node)
+        if shift:
+            at_receiver = at_receiver.shifted(shift)
+            at_root = at_root.shifted(shift)
+        return DriverSimOutput(at_receiver=at_receiver, at_root=at_root)
+
+    def victim_transition(self, *, aggressor_r: dict[str, float] | None
+                          = None) -> DriverSimOutput:
+        """Figure 1(c): the victim switches, aggressors hold.
+
+        Returns delta-domain waveforms at the receiver input and at the
+        victim driver output (root).  ``aggressor_r`` overrides specific
+        aggressors' holding resistances (their transient holding
+        resistances, when the paper's Section-2 extension is used).
+        """
+        return self._simulate(VICTIM, 0.0, aggressor_r)
+
+    def victim_transition_absolute(self) -> DriverSimOutput:
+        """Victim transition in absolute volts."""
+        delta = self.victim_transition()
+        level = self.net.victim_initial_level()
+        return DriverSimOutput(at_receiver=delta.at_receiver + level,
+                               at_root=delta.at_root + level)
+
+    def noise_on_holder(self, held: str, switching: str, *,
+                        shift: float = 0.0,
+                        held_r: float | None = None) -> Waveform:
+        """Delta-domain noise at a *held* driver's root.
+
+        Generalization of the Figure-1 observations: any driver may be
+        the holder and any other the switcher.  With ``held`` set to an
+        aggressor and ``switching`` to the victim, this is the injection
+        the paper's Section-2 extension ("the proposed approach can also
+        be extended to the shorted aggressor driver models") corrects.
+        """
+        if held not in self._drivers:
+            raise KeyError(f"unknown driver {held!r}")
+        if switching not in self._drivers or switching == held:
+            raise KeyError(f"invalid switching driver {switching!r}")
+        overrides = {held: held_r} if held_r is not None else None
+        out = self._simulate(switching, shift, overrides,
+                             observe_root=self._roots[held])
+        return out.at_root
+
+    def aggressor_noise(self, name: str, *, shift: float = 0.0,
+                        victim_r: float | None = None) -> DriverSimOutput:
+        """Figure 1(b): aggressor ``name`` switches, everyone else holds.
+
+        ``victim_r`` overrides the victim's holding resistance — pass the
+        transient holding resistance Rtr here.  ``shift`` delays the
+        aggressor launch (alignment control).
+        """
+        if name not in self._drivers or name == VICTIM:
+            raise KeyError(f"unknown aggressor {name!r}")
+        overrides = {VICTIM: victim_r} if victim_r is not None else None
+        return self._simulate(name, shift, overrides)
+
+    def total_noise(self, shifts: dict[str, float], *,
+                    victim_r: float | None = None) -> DriverSimOutput:
+        """Superposed noise of all aggressors at the given shifts."""
+        outputs = [
+            self.aggressor_noise(agg.name, shift=shifts.get(agg.name, 0.0),
+                                 victim_r=victim_r)
+            for agg in self.net.aggressors
+        ]
+        if not outputs:
+            raise ValueError(f"{self.net.name} has no aggressors")
+        at_receiver = outputs[0].at_receiver
+        at_root = outputs[0].at_root
+        for out in outputs[1:]:
+            at_receiver = at_receiver + out.at_receiver
+            at_root = at_root + out.at_root
+        return DriverSimOutput(at_receiver=at_receiver, at_root=at_root)

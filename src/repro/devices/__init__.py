@@ -1,0 +1,22 @@
+"""Transistor-level device models and technology parameters.
+
+The paper's techniques require a *non-linear* driver/receiver model whose
+small-signal conductance varies strongly across a transition — that is the
+entire reason the Thevenin holding resistance fails and the transient
+holding resistance is needed.  We provide a synthetic deep-submicron
+technology (:mod:`repro.devices.technology`) and a C¹-smooth square-law
+MOSFET (:mod:`repro.devices.mosfet`) with analytic derivatives for robust
+Newton iteration.
+"""
+
+from repro.devices.technology import Technology, default_technology
+from repro.devices.mosfet import Mosfet, MosfetParams, nmos_params, pmos_params
+
+__all__ = [
+    "Technology",
+    "default_technology",
+    "Mosfet",
+    "MosfetParams",
+    "nmos_params",
+    "pmos_params",
+]

@@ -1,0 +1,164 @@
+"""C¹-smooth square-law MOSFET with analytic terminal derivatives.
+
+The model is the classic Shockley square law with two smoothings that make
+it continuously differentiable everywhere — a requirement for the damped
+Newton iteration in :mod:`repro.sim.nonlinear`:
+
+* the overdrive ``Vgst = Vgs - Vt`` is replaced by the softplus-like
+  ``Vgst_eff = (Vgst + sqrt(Vgst² + δ²)) / 2`` (smooth cutoff), and
+* the linear/saturation corner is blended with
+  ``Vde = Vgst_eff * tanh(Vds / Vgst_eff)`` so that
+  ``Id = β (Vgst_eff · Vde − Vde²/2)(1 + λ Vds)`` reduces to the textbook
+  triode expression for small ``Vds`` and to ``β Vgst²/2 (1 + λ Vds)`` in
+  saturation.
+
+The device is symmetric: ``Vds < 0`` is handled by exchanging drain and
+source.  PMOS devices are evaluated as mirrored NMOS devices.  Evaluation
+is scalar float math (no numpy) because the non-linear simulator calls it
+once per device per Newton iteration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.technology import Technology
+
+__all__ = ["MosfetParams", "Mosfet", "nmos_params", "pmos_params"]
+
+#: Cutoff smoothing width in volts. Small enough not to distort the on-state
+#: I–V, large enough to keep Newton derivatives well-scaled near cutoff.
+_DELTA = 0.02
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Electrical parameters of one device instance."""
+
+    polarity: str  # 'n' or 'p'
+    vt: float      # threshold voltage magnitude [V]
+    k: float       # transconductance parameter K' [A/V^2]
+    lam: float     # channel-length modulation [1/V]
+    w: float       # channel width [m]
+    l: float       # channel length [m]
+    gmin: float = 1e-9
+
+    def __post_init__(self):
+        if self.polarity not in ("n", "p"):
+            raise ValueError("polarity must be 'n' or 'p'")
+        if min(self.vt, self.k, self.w, self.l) <= 0:
+            raise ValueError("vt, k, w and l must be positive")
+
+    @property
+    def beta(self) -> float:
+        """Gain factor ``K' * W / L``."""
+        return self.k * self.w / self.l
+
+
+def nmos_params(tech: Technology, width: float) -> MosfetParams:
+    """NMOS parameters for the given technology and width."""
+    return MosfetParams("n", tech.vt_n, tech.k_n, tech.lambda_n,
+                        width, tech.l_min, tech.gmin)
+
+
+def pmos_params(tech: Technology, width: float) -> MosfetParams:
+    """PMOS parameters for the given technology and width."""
+    return MosfetParams("p", tech.vt_p, tech.k_p, tech.lambda_p,
+                        width, tech.l_min, tech.gmin)
+
+
+def _forward(beta: float, vt: float, lam: float, vgs: float,
+             vds: float) -> tuple[float, float, float]:
+    """Drain current and partials for ``vds >= 0``.
+
+    Returns ``(i, di/dvgs, di/dvds)``.
+    """
+    vgst = vgs - vt
+    root = math.sqrt(vgst * vgst + _DELTA * _DELTA)
+    a = 0.5 * (vgst + root)            # smooth overdrive, always > 0
+    da_dvgs = 0.5 * (1.0 + vgst / root)
+
+    x = vds / a
+    # tanh with guarded overflow for very large arguments.
+    u = math.tanh(x) if x < 20.0 else 1.0
+    sech2 = 1.0 - u * u
+
+    f = a * a * (u - 0.5 * u * u)
+    df_da = 2.0 * a * (u - 0.5 * u * u) + a * a * (1.0 - u) * (-x / a) * sech2
+    df_dvds = a * (1.0 - u) * sech2
+
+    clm = 1.0 + lam * vds
+    i = beta * f * clm
+    di_dvgs = beta * clm * df_da * da_dvgs
+    di_dvds = beta * (clm * df_dvds + f * lam)
+    return i, di_dvgs, di_dvds
+
+
+def _nchannel(params: MosfetParams, vg: float, vd: float,
+              vs: float) -> tuple[float, float, float, float]:
+    """N-channel terminal evaluation (any Vds sign).
+
+    Returns ``(i_ds, di/dvg, di/dvd, di/dvs)`` where ``i_ds`` flows from the
+    drain node through the channel to the source node.
+    """
+    beta, vt, lam = params.beta, params.vt, params.lam
+    if vd >= vs:
+        i, f1, f2 = _forward(beta, vt, lam, vg - vs, vd - vs)
+        return i, f1, f2, -f1 - f2
+    # Symmetric device: roles of drain and source exchange.
+    i, f1, f2 = _forward(beta, vt, lam, vg - vd, vs - vd)
+    return -i, -f1, f1 + f2, -f2
+
+
+class Mosfet:
+    """A MOSFET instance bound to named circuit nodes.
+
+    Parameters
+    ----------
+    name:
+        Instance name (used in diagnostics).
+    params:
+        Electrical parameters (see :class:`MosfetParams`).
+    drain, gate, source:
+        Node names.  The bulk is implicitly tied to the source rail (the
+        standard digital-cell connection); body effect is not modeled.
+    """
+
+    __slots__ = ("name", "params", "drain", "gate", "source")
+
+    def __init__(self, name: str, params: MosfetParams, drain: str,
+                 gate: str, source: str):
+        self.name = name
+        self.params = params
+        self.drain = drain
+        self.gate = gate
+        self.source = source
+
+    def __repr__(self) -> str:
+        p = self.params
+        return (f"Mosfet({self.name!r}, {p.polarity}mos, "
+                f"W={p.w * 1e6:.2f}um, d={self.drain}, g={self.gate}, "
+                f"s={self.source})")
+
+    def evaluate(self, vg: float, vd: float,
+                 vs: float) -> tuple[float, float, float, float]:
+        """Channel current and terminal derivatives at a bias point.
+
+        Returns ``(i_ds, di/dvg, di/dvd, di/dvs)``; ``i_ds`` is the current
+        entering the drain terminal and leaving the source terminal.  A
+        ``gmin`` shunt between drain and source is folded in for Newton
+        robustness in the fully-off state.
+        """
+        p = self.params
+        if p.polarity == "n":
+            i, dg, dd, ds = _nchannel(p, vg, vd, vs)
+        else:
+            # PMOS as a mirrored NMOS: I_p(v) = -I_n(-v); derivatives keep
+            # their sign under the double negation.
+            i, dg, dd, ds = _nchannel(p, -vg, -vd, -vs)
+            i = -i
+        i += p.gmin * (vd - vs)
+        dd += p.gmin
+        ds -= p.gmin
+        return i, dg, dd, ds

@@ -1,0 +1,75 @@
+"""Synthetic deep-submicron CMOS technology.
+
+The paper used Motorola foundry models; we substitute a self-consistent
+0.18 µm-flavoured technology.  Only qualitative properties matter for the
+reproduction (see DESIGN.md): a saturating square-law I–V, realistic
+P/N drive-strength asymmetry, and gate/diffusion capacitances that give
+fan-out-of-4 delays in the tens of picoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import FF, NM, UM, V
+
+__all__ = ["Technology", "default_technology"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process parameters shared by all devices of a design.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage.
+    vt_n / vt_p:
+        Threshold voltage magnitudes for NMOS / PMOS.
+    k_n / k_p:
+        Transconductance parameters ``K' = mu * Cox`` in A/V².
+    lambda_n / lambda_p:
+        Channel-length modulation in 1/V.
+    l_min:
+        Minimum (and, in this library, only) channel length.
+    c_gate_per_width:
+        Gate capacitance per meter of device width.
+    c_diff_per_width:
+        Drain/source diffusion capacitance per meter of width.
+    w_min:
+        Unit (X1) NMOS width; PMOS widths are scaled by ``beta_ratio``.
+    beta_ratio:
+        PMOS/NMOS width ratio used by the gate library for roughly
+        symmetric rise/fall.
+    """
+
+    vdd: float = 1.8 * V
+    vt_n: float = 0.40 * V
+    vt_p: float = 0.42 * V
+    k_n: float = 170e-6
+    k_p: float = 70e-6
+    lambda_n: float = 0.08
+    lambda_p: float = 0.10
+    l_min: float = 180 * NM
+    c_gate_per_width: float = 1.5 * FF / UM
+    c_diff_per_width: float = 1.0 * FF / UM
+    w_min: float = 0.42 * UM
+    beta_ratio: float = 2.2
+    #: Minimum shunt conductance added drain-source for Newton robustness.
+    gmin: float = 1e-9
+
+    def gate_cap(self, width: float) -> float:
+        """Gate capacitance of a device of the given width."""
+        return self.c_gate_per_width * width
+
+    def diff_cap(self, width: float) -> float:
+        """Drain/source diffusion capacitance of a device of given width."""
+        return self.c_diff_per_width * width
+
+
+_DEFAULT = Technology()
+
+
+def default_technology() -> Technology:
+    """The library-wide default synthetic technology instance."""
+    return _DEFAULT

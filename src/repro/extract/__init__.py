@@ -1,0 +1,29 @@
+"""Layout-level parasitic extraction (the flow's front end).
+
+ClariNet consumed parasitics extracted from routed layout.  This package
+provides the missing front end as a simplified Manhattan model: wires
+run on parallel routing tracks, resistance and ground capacitance scale
+with drawn length, and coupling capacitance accrues over the *parallel
+run length* between laterally adjacent wires, falling off with spacing.
+
+* :mod:`repro.extract.geometry` — wires, tracks and overlap arithmetic.
+* :mod:`repro.extract.parasitics` — per-unit-length coefficients and the
+  extractor producing a :class:`~repro.circuit.Circuit`, plus the
+  builder that assembles a full :class:`~repro.core.net.CoupledNet`
+  from a routed bus.
+"""
+
+from repro.extract.geometry import Wire, parallel_overlap
+from repro.extract.parasitics import (
+    ParasiticTech,
+    extract_interconnect,
+    coupled_net_from_layout,
+)
+
+__all__ = [
+    "Wire",
+    "parallel_overlap",
+    "ParasiticTech",
+    "extract_interconnect",
+    "coupled_net_from_layout",
+]

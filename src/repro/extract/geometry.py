@@ -1,0 +1,59 @@
+"""Routed-wire geometry.
+
+Wires run horizontally on numbered routing tracks with a fixed track
+pitch; a wire is an interval ``[x_start, x_end]`` on its track.  Two
+wires couple when they sit on *different* tracks and their x-intervals
+overlap — the shared span is the parallel run length, and their lateral
+spacing is the track distance times the pitch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Wire", "parallel_overlap"]
+
+
+@dataclass(frozen=True)
+class Wire:
+    """One routed wire segment.
+
+    Attributes
+    ----------
+    net:
+        Net name (several wires may share a net; ``"gnd"`` marks shield
+        wires tied to the rail).
+    track:
+        Routing track index (lateral position = track x pitch).
+    x_start, x_end:
+        Span along the routing direction, in meters.
+    """
+
+    net: str
+    track: int
+    x_start: float
+    x_end: float
+
+    def __post_init__(self):
+        if self.x_end <= self.x_start:
+            raise ValueError(
+                f"wire on net {self.net!r}: x_end must exceed x_start")
+
+    @property
+    def length(self) -> float:
+        return self.x_end - self.x_start
+
+    def overlap_with(self, other: "Wire") -> float:
+        """Parallel run length shared with another wire."""
+        return parallel_overlap(self, other)
+
+    def spacing_to(self, other: "Wire", pitch: float) -> float:
+        """Centerline distance to another wire's track."""
+        return abs(self.track - other.track) * pitch
+
+
+def parallel_overlap(a: Wire, b: Wire) -> float:
+    """Shared x-span of two wires (0 when disjoint or same track)."""
+    if a.track == b.track:
+        return 0.0
+    return max(0.0, min(a.x_end, b.x_end) - max(a.x_start, b.x_start))

@@ -1,0 +1,181 @@
+"""Parasitic extraction from routed-wire geometry.
+
+A :class:`ParasiticTech` holds per-unit-length coefficients calibrated to
+the synthetic technology: series resistance, area (ground) capacitance,
+and a lateral coupling capacitance that falls off inversely with spacing
+and is cut off beyond a few tracks.  :func:`extract_interconnect` turns a
+list of :class:`~repro.extract.geometry.Wire` objects into the
+segmented RC(-coupling) :class:`~repro.circuit.Circuit` the analysis flow
+consumes; :func:`coupled_net_from_layout` goes all the way to a
+:class:`~repro.core.net.CoupledNet`.
+
+Shield wires (net name ``"gnd"``) extract like signal wires but are tied
+to the ground rail at both ends through a low-resistance connection —
+inserting one between a victim and an aggressor is the classic layout
+fix this model lets you quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.topology import couple_nodes, rc_line
+from repro.core.net import AggressorSpec, CoupledNet, DriverSpec, ReceiverSpec
+from repro.extract.geometry import Wire, parallel_overlap
+from repro.units import FF, OHM, UM
+
+__all__ = ["ParasiticTech", "extract_interconnect",
+           "coupled_net_from_layout"]
+
+#: Net name marking grounded shield wires.
+SHIELD_NET = "gnd"
+
+
+@dataclass(frozen=True)
+class ParasiticTech:
+    """Per-unit-length parasitic coefficients of the routing layer."""
+
+    #: Track pitch (lateral distance between adjacent tracks).
+    pitch: float = 0.4 * UM
+    #: Series resistance per length.
+    r_per_length: float = 2.0 * OHM / UM
+    #: Capacitance to ground per length.
+    c_ground_per_length: float = 0.05 * FF / UM
+    #: Lateral coupling per length at one-pitch spacing.
+    c_coupling_at_pitch: float = 0.08 * FF / UM
+    #: Coupling is ignored beyond this many tracks of separation.
+    max_coupling_tracks: int = 2
+    #: Resistance of the tie connecting a shield wire to the rail.
+    shield_tie_resistance: float = 10.0 * OHM
+    #: Discretization: segments per wire.
+    segments: int = 8
+
+    def coupling_per_length(self, spacing: float) -> float:
+        """Lateral coupling per meter of parallel run at ``spacing``."""
+        if spacing <= 0.0:
+            raise ValueError("wires on the same track cannot couple")
+        if spacing > self.max_coupling_tracks * self.pitch + 1e-12:
+            return 0.0
+        return self.c_coupling_at_pitch * self.pitch / spacing
+
+
+def _wire_endpoints(index: int, wire: Wire,
+                    n_segments: int) -> tuple[str, str]:
+    base = f"w{index}_{wire.net}" if wire.net != SHIELD_NET \
+        else f"w{index}_shield"
+    return f"{base}_left", f"{base}_right"
+
+
+def extract_interconnect(wires: list[Wire], tech: ParasiticTech, *,
+                         name: str = "extracted"
+                         ) -> tuple[Circuit, dict[int, list[str]]]:
+    """Extract a segmented RC circuit from routed wires.
+
+    Returns the circuit and a map from wire index to its ordered node
+    list (left to right), which callers use to attach drivers and
+    receivers.  Signal nets must appear on exactly one wire each; any
+    number of ``"gnd"`` shield wires is allowed.
+    """
+    if not wires:
+        raise ValueError("no wires to extract")
+    signal_nets = [w.net for w in wires if w.net != SHIELD_NET]
+    if len(set(signal_nets)) != len(signal_nets):
+        raise ValueError("each signal net must be a single wire")
+
+    circuit = Circuit(name)
+    nodes: dict[int, list[str]] = {}
+    for index, wire in enumerate(wires):
+        left, right = _wire_endpoints(index, wire, tech.segments)
+        names = rc_line(circuit, f"w{index}_", left, right,
+                        tech.segments, tech.r_per_length * wire.length,
+                        tech.c_ground_per_length * wire.length)
+        nodes[index] = names
+        if wire.net == SHIELD_NET:
+            circuit.add_resistor(f"w{index}_tie0", names[0], GROUND,
+                                 tech.shield_tie_resistance)
+            circuit.add_resistor(f"w{index}_tie1", names[-1], GROUND,
+                                 tech.shield_tie_resistance)
+
+    # Lateral coupling over parallel run lengths.
+    pair_id = 0
+    for i, wire_a in enumerate(wires):
+        for j in range(i + 1, len(wires)):
+            wire_b = wires[j]
+            overlap = parallel_overlap(wire_a, wire_b)
+            if overlap <= 0.0:
+                continue
+            spacing = wire_a.spacing_to(wire_b, tech.pitch)
+            c_total = tech.coupling_per_length(spacing) * overlap
+            if c_total <= 0.0:
+                continue
+            lo = max(wire_a.x_start, wire_b.x_start)
+            hi = min(wire_a.x_end, wire_b.x_end)
+
+            def overlapped(wire: Wire, names: list[str]) -> list[str]:
+                picked = []
+                for k, node in enumerate(names):
+                    x = wire.x_start + wire.length * k / tech.segments
+                    if lo - 1e-12 <= x <= hi + 1e-12:
+                        picked.append(node)
+                return picked or [names[0]]
+
+            couple_nodes(circuit, f"cc{pair_id}_",
+                         overlapped(wire_a, nodes[i]),
+                         overlapped(wire_b, nodes[j]), c_total)
+            pair_id += 1
+    return circuit, nodes
+
+
+def coupled_net_from_layout(
+    wires: list[Wire],
+    tech: ParasiticTech,
+    victim_net: str,
+    victim_driver: DriverSpec,
+    receiver: ReceiverSpec,
+    aggressor_drivers: dict[str, DriverSpec],
+    *,
+    aggressor_far_load: float = 8.0 * FF,
+    name: str | None = None,
+) -> CoupledNet:
+    """Assemble a :class:`CoupledNet` from a routed bus.
+
+    Drivers attach at each wire's left end, the victim's receiver at its
+    right end; aggressor far ends get a lumped load.  Nets routed in the
+    layout but absent from ``aggressor_drivers`` (other than the victim
+    and shields) are rejected — every signal wire needs a driver.
+    """
+    circuit, nodes = extract_interconnect(
+        wires, tech, name=(name or victim_net) + "_wires")
+
+    wire_of: dict[str, int] = {
+        w.net: i for i, w in enumerate(wires) if w.net != SHIELD_NET
+    }
+    if victim_net not in wire_of:
+        raise ValueError(f"victim net {victim_net!r} not in layout")
+    missing = set(wire_of) - {victim_net} - set(aggressor_drivers)
+    if missing:
+        raise ValueError(
+            f"signal nets without drivers: {sorted(missing)}")
+
+    victim_nodes = nodes[wire_of[victim_net]]
+    aggressors = []
+    for net_name, driver in aggressor_drivers.items():
+        if net_name not in wire_of:
+            raise ValueError(f"aggressor net {net_name!r} not in layout")
+        agg_nodes = nodes[wire_of[net_name]]
+        circuit.add_capacitor(f"{net_name}_farload", agg_nodes[-1],
+                              GROUND, aggressor_far_load)
+        aggressors.append(AggressorSpec(
+            name=net_name, driver=driver,
+            root=agg_nodes[0], far_end=agg_nodes[-1]))
+
+    return CoupledNet(
+        name=name or f"{victim_net}_net",
+        interconnect=circuit,
+        victim_root=victim_nodes[0],
+        victim_receiver_node=victim_nodes[-1],
+        victim_driver=victim_driver,
+        receiver=receiver,
+        aggressors=aggressors,
+    )

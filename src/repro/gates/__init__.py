@@ -1,0 +1,44 @@
+"""CMOS gate library and linear-model characterization.
+
+* :mod:`repro.gates.gate` — the :class:`Gate` template (devices + parasitic
+  capacitances) instantiable into any circuit.
+* :mod:`repro.gates.library` — parametric standard cells (INV/NAND2/NOR2
+  in X1..X16 sizes) for the synthetic technology.
+* :mod:`repro.gates.thevenin` — Thevenin driver model (t0, dt, Rth) fitted
+  to the 10%/50%/90% crossings of a non-linear gate simulation, per the
+  paper's Section 1; plus a pre-characterized lookup table.
+* :mod:`repro.gates.ceff` — effective capacitance iteration (references
+  [3][4] of the paper) and O'Brien/Savarino π-model reduction of the
+  driving-point admittance.
+"""
+
+from repro.gates.gate import Gate
+from repro.gates.library import inverter, nand2, nor2, standard_cell
+from repro.gates.thevenin import (
+    TheveninModel,
+    TheveninTable,
+    characterize_thevenin,
+)
+from repro.gates.ceff import PiModel, driving_point_pi, effective_capacitance
+from repro.gates.csm import (
+    CurrentSourceModel,
+    characterize_csm,
+    simulate_csm_driver,
+)
+
+__all__ = [
+    "Gate",
+    "inverter",
+    "nand2",
+    "nor2",
+    "standard_cell",
+    "TheveninModel",
+    "TheveninTable",
+    "characterize_thevenin",
+    "PiModel",
+    "driving_point_pi",
+    "effective_capacitance",
+    "CurrentSourceModel",
+    "characterize_csm",
+    "simulate_csm_driver",
+]

@@ -1,0 +1,212 @@
+"""Current-source driver models (CSM).
+
+The follow-up literature to the paper (e.g. Gandikota/Ding/Blaauw/
+Tehrani, "Worst-Case Aggressor-Victim Alignment with Current-Source
+Driver Models") replaces the Thevenin ramp with a *current-source*
+model: the gate's output current characterized as a 2-D table
+``I(v_in, v_out)`` from DC sweeps.  A CSM captures the non-linear
+conductance exactly at every bias point — the very thing the transient
+holding resistance approximates with one number — at the cost of a
+table per cell and a (small) non-linear evaluation per time step.
+
+This module characterizes CSMs from the transistor-level gates and
+integrates them against lumped or π loads with optional noise-current
+injection, so a CSM can stand in for the non-linear driver anywhere the
+flow needs one (golden-ish victim responses, Rtr-style noise replays)
+at a fraction of the transistor co-simulation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import GROUND
+from repro.gates.ceff import PiModel
+from repro.gates.gate import Gate, VDD_PORT
+from repro.sim.nonlinear import simulate_nonlinear
+from repro.sim.result import time_grid
+from repro.waveform import Waveform
+
+__all__ = ["CurrentSourceModel", "characterize_csm",
+           "simulate_csm_driver"]
+
+#: Finite-difference step for table-gradient evaluation [V].
+_DV = 1e-3
+
+
+@dataclass
+class CurrentSourceModel:
+    """2-D output-current table of one cell.
+
+    ``current[i, j]`` is the current the gate pushes *into* its output
+    node at ``v_in = vin_grid[i]``, ``v_out = vout_grid[j]``.  Queries
+    outside the grid clamp to the edge (the rails).
+    """
+
+    gate_name: str
+    vdd: float
+    vin_grid: np.ndarray
+    vout_grid: np.ndarray
+    current: np.ndarray
+    c_out: float
+    c_in: float
+    inverting: bool
+
+    def __post_init__(self):
+        expected = (self.vin_grid.size, self.vout_grid.size)
+        if self.current.shape != expected:
+            raise ValueError(
+                f"current table {self.current.shape} != grid {expected}")
+
+    def output_current(self, v_in: float, v_out: float) -> float:
+        """Bilinear table lookup, clamped to the characterized cube."""
+        v_in = min(max(v_in, self.vin_grid[0]), self.vin_grid[-1])
+        v_out = min(max(v_out, self.vout_grid[0]), self.vout_grid[-1])
+        i = int(np.searchsorted(self.vin_grid, v_in) - 1)
+        j = int(np.searchsorted(self.vout_grid, v_out) - 1)
+        i = min(max(i, 0), self.vin_grid.size - 2)
+        j = min(max(j, 0), self.vout_grid.size - 2)
+        u = (v_in - self.vin_grid[i]) / (self.vin_grid[i + 1]
+                                         - self.vin_grid[i])
+        w = (v_out - self.vout_grid[j]) / (self.vout_grid[j + 1]
+                                           - self.vout_grid[j])
+        c = self.current
+        return float(
+            (1 - u) * (1 - w) * c[i, j] + u * (1 - w) * c[i + 1, j]
+            + (1 - u) * w * c[i, j + 1] + u * w * c[i + 1, j + 1])
+
+    def output_conductance(self, v_in: float, v_out: float) -> float:
+        """``-dI/dv_out`` — the small-signal holding conductance.
+
+        Served from a gradient table precomputed on first use (one
+        bilinear lookup instead of two extra current evaluations).
+        """
+        gradient = getattr(self, "_gradient", None)
+        if gradient is None:
+            gradient = np.gradient(self.current, self.vout_grid, axis=1)
+            object.__setattr__(self, "_gradient", gradient)
+        v_in = min(max(v_in, self.vin_grid[0]), self.vin_grid[-1])
+        v_out = min(max(v_out, self.vout_grid[0]), self.vout_grid[-1])
+        i = int(np.searchsorted(self.vin_grid, v_in) - 1)
+        j = int(np.searchsorted(self.vout_grid, v_out) - 1)
+        i = min(max(i, 0), self.vin_grid.size - 2)
+        j = min(max(j, 0), self.vout_grid.size - 2)
+        u = (v_in - self.vin_grid[i]) / (self.vin_grid[i + 1]
+                                         - self.vin_grid[i])
+        w = (v_out - self.vout_grid[j]) / (self.vout_grid[j + 1]
+                                           - self.vout_grid[j])
+        g = gradient
+        value = ((1 - u) * (1 - w) * g[i, j] + u * (1 - w) * g[i + 1, j]
+                 + (1 - u) * w * g[i, j + 1] + u * w * g[i + 1, j + 1])
+        return float(-value)
+
+
+def characterize_csm(gate: Gate, *, grid_points: int = 13,
+                     switching_pin: str | None = None
+                     ) -> CurrentSourceModel:
+    """Build the CSM table from DC solves of the transistor gate.
+
+    Both terminals are forced by voltage sources over a
+    ``grid_points x grid_points`` bias grid; the current the gate pushes
+    into its output is read off the forcing source.
+    """
+    if grid_points < 3:
+        raise ValueError("grid_points must be >= 3")
+    vdd = gate.tech.vdd
+    vin_grid = np.linspace(0.0, vdd, grid_points)
+    vout_grid = np.linspace(0.0, vdd, grid_points)
+    current = np.empty((grid_points, grid_points))
+
+    pin = switching_pin or gate.inputs[0]
+    dc_window = 1e-12
+    for i, v_in in enumerate(vin_grid):
+        for j, v_out in enumerate(vout_grid):
+            circuit = gate.driven_circuit(float(v_in),
+                                          switching_pin=pin,
+                                          name="csm_dc")
+            circuit.add_vsource("__vforce", "out", GROUND, float(v_out))
+            result = simulate_nonlinear(circuit, dc_window, dc_window)
+            # Branch current flows into the forcing source's + terminal:
+            # exactly what the gate pushes into the output node.
+            current[i, j] = float(
+                result.branch_current("__vforce")(0.0))
+
+    return CurrentSourceModel(
+        gate_name=gate.name,
+        vdd=vdd,
+        vin_grid=vin_grid,
+        vout_grid=vout_grid,
+        current=current,
+        c_out=gate.output_capacitance(),
+        c_in=gate.input_capacitance(pin),
+        inverting=gate.inverting,
+    )
+
+
+def simulate_csm_driver(model: CurrentSourceModel, v_input: Waveform,
+                        load: PiModel | float, t_stop: float,
+                        dt: float = 1e-12, *,
+                        i_inject: Waveform | None = None,
+                        v_out0: float | None = None) -> Waveform:
+    """Integrate the CSM driving a lumped or π load.
+
+    Backward Euler with a per-step scalar (or 2x2) Newton; the load's
+    near capacitance absorbs the model's own ``c_out``.  ``i_inject``
+    adds an external current into the output node — the hook for
+    replaying aggressor noise onto a CSM victim.
+    """
+    times = time_grid(t_stop, dt)
+    u = v_input(times)
+    inj = i_inject(times) if i_inject is not None else np.zeros_like(times)
+
+    if isinstance(load, PiModel):
+        c_near = model.c_out + load.c_near
+        r_pi, c_far = load.r, load.c_far
+        has_far = r_pi > 0.0 and c_far > 0.0
+    else:
+        c_near = model.c_out + float(load)
+        r_pi, c_far, has_far = 0.0, 0.0, False
+
+    if v_out0 is None:
+        # DC start: solve I(u0, v) = 0 by bisection over the rails.
+        lo, hi = 0.0, model.vdd
+        i_lo = model.output_current(u[0], lo)
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            i_mid = model.output_current(u[0], mid)
+            if (i_mid > 0) == (i_lo > 0):
+                lo, i_lo = mid, i_mid
+            else:
+                hi = mid
+        v_out0 = 0.5 * (lo + hi)
+
+    out = np.empty(times.size)
+    out[0] = v_out0
+    v, vf = v_out0, v_out0
+    for k in range(1, times.size):
+        v_prev, vf_prev = v, vf
+        for _ in range(40):
+            i_drv = model.output_current(u[k], v)
+            g_drv = model.output_conductance(u[k], v)
+            if has_far:
+                # Far node is linear in v: eliminate it exactly.
+                #   c_far (vf - vf_prev)/h = (v - vf)/r_pi
+                denom = c_far / dt + 1.0 / r_pi
+                vf = (c_far * vf_prev / dt + v / r_pi) / denom
+                i_branch = (v - vf) / r_pi
+                di_branch = (1.0 - (1.0 / r_pi) / denom) / r_pi
+            else:
+                i_branch, di_branch = 0.0, 0.0
+            residual = (c_near * (v - v_prev) / dt - i_drv + i_branch
+                        - inj[k])
+            jacobian = c_near / dt + g_drv + di_branch
+            step = -residual / jacobian
+            if abs(step) > 0.5:
+                step = 0.5 if step > 0 else -0.5
+            v += step
+            if abs(step) < 1e-7:
+                break
+        out[k] = v
+    return Waveform(times, out)

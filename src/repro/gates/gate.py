@@ -1,0 +1,240 @@
+"""Gate templates.
+
+A :class:`Gate` is a reusable template of MOSFET devices over a local port
+namespace (``out``, input pins, the rails) plus the parasitic capacitances
+implied by device geometry (gate-oxide cap on each input, diffusion cap on
+each drain).  Instantiating a gate merges concrete devices and parasitics
+into a target :class:`~repro.circuit.Circuit` — the same template serves
+the non-linear golden simulations, Thevenin/Rtr characterization, and
+receiver pre-characterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.devices.mosfet import MosfetParams
+from repro.devices.technology import Technology
+
+__all__ = ["Gate", "DeviceTemplate", "VDD_PORT"]
+
+#: Template name of the supply port.
+VDD_PORT = "vdd"
+
+
+@dataclass(frozen=True)
+class DeviceTemplate:
+    """One device of a gate template, with node names in port namespace."""
+
+    name: str
+    params: MosfetParams
+    drain: str
+    gate: str
+    source: str
+
+
+class Gate:
+    """A CMOS gate template.
+
+    Parameters
+    ----------
+    name:
+        Cell name, e.g. ``"INV_X2"``.  Used as the pre-characterization
+        table key.
+    tech:
+        Technology (for parasitic capacitance values).
+    devices:
+        Device templates.  Node namespace: ``out`` is the output, the
+        rails are ``vdd`` and ground (``"0"``), input pins are any other
+        non-internal names.
+    inputs:
+        Ordered input pin names.
+    internal:
+        Internal node names (e.g. the stack node of a NAND), which get
+        instance-prefixed on instantiation.
+    """
+
+    def __init__(self, name: str, tech: Technology,
+                 devices: list[DeviceTemplate], inputs: list[str],
+                 internal: tuple[str, ...] = (),
+                 side_input_high: bool = True,
+                 inverting: bool = True,
+                 side_input_ties: dict[str, bool] | None = None):
+        self.name = name
+        self.tech = tech
+        self.devices = list(devices)
+        self.inputs = list(inputs)
+        self.internal = tuple(internal)
+        #: Non-controlling level for non-switching inputs (True = tie to
+        #: vdd, as for NAND; False = tie to ground, as for NOR).
+        self.side_input_high = side_input_high
+        #: Per-pin overrides for complex gates where the sensitizing tie
+        #: levels are mixed (e.g. AOI21 needs b high but c low).
+        self.side_input_ties = dict(side_input_ties or {})
+        #: False for buffers: the output follows the switching input.
+        self.inverting = inverting
+        ports = set(self.inputs) | {"out", VDD_PORT, GROUND} | set(internal)
+        for d in self.devices:
+            for node in (d.drain, d.gate, d.source):
+                if node not in ports:
+                    raise ValueError(
+                        f"device {d.name} of {name} references unknown "
+                        f"node {node!r}")
+
+    def __repr__(self) -> str:
+        return f"Gate({self.name!r}, inputs={self.inputs})"
+
+    # ------------------------------------------------------------------
+    # Parasitics
+    # ------------------------------------------------------------------
+    def input_capacitance(self, pin: str | None = None) -> float:
+        """Gate-oxide capacitance presented at an input pin.
+
+        This is the value the linear superposition flow uses as the
+        receiver's loading on the net (paper: "receiver gate loading is
+        modeled with a grounded capacitor").
+        """
+        if pin is None:
+            pin = self.inputs[0]
+        if pin not in self.inputs:
+            raise ValueError(f"{self.name} has no input pin {pin!r}")
+        return sum(self.tech.gate_cap(d.params.w)
+                   for d in self.devices if d.gate == pin)
+
+    def output_capacitance(self) -> float:
+        """Diffusion capacitance at the output node."""
+        return sum(self.tech.diff_cap(d.params.w)
+                   for d in self.devices if d.drain == "out")
+
+    # ------------------------------------------------------------------
+    # Instantiation
+    # ------------------------------------------------------------------
+    def instantiate(self, circuit: Circuit, prefix: str,
+                    connections: dict[str, str]) -> None:
+        """Merge this gate into ``circuit``.
+
+        ``connections`` maps port names (inputs, ``out``, ``vdd``) to
+        circuit nodes; ground is implicit; internal nodes are prefixed.
+        Parasitic capacitances are added: gate cap at each connected input
+        and diffusion cap at each drain (skipping rails).
+        """
+        required = set(self.inputs) | {"out", VDD_PORT}
+        missing = required - set(connections)
+        if missing:
+            raise ValueError(
+                f"{self.name} instantiation missing ports: {sorted(missing)}")
+
+        def resolve(node: str) -> str:
+            if node == GROUND:
+                return GROUND
+            if node in connections:
+                return connections[node]
+            return prefix + node  # internal
+
+        for d in self.devices:
+            circuit.add_mosfet(prefix + d.name, d.params, resolve(d.drain),
+                               resolve(d.gate), resolve(d.source))
+        # Parasitics: one lumped gate cap per input pin, one lumped
+        # diffusion cap per drain node (rails excluded — a cap from a
+        # rail to ground is electrically irrelevant).
+        rails = {connections[VDD_PORT], GROUND}
+        for pin in self.inputs:
+            if resolve(pin) in rails:
+                continue  # pin tied off to a rail: its cap is irrelevant
+            circuit.add_capacitor(f"{prefix}cg_{pin}", resolve(pin), GROUND,
+                                  self.input_capacitance(pin))
+        drain_nodes: dict[str, float] = {}
+        for d in self.devices:
+            node = resolve(d.drain)
+            if node not in rails:
+                drain_nodes[node] = drain_nodes.get(node, 0.0) + \
+                    self.tech.diff_cap(d.params.w)
+        for i, (node, cap) in enumerate(sorted(drain_nodes.items())):
+            circuit.add_capacitor(f"{prefix}cd{i}", node, GROUND, cap)
+
+    # ------------------------------------------------------------------
+    # Characterization helpers
+    # ------------------------------------------------------------------
+    def driven_circuit(self, input_stimulus, *, c_load_external: float = 0.0,
+                       switching_pin: str | None = None,
+                       name: str | None = None) -> Circuit:
+        """Build the canonical characterization circuit.
+
+        The gate is driven at ``switching_pin`` (default: first input) by
+        an ideal source carrying ``input_stimulus``; non-switching inputs
+        are tied to their non-controlling rail; the output carries an
+        optional external load capacitor.  Node names: input ``in``,
+        output ``out``, supply ``vdd``.
+        """
+        pin = switching_pin or self.inputs[0]
+        circuit = Circuit(name or f"{self.name}_drv")
+        circuit.add_vsource("vdd_src", VDD_PORT, GROUND, self.tech.vdd)
+        circuit.add_vsource("vin", "in", GROUND, input_stimulus)
+        connections = {pin: "in", "out": "out", VDD_PORT: VDD_PORT}
+        for other in self.inputs:
+            if other != pin:
+                connections[other] = VDD_PORT \
+                    if self.tie_level_high(other) else GROUND
+        self.instantiate(circuit, "g_", connections)
+        if c_load_external > 0.0:
+            circuit.add_capacitor("c_load", "out", GROUND, c_load_external)
+        return circuit
+
+    def holding_resistance(self, output_high: bool, *,
+                           switching_pin: str | None = None,
+                           probe_current: float = 1e-6) -> float:
+        """Small-signal output resistance of the *quiet* gate.
+
+        The gate statically holds its output at a rail; the returned
+        resistance is ``dV/dI`` at that operating point, measured by two
+        DC solves with a small probe current.  This is the holding model
+        for *functional* noise analysis (stable victim), where the
+        holding device sits in its triode region — unlike the delay-noise
+        case, where the transient holding resistance of
+        :mod:`repro.core.holding_resistance` applies.
+        """
+        if self.inverting:
+            level = 0.0 if output_high else self.tech.vdd
+        else:
+            level = self.tech.vdd if output_high else 0.0
+        dc_window = 1e-12  # two-point "transient" = a DC solve
+
+        def out_voltage(extra_current: float) -> float:
+            # Local import: repro.sim imports would be circular at module
+            # load time (sim -> circuit -> devices <- gates).
+            from repro.sim.nonlinear import simulate_nonlinear
+            circuit = self.driven_circuit(
+                level, switching_pin=switching_pin, name="hold_probe")
+            if extra_current:
+                circuit.add_isource("__iprobe", "out", GROUND,
+                                    extra_current)
+            result = simulate_nonlinear(circuit, dc_window, dc_window)
+            return float(result.voltage("out")(0.0))
+
+        v0 = out_voltage(0.0)
+        v1 = out_voltage(probe_current)
+        return (v1 - v0) / probe_current
+
+    def tie_level_high(self, pin: str) -> bool:
+        """Non-controlling (path-sensitizing) tie level for a side input."""
+        return self.side_input_ties.get(pin, self.side_input_high)
+
+    def drive_resistance_estimate(self, output_rising: bool) -> float:
+        """Crude output resistance estimate (for time-horizon sizing only).
+
+        ``vdd / i_sat`` of the relevant pull network, treating devices
+        with the output as drain as a parallel combination.
+        """
+        total = 0.0
+        for d in self.devices:
+            pulls_up = d.params.polarity == "p"
+            if d.drain == "out" and pulls_up == output_rising:
+                p = d.params
+                i_sat = 0.5 * p.beta * (self.tech.vdd - p.vt) ** 2
+                total += i_sat
+        if total <= 0.0:
+            raise ValueError(
+                f"{self.name} has no pull network for "
+                f"output_rising={output_rising}")
+        return self.tech.vdd / total

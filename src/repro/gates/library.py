@@ -1,0 +1,164 @@
+"""Parametric standard-cell library.
+
+Cells are inverting static CMOS gates built on the synthetic technology.
+Drive strength scales linearly with the ``X`` size; P/N widths follow the
+technology's ``beta_ratio`` so rise and fall strengths are roughly
+symmetric.  NAND/NOR stacks use the textbook 2x series-device upsizing.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.devices.mosfet import nmos_params, pmos_params
+from repro.devices.technology import Technology, default_technology
+from repro.gates.gate import DeviceTemplate, Gate, VDD_PORT
+
+__all__ = ["inverter", "nand2", "nor2", "standard_cell", "CELL_FAMILIES"]
+
+#: Unit (X1) NMOS width as a multiple of the technology minimum width.
+_UNIT_SCALE = 2.0
+
+
+def _widths(tech: Technology, scale: float) -> tuple[float, float]:
+    wn = _UNIT_SCALE * scale * tech.w_min
+    wp = tech.beta_ratio * wn
+    return wn, wp
+
+
+def inverter(scale: float = 1.0, tech: Technology | None = None) -> Gate:
+    """INV_X<scale>: input ``a``, output ``out``."""
+    tech = tech or default_technology()
+    wn, wp = _widths(tech, scale)
+    devices = [
+        DeviceTemplate("mn", nmos_params(tech, wn), "out", "a", "0"),
+        DeviceTemplate("mp", pmos_params(tech, wp), "out", "a", VDD_PORT),
+    ]
+    return Gate(_cell_name("INV", scale), tech, devices, inputs=["a"])
+
+
+def nand2(scale: float = 1.0, tech: Technology | None = None) -> Gate:
+    """NAND2_X<scale>: inputs ``a`` (bottom of stack), ``b``."""
+    tech = tech or default_technology()
+    wn, wp = _widths(tech, scale)
+    devices = [
+        # Series pull-down stack, 2x width to match INV pull-down strength.
+        DeviceTemplate("mna", nmos_params(tech, 2 * wn), "x", "a", "0"),
+        DeviceTemplate("mnb", nmos_params(tech, 2 * wn), "out", "b", "x"),
+        # Parallel pull-up.
+        DeviceTemplate("mpa", pmos_params(tech, wp), "out", "a", VDD_PORT),
+        DeviceTemplate("mpb", pmos_params(tech, wp), "out", "b", VDD_PORT),
+    ]
+    return Gate(_cell_name("NAND2", scale), tech, devices,
+                inputs=["a", "b"], internal=("x",))
+
+
+def nor2(scale: float = 1.0, tech: Technology | None = None) -> Gate:
+    """NOR2_X<scale>: inputs ``a``, ``b`` (top of stack)."""
+    tech = tech or default_technology()
+    wn, wp = _widths(tech, scale)
+    devices = [
+        # Parallel pull-down.
+        DeviceTemplate("mna", nmos_params(tech, wn), "out", "a", "0"),
+        DeviceTemplate("mnb", nmos_params(tech, wn), "out", "b", "0"),
+        # Series pull-up stack, 2x width.
+        DeviceTemplate("mpa", pmos_params(tech, 2 * wp), "x", "a", VDD_PORT),
+        DeviceTemplate("mpb", pmos_params(tech, 2 * wp), "out", "b", "x"),
+    ]
+    return Gate(_cell_name("NOR2", scale), tech, devices,
+                inputs=["a", "b"], internal=("x",), side_input_high=False)
+
+
+def aoi21(scale: float = 1.0, tech: Technology | None = None) -> Gate:
+    """AOI21_X<scale>: out = NOT(a*b + c).
+
+    Pull-down: (a series b) parallel c.  Pull-up: (a parallel b) series
+    c.  Inputs ``a``/``b`` are the AND pair, ``c`` the OR leg.  The
+    non-controlling tie for side inputs keeps pin ``c`` low and the AND
+    pair transparent, so driving pin ``a`` behaves like a NAND path.
+    """
+    tech = tech or default_technology()
+    wn, wp = _widths(tech, scale)
+    devices = [
+        # Pull-down: a-b stack (2x width) in parallel with c.
+        DeviceTemplate("mna", nmos_params(tech, 2 * wn), "x", "a", "0"),
+        DeviceTemplate("mnb", nmos_params(tech, 2 * wn), "out", "b", "x"),
+        DeviceTemplate("mnc", nmos_params(tech, wn), "out", "c", "0"),
+        # Pull-up: (a || b) in series with c (series devices 2x width).
+        DeviceTemplate("mpa", pmos_params(tech, 2 * wp), "y", "a",
+                       VDD_PORT),
+        DeviceTemplate("mpb", pmos_params(tech, 2 * wp), "y", "b",
+                       VDD_PORT),
+        DeviceTemplate("mpc", pmos_params(tech, 2 * wp), "out", "c", "y"),
+    ]
+    return Gate(_cell_name("AOI21", scale), tech, devices,
+                inputs=["a", "b", "c"], internal=("x", "y"),
+                side_input_ties={"b": True, "c": False})
+
+
+def oai21(scale: float = 1.0, tech: Technology | None = None) -> Gate:
+    """OAI21_X<scale>: out = NOT((a+b) * c).
+
+    Dual of AOI21.  Side inputs tie high (non-controlling for the OR
+    pair feeding the AND), so driving pin ``a`` behaves like a NOR path
+    with ``c`` enabled.
+    """
+    tech = tech or default_technology()
+    wn, wp = _widths(tech, scale)
+    devices = [
+        # Pull-down: (a || b) in series with c (series devices 2x width).
+        DeviceTemplate("mna", nmos_params(tech, 2 * wn), "x", "a", "0"),
+        DeviceTemplate("mnb", nmos_params(tech, 2 * wn), "x", "b", "0"),
+        DeviceTemplate("mnc", nmos_params(tech, 2 * wn), "out", "c", "x"),
+        # Pull-up: a-b stack (2x width) in parallel with c.
+        DeviceTemplate("mpa", pmos_params(tech, 2 * wp), "y", "a",
+                       VDD_PORT),
+        DeviceTemplate("mpb", pmos_params(tech, 2 * wp), "out", "b", "y"),
+        DeviceTemplate("mpc", pmos_params(tech, wp), "out", "c",
+                       VDD_PORT),
+    ]
+    return Gate(_cell_name("OAI21", scale), tech, devices,
+                inputs=["a", "b", "c"], internal=("x", "y"),
+                side_input_ties={"b": False, "c": True})
+
+
+def buffer(scale: float = 1.0, tech: Technology | None = None) -> Gate:
+    """BUF_X<scale>: two inverters in series (non-inverting).
+
+    The first stage is quarter-size (a typical tapered buffer), the
+    second carries the nominal drive strength.
+    """
+    tech = tech or default_technology()
+    wn, wp = _widths(tech, scale)
+    wn1, wp1 = max(wn / 4.0, tech.w_min), max(wp / 4.0, tech.w_min)
+    devices = [
+        DeviceTemplate("mn1", nmos_params(tech, wn1), "x", "a", "0"),
+        DeviceTemplate("mp1", pmos_params(tech, wp1), "x", "a", VDD_PORT),
+        DeviceTemplate("mn2", nmos_params(tech, wn), "out", "x", "0"),
+        DeviceTemplate("mp2", pmos_params(tech, wp), "out", "x", VDD_PORT),
+    ]
+    return Gate(_cell_name("BUF", scale), tech, devices, inputs=["a"],
+                internal=("x",), inverting=False)
+
+
+CELL_FAMILIES = {"INV": inverter, "NAND2": nand2, "NOR2": nor2,
+                 "BUF": buffer, "AOI21": aoi21, "OAI21": oai21}
+
+_NAME_RE = re.compile(
+    r"^(INV|NAND2|NOR2|BUF|AOI21|OAI21)_X(\d+(?:\.\d+)?)$")
+
+
+def _cell_name(family: str, scale: float) -> str:
+    text = f"{scale:g}"
+    return f"{family}_X{text}"
+
+
+def standard_cell(name: str, tech: Technology | None = None) -> Gate:
+    """Build a cell from its name, e.g. ``standard_cell("INV_X4")``."""
+    match = _NAME_RE.match(name)
+    if not match:
+        raise ValueError(
+            f"unknown cell {name!r}; expected <FAMILY>_X<scale> with "
+            f"family in {sorted(CELL_FAMILIES)}")
+    family, scale = match.groups()
+    return CELL_FAMILIES[family](float(scale), tech)

@@ -1,0 +1,247 @@
+"""Thevenin driver model: fitting and pre-characterized tables.
+
+The traditional linear driver model (paper Section 1): a saturated-ramp
+voltage source (parameters ``t0`` start time and ``dt`` ramp duration)
+behind a resistance ``Rth``, chosen so that the linear model driving the
+effective load reproduces the non-linear gate's output at the 10%, 50%
+and 90% transition times.
+
+The model is fitted against a non-linear simulation of the gate driving a
+lumped ``c_load`` (total capacitance at the output, *including* the
+gate's own diffusion capacitance).  ``Rth`` follows from the fitted time
+constant: ``Rth = tau / c_load``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import brentq, least_squares
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.gates.gate import Gate
+from repro.sim.nonlinear import simulate_nonlinear
+from repro.waveform import Waveform, ramp
+
+__all__ = ["TheveninModel", "TheveninTable", "characterize_thevenin",
+           "ramp_rc_crossing"]
+
+
+@dataclass(frozen=True)
+class TheveninModel:
+    """Fitted Thevenin driver: ramp source (t0, dt) behind Rth.
+
+    ``v_start`` / ``v_end`` are the output rails of the modeled
+    transition.  The model's superposition-flow form (delta domain) is a
+    ramp from 0 to ``v_end - v_start``.
+    """
+
+    t0: float
+    dt: float
+    rth: float
+    v_start: float
+    v_end: float
+
+    @property
+    def rising(self) -> bool:
+        return self.v_end > self.v_start
+
+    @property
+    def delta_v(self) -> float:
+        return self.v_end - self.v_start
+
+    def source_delta(self) -> Waveform:
+        """Ramp source waveform in the delta (deviation) domain."""
+        return ramp(self.t0, self.dt, 0.0, self.delta_v)
+
+    def source_absolute(self) -> Waveform:
+        """Ramp source waveform in absolute volts."""
+        return ramp(self.t0, self.dt, self.v_start, self.v_end)
+
+    def shifted(self, delta_t: float) -> "TheveninModel":
+        """Same model launched ``delta_t`` later."""
+        return TheveninModel(self.t0 + delta_t, self.dt, self.rth,
+                             self.v_start, self.v_end)
+
+    def install_switching(self, circuit: Circuit, prefix: str,
+                          node: str) -> None:
+        """Add the delta-domain ramp source + Rth driving ``node``."""
+        src_node = f"{prefix}src"
+        circuit.add_vsource(f"{prefix}v", src_node, GROUND,
+                            self.source_delta())
+        circuit.add_resistor(f"{prefix}r", src_node, node, self.rth)
+
+    def install_holding(self, circuit: Circuit, prefix: str, node: str,
+                        resistance: float | None = None) -> None:
+        """Add the grounded holding resistance at ``node``.
+
+        In the delta domain a quiet driver is its resistance to ground
+        (paper Figure 1(b)).  Pass ``resistance`` to substitute the
+        transient holding resistance Rtr for Rth.
+        """
+        circuit.add_resistor(f"{prefix}rhold", node, GROUND,
+                             resistance if resistance is not None
+                             else self.rth)
+
+
+def _normalized_response(s: float, dt: float, tau: float) -> float:
+    """Normalized ramp-into-RC response x(s), s = t - t0, x in [0, 1)."""
+    if s <= 0.0:
+        return 0.0
+    if s <= dt:
+        return (s - tau * (1.0 - math.exp(-s / tau))) / dt
+    x_end = (dt - tau * (1.0 - math.exp(-dt / tau))) / dt
+    return 1.0 - (1.0 - x_end) * math.exp(-(s - dt) / tau)
+
+
+def ramp_rc_crossing(fraction: float, dt: float, tau: float) -> float:
+    """Time (after t0) at which a ramp-driven RC reaches ``fraction``.
+
+    The response is strictly monotone, so a bracketed root find is exact.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must lie in (0, 1)")
+    hi = dt + tau * max(-math.log(1.0 - fraction), 1.0) + 40.0 * tau
+    return brentq(lambda s: _normalized_response(s, dt, tau) - fraction,
+                  0.0, hi, xtol=1e-18, rtol=1e-12)
+
+
+_FRACTIONS = (0.1, 0.5, 0.9)
+
+
+def _measure_crossings(wave: Waveform, v_start: float, v_end: float
+                       ) -> tuple[float, float, float]:
+    rising = v_end > v_start
+    out = []
+    for f in _FRACTIONS:
+        level = v_start + f * (v_end - v_start)
+        out.append(wave.crossing_time(level, rising=rising, which="first"))
+    return tuple(out)
+
+
+def characterize_thevenin(gate: Gate, input_slew: float,
+                          output_rising: bool, c_load: float, *,
+                          switching_pin: str | None = None,
+                          t_input_start: float = 0.0,
+                          dt_sim: float | None = None) -> TheveninModel:
+    """Fit a Thevenin model for ``gate`` at one (slew, load) condition.
+
+    Parameters
+    ----------
+    gate:
+        The driver cell.
+    input_slew:
+        0-100% input ramp duration.
+    output_rising:
+        Direction of the *output* transition (the input ramp direction
+        follows the cell's polarity — opposite for inverting cells).
+    c_load:
+        Total capacitance the model must reproduce at the output,
+        including the gate's own diffusion capacitance.
+    """
+    vdd = gate.tech.vdd
+    c_diff = gate.output_capacitance()
+    c_ext = max(c_load - c_diff, 0.0)
+
+    input_rising = output_rising != gate.inverting
+    v_in = ramp(t_input_start, input_slew,
+                0.0 if input_rising else vdd,
+                vdd if input_rising else 0.0)
+    circuit = gate.driven_circuit(v_in, c_load_external=c_ext,
+                                  switching_pin=switching_pin)
+
+    r_est = gate.drive_resistance_estimate(output_rising)
+    horizon = input_slew + 12.0 * r_est * c_load + 0.2e-9
+    dt_sim = dt_sim or max(horizon / 3000.0, 0.25e-12)
+
+    v_start = 0.0 if output_rising else vdd
+    v_end = vdd if output_rising else 0.0
+    for _ in range(6):
+        result = simulate_nonlinear(circuit, t_input_start + horizon, dt_sim)
+        out = result.voltage("out")
+        if abs(float(out.values[-1]) - v_end) < 0.02 * vdd:
+            break
+        horizon *= 2.0
+        dt_sim *= 2.0
+    else:
+        raise RuntimeError(
+            f"{gate.name} output did not settle while fitting Thevenin "
+            f"model (c_load={c_load:.3e} F, slew={input_slew:.3e} s)")
+
+    t10, t50, t90 = _measure_crossings(out, v_start, v_end)
+
+    # Initial guess: pure ramp would have t90-t10 = 0.8*dt.
+    dt0 = max((t90 - t10) / 0.8, 1e-13)
+    tau0 = 0.2 * dt0
+    t0_guess = t10 - ramp_rc_crossing(0.1, dt0, tau0)
+
+    def residuals(params):
+        t0, log_dt, log_tau = params
+        dt_val, tau_val = math.exp(log_dt), math.exp(log_tau)
+        return [
+            (t0 + ramp_rc_crossing(f, dt_val, tau_val)) - measured
+            for f, measured in zip(_FRACTIONS, (t10, t50, t90))
+        ]
+
+    fit = least_squares(
+        residuals, [t0_guess, math.log(dt0), math.log(tau0)],
+        method="lm", xtol=1e-15, ftol=1e-15)
+    t0, dt_fit, tau_fit = fit.x[0], math.exp(fit.x[1]), math.exp(fit.x[2])
+
+    return TheveninModel(t0=t0, dt=dt_fit, rth=tau_fit / c_load,
+                         v_start=v_start, v_end=v_end)
+
+
+class TheveninTable:
+    """Pre-characterized Thevenin models over a load grid.
+
+    The paper notes the Thevenin parameters "are a function of the
+    effective load" and are stored in tables per gate; this class
+    characterizes a log-spaced load grid once and interpolates
+    (t0, dt, tau) in log-load afterwards — which makes the C-effective
+    iteration essentially free.
+    """
+
+    def __init__(self, gate: Gate, input_slew: float, output_rising: bool,
+                 loads: np.ndarray, models: list[TheveninModel]):
+        self.gate = gate
+        self.input_slew = input_slew
+        self.output_rising = output_rising
+        self.loads = np.asarray(loads, dtype=float)
+        self.models = models
+
+    @classmethod
+    def build(cls, gate: Gate, input_slew: float, output_rising: bool, *,
+              c_min: float | None = None, c_max: float | None = None,
+              points: int = 7,
+              switching_pin: str | None = None) -> "TheveninTable":
+        """Characterize ``points`` log-spaced loads in ``[c_min, c_max]``.
+
+        Default range: 1.2x the gate's own diffusion cap up to 300x the
+        unit gate-input cap — generously covering realistic nets.
+        """
+        c_diff = gate.output_capacitance()
+        c_min = c_min if c_min is not None else 1.2 * c_diff
+        c_max = c_max if c_max is not None else max(
+            300.0 * gate.input_capacitance(), 10.0 * c_min)
+        loads = np.geomspace(c_min, c_max, points)
+        models = [
+            characterize_thevenin(gate, input_slew, output_rising, c,
+                                  switching_pin=switching_pin)
+            for c in loads
+        ]
+        return cls(gate, input_slew, output_rising, loads, models)
+
+    def lookup(self, c_load: float) -> TheveninModel:
+        """Interpolated model at ``c_load`` (clamped to the grid range)."""
+        logc = math.log(min(max(c_load, self.loads[0]), self.loads[-1]))
+        logs = np.log(self.loads)
+        t0 = float(np.interp(logc, logs, [m.t0 for m in self.models]))
+        dt = float(np.interp(logc, logs, [m.dt for m in self.models]))
+        tau = float(np.interp(
+            logc, logs, [m.rth * c for m, c in zip(self.models, self.loads)]))
+        ref = self.models[0]
+        return TheveninModel(t0=t0, dt=dt, rth=tau / c_load,
+                             v_start=ref.v_start, v_end=ref.v_end)

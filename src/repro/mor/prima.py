@@ -1,0 +1,148 @@
+"""PRIMA: passive reduced-order interconnect macromodeling.
+
+Given the MNA descriptor system
+
+    C x'(t) + G x(t) = B u(t),      y(t) = L^T x(t)
+
+PRIMA projects onto an orthonormal basis ``V`` of the block Krylov space
+
+    K_q(A, R) = span{R, A R, A^2 R, ...},  A = -(G)^{-1} C,  R = G^{-1} B
+
+(expansion about ``s0 = 0``; an arbitrary real expansion point is supported
+by shifting ``G -> G + s0 C``).  The congruence-transformed system
+
+    (V^T C V) z' + (V^T G V) z = (V^T B) u,   y = (V^T L)^T z
+
+matches at least ``floor(q / p)`` block moments of the original transfer
+function (``p`` inputs) and — when ``G`` and ``C`` are symmetric positive
+semidefinite, as they are for RC circuits with current-source inputs —
+preserves passivity, because congruence preserves definiteness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+__all__ = ["prima_reduce", "transfer_moments"]
+
+#: Vectors whose post-orthogonalization norm falls below this fraction of
+#: their pre-orthogonalization norm are deflated (considered dependent).
+_DEFLATION_TOL = 1e-10
+
+
+def prima_reduce(G: np.ndarray, C: np.ndarray, B: np.ndarray,
+                 order: int, *, s0: float = 0.0,
+                 L: np.ndarray | None = None):
+    """Compute the PRIMA projection basis and reduced matrices.
+
+    Parameters
+    ----------
+    G, C:
+        MNA conductance / capacitance matrices, shape ``(n, n)``.
+    B:
+        Input incidence, shape ``(n, p)``.
+    order:
+        Target reduced dimension ``q`` (the basis may come out smaller if
+        the Krylov space deflates).
+    s0:
+        Real expansion frequency; 0 is the usual choice for RC.
+    L:
+        Optional output incidence ``(n, m)``; reduced as ``V^T L``.
+
+    Returns
+    -------
+    dict with keys ``V, Gr, Cr, Br`` and (if ``L`` given) ``Lr``.
+    """
+    G = np.asarray(G, dtype=float)
+    C = np.asarray(C, dtype=float)
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    if B.shape[0] != G.shape[0]:
+        raise ValueError("B row count must match G dimension")
+    if order < 1:
+        raise ValueError("order must be >= 1")
+
+    n, p = B.shape
+    order = min(order, n)
+
+    shifted = G + s0 * C if s0 != 0.0 else G
+    lu, piv = scipy.linalg.lu_factor(shifted)
+
+    def solve(M: np.ndarray) -> np.ndarray:
+        out = scipy.linalg.lu_solve((lu, piv), M, check_finite=False)
+        if not np.isfinite(out).all():
+            raise ValueError(
+                "(G + s0*C) is singular at the expansion point — a net "
+                "floats at DC (reachable only through capacitors). Anchor "
+                "it with a holding resistor or pass s0 > 0.")
+        return out
+
+    # Block Arnoldi with modified Gram-Schmidt and deflation.
+    columns: list[np.ndarray] = []
+
+    def orthonormalize(block: np.ndarray) -> np.ndarray:
+        kept = []
+        for j in range(block.shape[1]):
+            v = block[:, j].copy()
+            norm_before = np.linalg.norm(v)
+            if norm_before == 0.0:
+                continue
+            for _ in range(2):  # twice for numerical orthogonality
+                for u in columns:
+                    v -= (u @ v) * u
+            # Relative criterion: Krylov blocks of RC systems shrink by a
+            # factor ~RC (1e-10 s) per iteration, so only the fraction of
+            # the vector that is new information matters, not its scale.
+            norm_after = np.linalg.norm(v)
+            if norm_after <= _DEFLATION_TOL * norm_before:
+                continue
+            v /= norm_after
+            columns.append(v)
+            kept.append(v)
+            if len(columns) >= order:
+                break
+        return np.column_stack(kept) if kept else np.empty((n, 0))
+
+    block = orthonormalize(solve(B))
+    while len(columns) < order and block.shape[1] > 0:
+        block = orthonormalize(solve(C @ block))
+
+    if not columns:
+        raise ValueError("Krylov space is empty (zero input incidence?)")
+    V = np.column_stack(columns)
+
+    result = {
+        "V": V,
+        "Gr": V.T @ G @ V,
+        "Cr": V.T @ C @ V,
+        "Br": V.T @ B,
+    }
+    if L is not None:
+        result["Lr"] = V.T @ np.atleast_2d(np.asarray(L, dtype=float))
+    return result
+
+
+def transfer_moments(G: np.ndarray, C: np.ndarray, B: np.ndarray,
+                     L: np.ndarray, count: int,
+                     *, s0: float = 0.0) -> list[np.ndarray]:
+    """Block moments ``m_k`` of ``H(s) = L^T (G + s C)^{-1} B`` about s0.
+
+    ``H(s0 + s) = sum_k m_k s^k`` with
+    ``m_k = (-1)^k L^T ((G + s0 C)^{-1} C)^k (G + s0 C)^{-1} B``.
+    Used by tests to verify PRIMA's moment matching and by the effective
+    capacitance code to extract driving-point admittance moments.
+    """
+    G = np.asarray(G, dtype=float)
+    C = np.asarray(C, dtype=float)
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    L = np.atleast_2d(np.asarray(L, dtype=float))
+    shifted = G + s0 * C if s0 != 0.0 else G
+    lu, piv = scipy.linalg.lu_factor(shifted)
+    moments = []
+    X = scipy.linalg.lu_solve((lu, piv), B)
+    sign = 1.0
+    for _ in range(count):
+        moments.append(sign * (L.T @ X))
+        X = scipy.linalg.lu_solve((lu, piv), C @ X)
+        sign = -sign
+    return moments

@@ -1,0 +1,134 @@
+"""TICER: realizable RC reduction by quick-node elimination.
+
+TICER (Sheehan, "TICER: Realizable Reduction of Extracted RC Circuits")
+shrinks an extracted RC network by eliminating internal nodes whose time
+constant ``tau = C_node / G_node`` is far below the timescale of
+interest.  Eliminating node *n* with neighbor conductances ``g_i`` and
+capacitances ``c_i`` (ground counts as a neighbor):
+
+* conductance between former neighbors:  ``g_ij += g_i g_j / G``
+* capacitance between former neighbors:  ``c_ij += (c_i g_j + c_j g_i) / G``
+
+with ``G = sum g_i``.  DC behaviour is preserved *exactly* (the
+conductance rule is Gaussian elimination); the capacitance rule keeps
+the node's charge, so slow dynamics survive while sub-threshold poles
+disappear.  Unlike projection methods (PRIMA/AWE) the result is again a
+plain RC circuit — it can be re-parsed, re-stamped, fed to the
+superposition flow, or reduced again.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.circuit.netlist import GROUND, Circuit
+
+__all__ = ["ticer_reduce"]
+
+#: Conductances/capacitances below these are dropped from the output.
+_G_FLOOR = 1e-15
+_C_FLOOR = 1e-21
+
+
+def _pair(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+def ticer_reduce(circuit: Circuit, keep: set[str] | list[str], *,
+                 max_time_constant: float | None = None) -> Circuit:
+    """Reduce an RC circuit by eliminating quick internal nodes.
+
+    Parameters
+    ----------
+    circuit:
+        Passive R/C circuit (sources and devices are rejected).
+    keep:
+        Port nodes that must survive (driver roots, receiver pins,
+        coupling attachment points you care about).
+    max_time_constant:
+        Only nodes with ``tau <= max_time_constant`` are eliminated.
+        ``None`` eliminates every non-kept node that has resistive
+        neighbors — exact at DC, a single-pole-per-port approximation
+        dynamically.
+
+    Returns
+    -------
+    A new :class:`Circuit` over the kept nodes (plus any node that could
+    not be eliminated, e.g. capacitor-only nodes, which have no
+    conductance to redistribute).
+    """
+    if circuit.mosfets or circuit.vsources or circuit.isources:
+        raise ValueError("ticer_reduce expects a passive R/C circuit")
+    keep = set(keep)
+    unknown = keep - set(circuit.nodes())
+    if unknown:
+        raise KeyError(f"keep nodes not in circuit: {sorted(unknown)}")
+
+    g: dict[tuple[str, str], float] = defaultdict(float)
+    c: dict[tuple[str, str], float] = defaultdict(float)
+    for r in circuit.resistors:
+        g[_pair(r.node1, r.node2)] += 1.0 / r.resistance
+    for cap in circuit.capacitors:
+        c[_pair(cap.node1, cap.node2)] += cap.capacitance
+
+    def neighbors(node: str, table) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for (a, b), value in table.items():
+            if value == 0.0:
+                continue
+            if a == node and b != node:
+                out[b] += value
+            elif b == node and a != node:
+                out[a] += value
+        return out
+
+    def eliminate(node: str) -> None:
+        gn = neighbors(node, g)
+        cn = neighbors(node, c)
+        G = sum(gn.values())
+        others = sorted(set(gn) | set(cn))
+        for i, a in enumerate(others):
+            for b in others[i + 1:]:
+                if a == b:
+                    continue
+                key = _pair(a, b)
+                g[key] += gn.get(a, 0.0) * gn.get(b, 0.0) / G
+                c[key] += (cn.get(a, 0.0) * gn.get(b, 0.0)
+                           + cn.get(b, 0.0) * gn.get(a, 0.0)) / G
+        for other in others:
+            g.pop(_pair(node, other), None)
+            c.pop(_pair(node, other), None)
+
+    def time_constant(node: str) -> float | None:
+        gn = neighbors(node, g)
+        G = sum(gn.values())
+        if G <= 0.0:
+            return None  # capacitor-only node: not eliminable
+        C = sum(neighbors(node, c).values())
+        return C / G
+
+    # Iteratively eliminate the quickest eligible node; each elimination
+    # changes its neighbors' time constants, so re-evaluate every pass.
+    while True:
+        live = {n for pair_ in list(g) + list(c) for n in pair_
+                if n != GROUND}
+        candidates = []
+        for node in live - keep:
+            tau = time_constant(node)
+            if tau is None:
+                continue
+            if max_time_constant is None or tau <= max_time_constant:
+                candidates.append((tau, node))
+        if not candidates:
+            break
+        candidates.sort()
+        eliminate(candidates[0][1])
+
+    reduced = Circuit(f"{circuit.name}_ticer")
+    for index, ((a, b), value) in enumerate(sorted(g.items())):
+        if value > _G_FLOOR:
+            reduced.add_resistor(f"r{index}", a, b, 1.0 / value)
+    for index, ((a, b), value) in enumerate(sorted(c.items())):
+        if value > _C_FLOOR:
+            reduced.add_capacitor(f"c{index}", a, b, value)
+    return reduced

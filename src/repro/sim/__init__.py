@@ -1,0 +1,24 @@
+"""Transient circuit simulation.
+
+* :mod:`repro.sim.linear` — fixed-step trapezoidal integration of linear
+  MNA descriptor systems with single LU factorization.  This is the fast
+  path used thousands of times inside the superposition flow.
+* :mod:`repro.sim.nonlinear` — backward-Euler + damped-Newton transient
+  co-simulation of MOSFET devices with arbitrary linear networks.  Plays
+  the role of "Spice" in the paper: the golden reference and the engine
+  behind Thevenin / Rtr / alignment characterization.
+* :mod:`repro.sim.result` — shared result container mapping node names to
+  :class:`~repro.waveform.Waveform` objects.
+"""
+
+from repro.sim.result import SimulationResult, time_grid
+from repro.sim.linear import simulate_linear
+from repro.sim.nonlinear import simulate_nonlinear, ConvergenceError
+
+__all__ = [
+    "SimulationResult",
+    "time_grid",
+    "simulate_linear",
+    "simulate_nonlinear",
+    "ConvergenceError",
+]

@@ -1,0 +1,147 @@
+"""Non-linear transient co-simulation (backward Euler + damped Newton).
+
+This is the library's "Spice": it simulates circuits that mix MOSFET
+devices with arbitrary linear RC networks and waveform-driven sources.
+It is used for
+
+* golden full-circuit delay-noise reference runs (paper Figures 2, 5, 13),
+* gate characterization (Thevenin fitting, C-effective),
+* the two non-linear driver runs of the transient-holding-resistance
+  algorithm (paper Section 2, Step 3), and
+* receiver-output delay evaluation during alignment search and
+  pre-characterization (paper Section 3).
+
+Method: backward Euler in time (L-stable, no trapezoidal ringing on the
+stiff gate nodes) with a damped Newton solve per step.  Voltage updates
+are clamped to ±0.5 V per iteration — the standard SPICE-style limiting
+that keeps the square-law device from overshooting across regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.mna import MnaSystem, build_mna
+from repro.circuit.netlist import GROUND, Circuit
+from repro.sim.result import SimulationResult, time_grid
+
+__all__ = ["simulate_nonlinear", "ConvergenceError"]
+
+#: Maximum Newton voltage update per iteration [V].
+_DAMP_LIMIT = 0.5
+_MAX_ITERATIONS = 100
+_VTOL = 1e-6
+
+
+class ConvergenceError(RuntimeError):
+    """Newton iteration failed to converge."""
+
+
+class _DeviceStamps:
+    """Pre-resolved node indices for fast per-iteration device stamping."""
+
+    __slots__ = ("device", "ig", "id_", "is_")
+
+    def __init__(self, device, node_index):
+        self.device = device
+        self.ig = node_index.get(device.gate, -1) \
+            if device.gate != GROUND else -1
+        self.id_ = node_index.get(device.drain, -1) \
+            if device.drain != GROUND else -1
+        self.is_ = node_index.get(device.source, -1) \
+            if device.source != GROUND else -1
+
+
+def _voltage_at(x: np.ndarray, index: int) -> float:
+    return x[index] if index >= 0 else 0.0
+
+
+def _newton_solve(base_jacobian: np.ndarray, base_residual_of,
+                  devices: list[_DeviceStamps], x: np.ndarray,
+                  context: str) -> np.ndarray:
+    """Damped Newton on ``F(x) = base_residual(x) + device_currents(x)``.
+
+    ``base_jacobian`` is the (constant) linear part of dF/dx;
+    ``base_residual_of(x)`` returns the linear part of F(x).
+    """
+    x = x.copy()
+    for _ in range(_MAX_ITERATIONS):
+        F = base_residual_of(x)
+        J = base_jacobian.copy()
+        for ds in devices:
+            vg = _voltage_at(x, ds.ig)
+            vd = _voltage_at(x, ds.id_)
+            vs = _voltage_at(x, ds.is_)
+            i, dg, dd, dsrc = ds.device.evaluate(vg, vd, vs)
+            if ds.id_ >= 0:
+                F[ds.id_] += i
+                if ds.ig >= 0:
+                    J[ds.id_, ds.ig] += dg
+                J[ds.id_, ds.id_] += dd
+                if ds.is_ >= 0:
+                    J[ds.id_, ds.is_] += dsrc
+            if ds.is_ >= 0:
+                F[ds.is_] -= i
+                if ds.ig >= 0:
+                    J[ds.is_, ds.ig] -= dg
+                if ds.id_ >= 0:
+                    J[ds.is_, ds.id_] -= dd
+                J[ds.is_, ds.is_] -= dsrc
+        try:
+            delta = np.linalg.solve(J, -F)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular Jacobian during {context}") from exc
+        step = np.abs(delta).max(initial=0.0)
+        if step > _DAMP_LIMIT:
+            delta *= _DAMP_LIMIT / step
+        x += delta
+        if step < _VTOL:
+            return x
+    raise ConvergenceError(
+        f"Newton did not converge within {_MAX_ITERATIONS} iterations "
+        f"during {context} (last step {step:.3e} V)")
+
+
+def simulate_nonlinear(circuit: Circuit, t_stop: float, dt: float, *,
+                       t_start: float = 0.0,
+                       x0: np.ndarray | None = None) -> SimulationResult:
+    """Transient-simulate a circuit containing MOSFETs.
+
+    The initial state defaults to the DC operating point with all sources
+    evaluated at ``t_start``.  Pass ``x0`` to chain simulations.
+    """
+    mna = build_mna(circuit, allow_devices=True)
+    times = time_grid(t_stop, dt, t_start)
+    h = times[1] - times[0]
+    rhs = mna.rhs_matrix(times)
+
+    devices = [_DeviceStamps(m, mna.node_index) for m in circuit.mosfets]
+    G, C = mna.G, mna.C
+
+    # DC operating point: F(x) = G x + i_dev(x) - rhs0.
+    if x0 is None:
+        rhs0 = rhs[:, 0]
+        x0 = _newton_solve(
+            G, lambda x: G @ x - rhs0, devices,
+            np.zeros(mna.dim), f"DC operating point of {circuit.name}")
+    else:
+        x0 = np.asarray(x0, dtype=float).copy()
+        if x0.shape != (mna.dim,):
+            raise ValueError(f"x0 must have shape ({mna.dim},)")
+
+    # Backward Euler: F(x) = (C/h)(x - x_prev) + G x + i_dev(x) - rhs_k.
+    Ch = C / h
+    A = Ch + G
+    states = np.empty((mna.dim, times.size))
+    states[:, 0] = x0
+    x = x0
+    for k in range(1, times.size):
+        b_k = Ch @ x + rhs[:, k]
+        x = _newton_solve(
+            A,
+            lambda y, b=b_k: A @ y - b,
+            devices, x, f"t={times[k]:.3e}s of {circuit.name}")
+        states[:, k] = x
+
+    return SimulationResult(mna, times, states)

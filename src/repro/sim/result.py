@@ -1,0 +1,58 @@
+"""Shared transient-simulation result container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.mna import MnaSystem
+from repro.waveform import Waveform
+
+__all__ = ["SimulationResult", "time_grid"]
+
+
+def time_grid(t_stop: float, dt: float, t_start: float = 0.0) -> np.ndarray:
+    """Uniform time grid ``[t_start, t_stop]`` with step ``dt``.
+
+    The grid always contains ``t_stop`` (the last step may be shortened by
+    construction of ``linspace``), and has at least two points.
+    """
+    if t_stop <= t_start:
+        raise ValueError("t_stop must exceed t_start")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    steps = max(int(round((t_stop - t_start) / dt)), 1)
+    return np.linspace(t_start, t_stop, steps + 1)
+
+
+class SimulationResult:
+    """Node voltages (and branch currents) over a transient run.
+
+    Thin wrapper over the raw state matrix that hands out
+    :class:`~repro.waveform.Waveform` views per node, which is what the
+    analysis layers consume.
+    """
+
+    def __init__(self, mna: MnaSystem, times: np.ndarray, states: np.ndarray):
+        if states.shape != (mna.dim, times.size):
+            raise ValueError(
+                f"state matrix {states.shape} inconsistent with "
+                f"dim={mna.dim}, T={times.size}"
+            )
+        self.mna = mna
+        self.times = times
+        self.states = states
+
+    def voltage(self, node: str) -> Waveform:
+        """Voltage waveform at a named node."""
+        return Waveform(self.times, self.states[self.mna.index_of(node)])
+
+    def branch_current(self, vsource_name: str) -> Waveform:
+        """Current through a named voltage source (into its + terminal)."""
+        row = self.mna.vsource_index[vsource_name]
+        return Waveform(self.times, self.states[row])
+
+    def final_voltages(self) -> dict[str, float]:
+        """Map of node name to final-time voltage."""
+        last = self.states[:, -1]
+        return {node: float(last[idx])
+                for node, idx in self.mna.node_index.items()}

@@ -1,0 +1,33 @@
+"""Static timing analysis with switching windows and coupling iteration.
+
+The paper's alignment search runs "within the constraints of the
+switching timing windows that are calculated during timing analysis",
+and notes (after its references [8] Sapatnekar and [9] TACO) that the
+windows and the coupling-induced delta delays are mutually dependent —
+iterating the two converges in a few passes.  This package provides that
+substrate:
+
+* :mod:`repro.sta.windows` — arrival/switching window arithmetic.
+* :mod:`repro.sta.graph` — a topological timing graph over gates/nets.
+* :mod:`repro.sta.engine` — the coupling-aware fixed-point iteration,
+  with pluggable delta-delay models (binary overlap, or driven by an
+  exhaustive :class:`~repro.core.exhaustive.AlignmentSweep`).
+"""
+
+from repro.sta.windows import Window
+from repro.sta.graph import TimingGraph
+from repro.sta.engine import (
+    CoupledSta,
+    CouplingBinding,
+    OverlapDeltaModel,
+    SweepDeltaModel,
+)
+
+__all__ = [
+    "Window",
+    "TimingGraph",
+    "CoupledSta",
+    "CouplingBinding",
+    "OverlapDeltaModel",
+    "SweepDeltaModel",
+]

@@ -1,0 +1,166 @@
+"""Topological timing graph.
+
+Nodes are named timing points (primary inputs, gate outputs / net ends);
+edges carry ``[delay_min, delay_max]`` intervals (gate or interconnect
+delays).  Switching windows propagate forward in topological order:
+through an edge a window shifts by the delay interval, and at a fan-in
+node the merged window is the hull of all incoming windows — the
+standard windows formulation of the paper's reference [1] (Shepard et
+al., "Global Harmony").
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.sta.windows import Window
+
+__all__ = ["TimingGraph"]
+
+
+class TimingGraph:
+    """A DAG of timing points with interval delays."""
+
+    def __init__(self):
+        self._graph = nx.DiGraph()
+        self._inputs: dict[str, Window] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str, window: Window) -> None:
+        """Declare a primary input with its switching window."""
+        self._graph.add_node(name)
+        self._inputs[name] = window
+
+    def add_edge(self, src: str, dst: str, delay_min: float,
+                 delay_max: float, *, name: str | None = None) -> None:
+        """Add a timing arc; ``name`` identifies it for delay updates."""
+        if delay_max < delay_min:
+            raise ValueError("delay_max below delay_min")
+        self._graph.add_edge(src, dst, delay_min=delay_min,
+                             delay_max=delay_max,
+                             name=name or f"{src}->{dst}")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(src, dst)
+            raise ValueError(f"edge {src}->{dst} would create a cycle")
+
+    def set_edge_delay(self, src: str, dst: str, delay_min: float,
+                       delay_max: float) -> None:
+        if not self._graph.has_edge(src, dst):
+            raise KeyError(f"no edge {src}->{dst}")
+        self._graph[src][dst]["delay_min"] = delay_min
+        self._graph[src][dst]["delay_max"] = delay_max
+
+    def edge_delay(self, src: str, dst: str) -> tuple[float, float]:
+        data = self._graph[src][dst]
+        return data["delay_min"], data["delay_max"]
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._graph.nodes)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def propagate_windows(self) -> dict[str, Window]:
+        """Forward-propagate switching windows to every node.
+
+        Nodes unreachable from any primary input get no window (they
+        never switch) and are omitted from the result.
+        """
+        if not self._inputs:
+            raise ValueError("no primary inputs declared")
+        windows: dict[str, Window] = dict(self._inputs)
+        for node in nx.topological_sort(self._graph):
+            incoming = []
+            if node in self._inputs:
+                incoming.append(self._inputs[node])
+            for pred in self._graph.predecessors(node):
+                if pred in windows:
+                    d = self._graph[pred][node]
+                    incoming.append(Window.propagate(
+                        windows[pred], d["delay_min"], d["delay_max"]))
+            if incoming:
+                windows[node] = Window.merge(incoming)
+        return windows
+
+    def latest_arrival(self, node: str) -> float:
+        """Worst-case (latest) arrival at a node."""
+        windows = self.propagate_windows()
+        if node not in windows:
+            raise KeyError(f"{node} is unreachable from any input")
+        return windows[node].latest
+
+    def required_times(self, requirements: dict[str, float]
+                       ) -> dict[str, float]:
+        """Backward-propagate required arrival times.
+
+        ``requirements`` gives the latest allowed arrival at endpoint
+        nodes (e.g. capture-flop setup deadlines).  Every node that can
+        reach a constrained endpoint gets
+        ``min over fanout (required(succ) - delay_max)``; a constrained
+        node takes the tighter of its own requirement and its fanout's.
+        """
+        if not requirements:
+            raise ValueError("no endpoint requirements given")
+        unknown = set(requirements) - set(self._graph.nodes)
+        if unknown:
+            raise KeyError(f"unknown endpoint(s): {sorted(unknown)}")
+        required: dict[str, float] = {}
+        for node in reversed(list(nx.topological_sort(self._graph))):
+            candidates = []
+            if node in requirements:
+                candidates.append(requirements[node])
+            for succ in self._graph.successors(node):
+                if succ in required:
+                    d = self._graph[node][succ]["delay_max"]
+                    candidates.append(required[succ] - d)
+            if candidates:
+                required[node] = min(candidates)
+        return required
+
+    def slacks(self, requirements: dict[str, float]) -> dict[str, float]:
+        """Setup slack per node: required time minus latest arrival.
+
+        Only nodes with both a window and a required time appear.
+        Negative slack marks a violated path — the quantity that grows
+        more negative when coupling delta delays are applied.
+        """
+        windows = self.propagate_windows()
+        required = self.required_times(requirements)
+        return {
+            node: required[node] - windows[node].latest
+            for node in required if node in windows
+        }
+
+    def worst_slack(self, requirements: dict[str, float]) -> float:
+        """Minimum slack over all constrained, reachable nodes."""
+        slacks = self.slacks(requirements)
+        if not slacks:
+            raise ValueError("no constrained node is reachable")
+        return min(slacks.values())
+
+    def critical_path(self, node: str) -> list[str]:
+        """Nodes along the max-delay path from an input to ``node``."""
+        windows = self.propagate_windows()
+        if node not in windows:
+            raise KeyError(f"{node} is unreachable from any input")
+        path = [node]
+        current = node
+        while current not in self._inputs or \
+                any(True for _ in self._graph.predecessors(current)):
+            best_pred = None
+            target = windows[current].latest
+            for pred in self._graph.predecessors(current):
+                if pred not in windows:
+                    continue
+                d = self._graph[pred][current]["delay_max"]
+                if abs(windows[pred].latest + d - target) < 1e-18:
+                    best_pred = pred
+                    break
+            if best_pred is None:
+                break
+            path.append(best_pred)
+            current = best_pred
+        return list(reversed(path))

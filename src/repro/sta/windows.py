@@ -1,0 +1,78 @@
+"""Switching-window arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Window"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """A closed interval of possible switching times ``[earliest, latest]``.
+
+    Windows are the currency of coupling-aware STA: a net may switch
+    anywhere inside its window, so two nets can interact exactly when
+    their windows (suitably padded by waveform spans) overlap.
+    """
+
+    earliest: float
+    latest: float
+
+    def __post_init__(self):
+        if self.latest < self.earliest:
+            raise ValueError(
+                f"window latest ({self.latest}) before earliest "
+                f"({self.earliest})")
+
+    @property
+    def span(self) -> float:
+        return self.latest - self.earliest
+
+    def shifted(self, delta: float) -> "Window":
+        return Window(self.earliest + delta, self.latest + delta)
+
+    def padded(self, before: float, after: float = None) -> "Window":
+        """Extend by ``before`` on the left and ``after`` on the right."""
+        if after is None:
+            after = before
+        return Window(self.earliest - before, self.latest + after)
+
+    def overlaps(self, other: "Window") -> bool:
+        return self.earliest <= other.latest and \
+            other.earliest <= self.latest
+
+    def intersection(self, other: "Window") -> "Window | None":
+        lo = max(self.earliest, other.earliest)
+        hi = min(self.latest, other.latest)
+        if lo > hi:
+            return None
+        return Window(lo, hi)
+
+    def union_hull(self, other: "Window") -> "Window":
+        """Smallest window containing both."""
+        return Window(min(self.earliest, other.earliest),
+                      max(self.latest, other.latest))
+
+    def contains(self, t: float) -> bool:
+        return self.earliest <= t <= self.latest
+
+    def clamp(self, t: float) -> float:
+        return min(max(t, self.earliest), self.latest)
+
+    @staticmethod
+    def propagate(input_window: "Window", delay_min: float,
+                  delay_max: float) -> "Window":
+        """Window after an edge with [delay_min, delay_max] delay."""
+        return Window(input_window.earliest + delay_min,
+                      input_window.latest + delay_max)
+
+    @staticmethod
+    def merge(windows: list["Window"]) -> "Window":
+        """Hull of several fan-in windows (earliest-min / latest-max)."""
+        if not windows:
+            raise ValueError("cannot merge zero windows")
+        result = windows[0]
+        for w in windows[1:]:
+            result = result.union_hull(w)
+        return result

@@ -1,0 +1,141 @@
+"""Characterization persistence.
+
+A production noise tool characterizes its cell library once — Thevenin
+tables per (cell, slew, direction) and alignment tables per receiver
+cell — and ships the result as a sidecar database.  This module
+serializes the library's characterization state to JSON so an analyzer
+can be rehydrated without re-running a single non-linear simulation:
+
+    analyzer = DelayNoiseAnalyzer()
+    ... analyze some nets (tables build on demand) ...
+    save_characterization("chardb.json", analyzer)
+
+    fresh = DelayNoiseAnalyzer()
+    load_characterization("chardb.json", fresh)   # instant reuse
+
+Only plain floats/lists go into the file; gates are referenced by cell
+name and rebuilt from :func:`repro.gates.standard_cell` on load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.analysis import DelayNoiseAnalyzer
+from repro.core.precharacterize import AlignmentTable
+from repro.gates.library import standard_cell
+from repro.gates.thevenin import TheveninModel, TheveninTable
+
+__all__ = [
+    "thevenin_model_to_dict", "thevenin_model_from_dict",
+    "thevenin_table_to_dict", "thevenin_table_from_dict",
+    "alignment_table_to_dict", "alignment_table_from_dict",
+    "save_characterization", "load_characterization",
+]
+
+#: Schema version written into every file; bumped on layout changes.
+FORMAT_VERSION = 1
+
+
+def thevenin_model_to_dict(model: TheveninModel) -> dict[str, float]:
+    return {"t0": model.t0, "dt": model.dt, "rth": model.rth,
+            "v_start": model.v_start, "v_end": model.v_end}
+
+
+def thevenin_model_from_dict(data: dict[str, float]) -> TheveninModel:
+    return TheveninModel(t0=float(data["t0"]), dt=float(data["dt"]),
+                         rth=float(data["rth"]),
+                         v_start=float(data["v_start"]),
+                         v_end=float(data["v_end"]))
+
+
+def thevenin_table_to_dict(table: TheveninTable) -> dict[str, Any]:
+    return {
+        "gate": table.gate.name,
+        "input_slew": table.input_slew,
+        "output_rising": table.output_rising,
+        "loads": [float(c) for c in table.loads],
+        "models": [thevenin_model_to_dict(m) for m in table.models],
+    }
+
+
+def thevenin_table_from_dict(data: dict[str, Any]) -> TheveninTable:
+    return TheveninTable(
+        gate=standard_cell(data["gate"]),
+        input_slew=float(data["input_slew"]),
+        output_rising=bool(data["output_rising"]),
+        loads=np.asarray(data["loads"], dtype=float),
+        models=[thevenin_model_from_dict(m) for m in data["models"]],
+    )
+
+
+def alignment_table_to_dict(table: AlignmentTable) -> dict[str, Any]:
+    return {
+        "gate_name": table.gate_name,
+        "vdd": table.vdd,
+        "victim_rising": table.victim_rising,
+        "c_load": table.c_load,
+        "slews": list(table.slews),
+        "widths": list(table.widths),
+        "heights": list(table.heights),
+        "va": table.va.tolist(),
+        "cliff_guard": table.cliff_guard,
+    }
+
+
+def alignment_table_from_dict(data: dict[str, Any]) -> AlignmentTable:
+    return AlignmentTable(
+        gate_name=data["gate_name"],
+        vdd=float(data["vdd"]),
+        victim_rising=bool(data["victim_rising"]),
+        c_load=float(data["c_load"]),
+        slews=tuple(float(x) for x in data["slews"]),
+        widths=tuple(float(x) for x in data["widths"]),
+        heights=tuple(float(x) for x in data["heights"]),
+        va=np.asarray(data["va"], dtype=float),
+        cliff_guard=float(data.get("cliff_guard", 0.08)),
+    )
+
+
+def save_characterization(path, analyzer: DelayNoiseAnalyzer) -> None:
+    """Write the analyzer's characterization caches to ``path``."""
+    thevenin = [
+        {"key": {"gate": key[0], "input_slew": key[1],
+                 "output_rising": key[2]},
+         "table": thevenin_table_to_dict(table)}
+        for key, table in analyzer.cache.entries()
+    ]
+    alignment = [alignment_table_to_dict(t)
+                 for t in analyzer._tables.values()]
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "thevenin_tables": thevenin,
+        "alignment_tables": alignment,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_characterization(path, analyzer: DelayNoiseAnalyzer) -> None:
+    """Populate an analyzer's caches from a saved database.
+
+    Existing entries with the same keys are overwritten; others are
+    preserved, so several databases can be layered.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported characterization format {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    for entry in payload["thevenin_tables"]:
+        key = (entry["key"]["gate"], float(entry["key"]["input_slew"]),
+               bool(entry["key"]["output_rising"]))
+        analyzer.cache.install(key, thevenin_table_from_dict(
+            entry["table"]))
+    for data in payload["alignment_tables"]:
+        analyzer.register_table(alignment_table_from_dict(data))

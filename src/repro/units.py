@@ -1,0 +1,57 @@
+"""SI unit helpers.
+
+Everything inside :mod:`repro` is expressed in base SI units (seconds,
+volts, amps, ohms, farads, meters).  These constants make literals in user
+code and tests read like the paper: ``200 * PS``, ``50 * FF``, ``1.2 * KOHM``.
+"""
+
+# Time
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+FS = 1e-15
+
+# Capacitance
+F = 1.0
+UF = 1e-6
+NF = 1e-9
+PF = 1e-12
+FF = 1e-15
+
+# Resistance
+OHM = 1.0
+KOHM = 1e3
+MEGOHM = 1e6
+
+# Voltage / current
+V = 1.0
+MV = 1e-3
+A = 1.0
+MA = 1e-3
+UA = 1e-6
+
+# Length
+M = 1.0
+MM = 1e-3
+UM = 1e-6
+NM = 1e-9
+
+
+def from_engineering(value: float, suffix: str) -> float:
+    """Convert ``value`` with a SPICE-style engineering ``suffix`` to SI.
+
+    >>> from_engineering(1.5, 'k')
+    1500.0
+    >>> from_engineering(20, 'f')
+    2e-14
+    """
+    scales = {
+        "t": 1e12, "g": 1e9, "meg": 1e6, "x": 1e6, "k": 1e3,
+        "": 1.0, "m": 1e-3, "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15,
+    }
+    key = suffix.lower()
+    if key not in scales:
+        raise ValueError(f"unknown engineering suffix {suffix!r}")
+    return value * scales[key]

@@ -1,0 +1,47 @@
+"""Piecewise-linear waveform algebra.
+
+Waveforms are the lingua franca of the analysis flow: driver output
+transitions, injected noise pulses, composite (noisy) receiver inputs and
+simulated gate responses are all :class:`~repro.waveform.waveform.Waveform`
+objects.  The submodules provide:
+
+* :mod:`repro.waveform.waveform` — the core immutable PWL waveform class
+  (evaluation, crossings, shifting, arithmetic under superposition).
+* :mod:`repro.waveform.pulses` — constructors for canonical stimuli (ramps,
+  triangular and raised-cosine noise pulses) and pulse metrics (peak, width).
+* :mod:`repro.waveform.metrics` — delay and slew measurement between
+  waveforms, per the paper's 50% / 10–90% conventions.
+"""
+
+from repro.waveform.waveform import Waveform
+from repro.waveform.pulses import (
+    ramp,
+    step,
+    triangular_pulse,
+    raised_cosine_pulse,
+    noise_pulse,
+    pulse_peak,
+    pulse_width,
+)
+from repro.waveform.render import render_waveform, render_waveforms
+from repro.waveform.metrics import (
+    crossing_delay,
+    transition_slew,
+    extra_delay,
+)
+
+__all__ = [
+    "Waveform",
+    "ramp",
+    "step",
+    "triangular_pulse",
+    "raised_cosine_pulse",
+    "noise_pulse",
+    "pulse_peak",
+    "pulse_width",
+    "crossing_delay",
+    "transition_slew",
+    "extra_delay",
+    "render_waveform",
+    "render_waveforms",
+]

@@ -1,0 +1,64 @@
+"""Delay and slew measurement conventions from the paper.
+
+* Delay between two waveforms = difference of their 50% Vdd crossing times
+  (paper Section 1).
+* Slew ("edge rate" / "transition time") = the 10–90% crossing interval,
+  scaled by 1.25 to approximate the full 0–100% ramp duration — the same
+  convention used to build Thevenin ramp sources.
+* Extra (noise) delay = 50% crossing of the *noisy* waveform minus 50%
+  crossing of the *noiseless* one (paper Figure 1(d)).
+"""
+
+from __future__ import annotations
+
+from repro.waveform.waveform import Waveform
+
+__all__ = ["crossing_delay", "transition_slew", "extra_delay"]
+
+#: Multiplier mapping a 10–90% interval to an equivalent 0–100% ramp time.
+SLEW_TO_RAMP = 1.25
+
+
+def crossing_delay(launch: Waveform, capture: Waveform, vdd: float,
+                   *, launch_rising: bool | None = None,
+                   capture_rising: bool | None = None,
+                   which: str = "last") -> float:
+    """50%-to-50% delay from ``launch`` to ``capture``.
+
+    ``which='last'`` makes the measurement robust to noise glitches that
+    re-cross the threshold: the *final* crossing is the one that determines
+    when downstream logic settles, which is the pessimistic (and correct)
+    choice for worst-case delay noise.
+    """
+    t_launch = launch.crossing_time(0.5 * vdd, rising=launch_rising,
+                                    which="first")
+    t_capture = capture.crossing_time(0.5 * vdd, rising=capture_rising,
+                                      which=which)
+    return t_capture - t_launch
+
+
+def transition_slew(wave: Waveform, vdd: float, rising: bool) -> float:
+    """Equivalent 0–100% transition time from the 10–90% interval."""
+    lo, hi = 0.1 * vdd, 0.9 * vdd
+    if rising:
+        t_lo = wave.crossing_time(lo, rising=True, which="first")
+        t_hi = wave.crossing_time(hi, rising=True, which="last")
+    else:
+        t_hi = wave.crossing_time(hi, rising=False, which="first")
+        t_lo = wave.crossing_time(lo, rising=False, which="last")
+    interval = abs(t_hi - t_lo)
+    return SLEW_TO_RAMP * interval
+
+
+def extra_delay(noiseless: Waveform, noisy: Waveform, vdd: float,
+                rising: bool) -> float:
+    """Delay noise: shift of the 50% crossing caused by injected noise.
+
+    Positive values mean the noise slowed the transition down.  The noisy
+    waveform's *last* 50% crossing is used so that a pulse that momentarily
+    drags the signal back across threshold is penalized, matching the
+    pessimism required of a sign-off noise tool.
+    """
+    t_clean = noiseless.crossing_time(0.5 * vdd, rising=rising, which="first")
+    t_noisy = noisy.crossing_time(0.5 * vdd, rising=rising, which="last")
+    return t_noisy - t_clean

@@ -1,0 +1,172 @@
+"""Canonical stimuli and noise-pulse metrics.
+
+The alignment pre-characterization (paper Section 3.2) parameterizes noise
+pulses by *height* (peak magnitude) and *width* (duration at 50% of the
+peak).  The constructors here build canonical pulses with exactly those
+parameters; :func:`pulse_peak` / :func:`pulse_width` recover them from
+arbitrary simulated noise waveforms so that real composite pulses can be
+mapped into the pre-characterized table space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.waveform.waveform import Waveform
+
+__all__ = [
+    "ramp",
+    "step",
+    "triangular_pulse",
+    "raised_cosine_pulse",
+    "pulse_peak",
+    "pulse_width",
+]
+
+
+def ramp(t_start: float, transition_time: float, v_initial: float,
+         v_final: float, *, pad: float = 0.0) -> Waveform:
+    """Saturated linear ramp from ``v_initial`` to ``v_final``.
+
+    ``transition_time`` is the full 0–100% ramp duration (the Thevenin
+    model's ``dt`` parameter).  ``pad`` optionally extends the flat regions
+    on both sides, which keeps downstream union grids well-conditioned.
+    """
+    if transition_time <= 0:
+        raise ValueError("transition_time must be positive")
+    t0, t1 = t_start, t_start + transition_time
+    times = [t0, t1]
+    values = [v_initial, v_final]
+    if pad > 0:
+        times = [t0 - pad] + times + [t1 + pad]
+        values = [v_initial] + values + [v_final]
+    return Waveform(times, values)
+
+
+def step(t_step: float, v_initial: float, v_final: float,
+         rise: float = 1e-15) -> Waveform:
+    """Near-ideal step realized as a ``rise``-wide ramp (PWL-friendly)."""
+    return ramp(t_step, rise, v_initial, v_final)
+
+
+def triangular_pulse(t_peak: float, height: float, width: float,
+                     *, baseline: float = 0.0) -> Waveform:
+    """Triangular noise pulse with given 50%-height ``width``.
+
+    A triangle of base ``2 * width`` has exactly ``width`` duration at half
+    its height, so the constructor takes the half-height width directly —
+    the same convention the pre-characterization table uses.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    base = 2.0 * width
+    return Waveform(
+        [t_peak - base / 2.0, t_peak, t_peak + base / 2.0],
+        [baseline, baseline + height, baseline],
+    )
+
+
+def raised_cosine_pulse(t_peak: float, height: float, width: float,
+                        *, baseline: float = 0.0,
+                        samples: int = 65) -> Waveform:
+    """Smooth raised-cosine pulse with given 50%-height ``width``.
+
+    ``v(t) = h/2 * (1 + cos(pi * (t - t_peak) / width))`` over a support of
+    ``2 * width``; the half-height points fall exactly ``width`` apart.
+    Closer to real coupled-noise shapes than a triangle; used as the
+    characterization stimulus.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    t = np.linspace(t_peak - width, t_peak + width, samples)
+    v = baseline + (height / 2.0) * (1.0 + np.cos(np.pi * (t - t_peak) / width))
+    return Waveform(t, v)
+
+
+def noise_pulse(t_peak: float, height: float, width: float, *,
+                asymmetry: float = 4.0, baseline: float = 0.0,
+                samples: int = 257) -> Waveform:
+    """Asymmetric double-exponential noise pulse.
+
+    Real coupled-noise pulses rise quickly (driven by the aggressor edge)
+    and decay slowly (discharged through the victim net's RC):
+    ``v(t) ∝ exp(-t/tau_fall) - exp(-t/tau_rise)`` with
+    ``tau_fall = asymmetry * tau_rise``.  The shape is normalized so the
+    extremum equals ``height`` at ``t_peak`` and the duration at half
+    height equals ``width`` — the same (height, width) convention as the
+    other pulse constructors, with a realistic tail.  This is the
+    characterization stimulus of the alignment table.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if asymmetry <= 1.0:
+        raise ValueError("asymmetry must exceed 1 (fall slower than rise)")
+    tau_rise, tau_fall = 1.0, float(asymmetry)
+    t = np.linspace(0.0, 12.0 * tau_fall, samples)
+    shape = np.exp(-t / tau_fall) - np.exp(-t / tau_rise)
+    peak = shape.max()
+    peak_idx = int(shape.argmax())
+    t_pk = t[peak_idx]
+    # Interpolated half-height crossings (the sampled extrema alone would
+    # bias the width by up to one grid step).
+    half = 0.5 * peak
+    rising_part = shape[:peak_idx + 1]
+    t_left = float(np.interp(half, rising_part, t[:peak_idx + 1]))
+    falling_part = shape[peak_idx:][::-1]
+    t_right = float(np.interp(half, falling_part, t[peak_idx:][::-1]))
+    unit_width = t_right - t_left
+    scale = width / unit_width
+    times = (t - t_pk) * scale + t_peak
+    values = baseline + (shape / peak) * height
+    return Waveform(times, values)
+
+
+def pulse_peak(noise: Waveform) -> tuple[float, float]:
+    """``(time, signed height)`` of a noise pulse's extremum.
+
+    The extremum is measured relative to the pulse's settled baseline (its
+    final value), so a pulse riding on a non-zero steady level is handled.
+    """
+    baseline = float(noise.values[-1])
+    rel = noise.values - baseline
+    idx = int(np.argmax(np.abs(rel)))
+    return float(noise.times[idx]), float(rel[idx])
+
+
+def pulse_width(noise: Waveform, fraction: float = 0.5) -> float:
+    """Pulse duration at ``fraction`` of the peak height.
+
+    Width is measured between the outermost crossings of the
+    ``fraction * height`` level around the peak, which is robust to ringing
+    near the baseline.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must lie in (0, 1)")
+    t_peak, height = pulse_peak(noise)
+    if height == 0.0:
+        return 0.0
+    baseline = float(noise.values[-1])
+    level = baseline + fraction * height
+    rel = (noise.values - level) * np.sign(height)
+    t = noise.times
+    above = rel >= 0.0
+    if not above.any():
+        return 0.0
+    # Find the contiguous above-level region containing the peak and locate
+    # its interpolated edges.
+    peak_idx = int(np.argmin(np.abs(t - t_peak)))
+    lo = peak_idx
+    while lo > 0 and above[lo - 1]:
+        lo -= 1
+    hi = peak_idx
+    while hi < t.size - 1 and above[hi + 1]:
+        hi += 1
+    t_lo = t[lo]
+    if lo > 0:
+        a, b = rel[lo - 1], rel[lo]
+        t_lo = t[lo - 1] + (t[lo] - t[lo - 1]) * (-a) / (b - a)
+    t_hi = t[hi]
+    if hi < t.size - 1:
+        a, b = rel[hi], rel[hi + 1]
+        t_hi = t[hi] + (t[hi + 1] - t[hi]) * a / (a - b)
+    return float(t_hi - t_lo)

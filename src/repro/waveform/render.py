@@ -1,0 +1,96 @@
+"""Terminal (ASCII) waveform rendering.
+
+The library has no plotting dependency; this renderer makes waveforms
+inspectable in a terminal, log file or docstring — good enough to *see*
+a noise pulse riding on a transition, which is most of what a noise
+debugging session needs.
+
+    print(render_waveforms({"victim": vic, "noisy": noisy}, width=72))
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.waveform.waveform import Waveform
+
+__all__ = ["render_waveform", "render_waveforms"]
+
+#: Glyphs assigned to successive series in a multi-waveform plot.
+_GLYPHS = "*o+x#@"
+
+
+def _si_time(value: float) -> str:
+    for scale, suffix in ((1e-9, "ns"), (1e-12, "ps"), (1e-15, "fs")):
+        if abs(value) >= scale or suffix == "fs":
+            return f"{value / scale:.3g}{suffix}"
+    return f"{value:.3g}s"
+
+
+def render_waveforms(waves: dict[str, Waveform], *, width: int = 72,
+                     height: int = 16,
+                     t_start: float | None = None,
+                     t_end: float | None = None) -> str:
+    """Render several waveforms into one ASCII chart.
+
+    Parameters
+    ----------
+    waves:
+        Ordered mapping of label to waveform; each gets its own glyph.
+    width, height:
+        Plot area in characters.
+    t_start, t_end:
+        Time span (defaults to the union of the waveform supports).
+    """
+    if not waves:
+        raise ValueError("nothing to render")
+    if width < 8 or height < 4:
+        raise ValueError("width >= 8 and height >= 4 required")
+
+    t_lo = t_start if t_start is not None \
+        else min(w.t_start for w in waves.values())
+    t_hi = t_end if t_end is not None \
+        else max(w.t_end for w in waves.values())
+    if t_hi <= t_lo:
+        raise ValueError("empty time span")
+
+    times = np.linspace(t_lo, t_hi, width)
+    sampled = {label: w(times) for label, w in waves.items()}
+    v_lo = min(float(v.min()) for v in sampled.values())
+    v_hi = max(float(v.max()) for v in sampled.values())
+    if math.isclose(v_lo, v_hi):
+        v_hi = v_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(sampled.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        rows = np.clip(
+            ((v_hi - values) / (v_hi - v_lo) * (height - 1)).round()
+            .astype(int), 0, height - 1)
+        for col, row in enumerate(rows):
+            grid[row][col] = glyph
+
+    axis_width = 9
+    lines = []
+    for row_index, row in enumerate(grid):
+        level = v_hi - (v_hi - v_lo) * row_index / (height - 1)
+        label = f"{level:8.3f} " if row_index in (0, height // 2,
+                                                  height - 1) else " " * 9
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * axis_width + "+" + "-" * width)
+    footer = (" " * axis_width + " " + _si_time(t_lo)
+              + _si_time(t_hi).rjust(width - len(_si_time(t_lo))))
+    lines.append(footer)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {label}"
+        for i, label in enumerate(waves))
+    lines.append(" " * (axis_width + 1) + legend)
+    return "\n".join(lines)
+
+
+def render_waveform(wave: Waveform, *, label: str = "v", width: int = 72,
+                    height: int = 16) -> str:
+    """Render a single waveform (see :func:`render_waveforms`)."""
+    return render_waveforms({label: wave}, width=width, height=height)

@@ -1,0 +1,278 @@
+"""Immutable piecewise-linear waveform.
+
+A :class:`Waveform` is a function ``v(t)`` defined by sample points
+``(times, values)`` with linear interpolation between samples and constant
+extrapolation outside them (the value holds at the first/last sample).  That
+extrapolation rule matches circuit intuition: a net holds its steady-state
+value before a transition starts and after it completes.
+
+All waveform-producing code in :mod:`repro` (linear and non-linear
+simulators, pulse constructors) returns this type, so superposition is
+literally ``w1 + w2``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Waveform"]
+
+#: Two time points closer than this (seconds) are considered the same
+#: instant when merging grids.  Far below any circuit timescale (0.1 as),
+#: far above float64 rounding noise of nanosecond-magnitude arithmetic —
+#: without it, summing a waveform with a shifted copy of itself can
+#: produce near-duplicate points whose finite differences amplify
+#: rounding error into huge derivative spikes.
+_TIME_RESOLUTION = 1e-16
+
+
+def _merged_times(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sorted union of two time grids with near-duplicates collapsed."""
+    t = np.union1d(a, b)
+    if t.size < 2:
+        return t
+    keep = np.empty(t.shape, dtype=bool)
+    keep[0] = True
+    np.greater(np.diff(t), _TIME_RESOLUTION, out=keep[1:])
+    return t[keep]
+
+
+class Waveform:
+    """Piecewise-linear waveform ``v(t)`` with constant extrapolation.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times in seconds.
+    values:
+        Sample values (volts or amps), same length as ``times``.
+    """
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self, times: Iterable[float], values: Iterable[float]):
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.ndim != 1 or v.ndim != 1:
+            raise ValueError("times and values must be one-dimensional")
+        if t.size != v.size:
+            raise ValueError(
+                f"times ({t.size}) and values ({v.size}) differ in length"
+            )
+        if t.size < 2:
+            raise ValueError("a waveform needs at least two sample points")
+        dt = np.diff(t)
+        if np.any(dt <= 0):
+            raise ValueError("times must be strictly increasing")
+        self._times = t
+        self._values = v
+        self._times.setflags(write=False)
+        self._values.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: float, t_start: float = 0.0,
+                 t_end: float = 1.0) -> "Waveform":
+        """A flat waveform at ``value`` spanning ``[t_start, t_end]``."""
+        return cls([t_start, t_end], [value, value])
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times (read-only view)."""
+        return self._times
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values (read-only view)."""
+        return self._values
+
+    @property
+    def t_start(self) -> float:
+        return float(self._times[0])
+
+    @property
+    def t_end(self) -> float:
+        return float(self._times[-1])
+
+    def __len__(self) -> int:
+        return self._times.size
+
+    def __call__(self, t):
+        """Evaluate the waveform at scalar or array ``t``."""
+        return np.interp(t, self._times, self._values)
+
+    def __repr__(self) -> str:
+        return (
+            f"Waveform({len(self)} pts, t=[{self.t_start:.3e},"
+            f" {self.t_end:.3e}], v=[{self._values.min():.3f},"
+            f" {self._values.max():.3f}])"
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic (superposition)
+    # ------------------------------------------------------------------
+    def _binary(self, other, op) -> "Waveform":
+        if isinstance(other, Waveform):
+            t = _merged_times(self._times, other._times)
+            return Waveform(t, op(self(t), other(t)))
+        return Waveform(self._times, op(self._values, float(other)))
+
+    def __add__(self, other) -> "Waveform":
+        return self._binary(other, np.add)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Waveform":
+        return self._binary(other, np.subtract)
+
+    def __rsub__(self, other) -> "Waveform":
+        return Waveform(self._times, float(other) - self._values)
+
+    def __mul__(self, scale: float) -> "Waveform":
+        return Waveform(self._times, self._values * float(scale))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Waveform":
+        return Waveform(self._times, -self._values)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def shifted(self, delta_t: float) -> "Waveform":
+        """Waveform translated right by ``delta_t`` seconds."""
+        return Waveform(self._times + delta_t, self._values)
+
+    def clipped(self, t_start: float, t_end: float) -> "Waveform":
+        """Restrict to ``[t_start, t_end]`` (with interpolated endpoints)."""
+        if t_end <= t_start:
+            raise ValueError("t_end must exceed t_start")
+        inside = (self._times > t_start) & (self._times < t_end)
+        t = np.concatenate(([t_start], self._times[inside], [t_end]))
+        return Waveform(t, self(t))
+
+    def resampled(self, times: Sequence[float]) -> "Waveform":
+        """Waveform re-expressed on the given time grid."""
+        t = np.asarray(times, dtype=float)
+        return Waveform(t, self(t))
+
+    def extended(self, t_start: float | None = None,
+                 t_end: float | None = None) -> "Waveform":
+        """Extend the time span holding the edge values constant."""
+        t, v = self._times, self._values
+        if t_start is not None and t_start < self.t_start:
+            t = np.concatenate(([t_start], t))
+            v = np.concatenate(([v[0]], v))
+        if t_end is not None and t_end > self.t_end:
+            t = np.concatenate((t, [t_end]))
+            v = np.concatenate((v, [v[-1]]))
+        return Waveform(t, v)
+
+    # ------------------------------------------------------------------
+    # Calculus
+    # ------------------------------------------------------------------
+    def derivative(self) -> "Waveform":
+        """Piecewise-constant derivative sampled at segment midpoints.
+
+        Returned as a PWL waveform over midpoints, which is adequate for the
+        ``C * dV/dt`` term of the noise-current extraction (the waveforms it
+        is applied to are densely sampled simulator outputs).
+        """
+        dt = np.diff(self._times)
+        dv = np.diff(self._values)
+        mid = self._times[:-1] + dt / 2.0
+        slope = dv / dt
+        if mid.size == 1:
+            # Degenerate two-point waveform: constant derivative.
+            return Waveform(
+                [self._times[0], self._times[1]], [slope[0], slope[0]]
+            )
+        return Waveform(mid, slope)
+
+    def integral(self) -> float:
+        """Trapezoidal integral over the waveform's support."""
+        return float(np.trapezoid(self._values, self._times))
+
+    def abs_integral(self) -> float:
+        """Integral of ``|v(t)|`` over the support."""
+        return float(np.trapezoid(np.abs(self._values), self._times))
+
+    # ------------------------------------------------------------------
+    # Feature extraction
+    # ------------------------------------------------------------------
+    def peak(self) -> tuple[float, float]:
+        """``(time, value)`` of the sample of maximum magnitude."""
+        idx = int(np.argmax(np.abs(self._values)))
+        return float(self._times[idx]), float(self._values[idx])
+
+    def value_range(self) -> tuple[float, float]:
+        return float(self._values.min()), float(self._values.max())
+
+    def crossings(self, level: float, rising: bool | None = None) -> np.ndarray:
+        """All times where the waveform crosses ``level``.
+
+        Parameters
+        ----------
+        level:
+            Threshold voltage.
+        rising:
+            ``True`` for upward crossings only, ``False`` for downward only,
+            ``None`` for both.
+        """
+        v = self._values - level
+        t = self._times
+        out = []
+        # Exact sample hits: count a sample on the level as a crossing if the
+        # waveform actually passes through (sign differs on either side).
+        for i in range(v.size - 1):
+            a, b = v[i], v[i + 1]
+            if a == 0.0 and b == 0.0:
+                continue
+            if a == 0.0:
+                direction = b > 0
+                if i == 0 or (v[i - 1] < 0) == (b > 0):
+                    if rising is None or rising == direction:
+                        out.append(t[i])
+                continue
+            if a * b < 0.0:
+                direction = b > a
+                tc = t[i] + (t[i + 1] - t[i]) * (-a) / (b - a)
+                if rising is None or rising == direction:
+                    out.append(tc)
+        # Trailing exact hit.
+        if v[-1] == 0.0 and v[-2] != 0.0:
+            direction = v[-2] < 0
+            if rising is None or rising == direction:
+                out.append(t[-1])
+        return np.asarray(out, dtype=float)
+
+    def crossing_time(self, level: float, rising: bool | None = None,
+                      which: str = "first") -> float:
+        """Single crossing time of ``level``.
+
+        Raises ``ValueError`` when the waveform never crosses the level,
+        which typically signals a failed transition (e.g. noise pulled the
+        victim back below threshold for good).
+        """
+        xs = self.crossings(level, rising)
+        if xs.size == 0:
+            raise ValueError(
+                f"waveform never crosses {level:.4g} "
+                f"(range {self.value_range()})"
+            )
+        if which == "first":
+            return float(xs[0])
+        if which == "last":
+            return float(xs[-1])
+        raise ValueError("which must be 'first' or 'last'")
+
+    def settles_to(self, level: float, tolerance: float) -> bool:
+        """True if the final value is within ``tolerance`` of ``level``."""
+        return abs(float(self._values[-1]) - level) <= tolerance

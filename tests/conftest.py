@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (Thevenin tables, alignment tables, superposition engines)
+are session-scoped: they are deterministic pure functions of the library
+code, so sharing them across tests only saves time.
+"""
+
+import pytest
+
+from repro.bench.netgen import canonical_net
+from repro.core.analysis import DelayNoiseAnalyzer
+from repro.core.superposition import ModelCache, SuperpositionEngine
+
+
+@pytest.fixture(scope="session")
+def model_cache():
+    """Shared Thevenin-table cache."""
+    return ModelCache()
+
+
+@pytest.fixture(scope="session")
+def analyzer(model_cache):
+    """Shared analyzer (alignment tables build once)."""
+    return DelayNoiseAnalyzer(cache=model_cache)
+
+
+@pytest.fixture(scope="session")
+def single_aggressor_net():
+    """The canonical 1-aggressor net from the figure benches."""
+    return canonical_net(n_aggressors=1)
+
+
+@pytest.fixture(scope="session")
+def two_aggressor_net():
+    return canonical_net(n_aggressors=2)
+
+
+@pytest.fixture(scope="session")
+def single_engine(single_aggressor_net, model_cache):
+    return SuperpositionEngine(single_aggressor_net, cache=model_cache)
+
+
+@pytest.fixture(scope="session")
+def two_engine(two_aggressor_net, model_cache):
+    return SuperpositionEngine(two_aggressor_net, cache=model_cache)

@@ -1,0 +1,171 @@
+"""Tests for repro.core.alignment and repro.core.exhaustive."""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import (
+    composite_pulse,
+    input_objective_peak_time,
+    peak_align_shifts,
+)
+from repro.core.exhaustive import (
+    combined_extra_delays,
+    exhaustive_worst_alignment,
+    receiver_output_waveform,
+)
+from repro.core.net import ReceiverSpec
+from repro.gates import inverter
+from repro.units import FF, NS, PS
+from repro.waveform import noise_pulse, ramp, triangular_pulse
+from repro.waveform.pulses import pulse_peak
+
+VDD = 1.8
+
+
+class TestPeakAlignment:
+    def pulses(self):
+        return {
+            "a": triangular_pulse(1.0 * NS, -0.4, 0.2 * NS),
+            "b": triangular_pulse(1.5 * NS, -0.3, 0.3 * NS),
+        }
+
+    def test_shifts_move_peaks_to_target(self):
+        pulses = self.pulses()
+        shifts = peak_align_shifts(pulses, 2.0 * NS)
+        for name, pulse in pulses.items():
+            t, _ = pulse_peak(pulse.shifted(shifts[name]))
+            assert t == pytest.approx(2.0 * NS, abs=1 * PS)
+
+    def test_aligned_composite_maximizes_height(self):
+        """Aligned peaks give the tallest composite (Section 3.1)."""
+        pulses = self.pulses()
+        aligned = composite_pulse(pulses, peak_align_shifts(pulses, 2 * NS))
+        offset = composite_pulse(pulses, {"a": 1.0 * NS, "b": 0.2 * NS})
+        assert abs(pulse_peak(aligned)[1]) >= abs(pulse_peak(offset)[1])
+        assert pulse_peak(aligned)[1] == pytest.approx(-0.7, abs=0.01)
+
+    def test_composite_empty_rejected(self):
+        with pytest.raises(ValueError):
+            composite_pulse({})
+
+    def test_composite_identity_without_shifts(self):
+        pulses = self.pulses()
+        total = composite_pulse(pulses)
+        probe = np.linspace(0, 3 * NS, 50)
+        np.testing.assert_allclose(
+            total(probe), pulses["a"](probe) + pulses["b"](probe),
+            atol=1e-12)
+
+
+class TestInputObjective:
+    def victim(self):
+        return ramp(0.0, 1.0 * NS, 0.0, VDD, pad=1 * NS)
+
+    def test_rising_victim_level(self):
+        """Peak goes where the victim crosses Vdd/2 + |Vp|."""
+        t = input_objective_peak_time(self.victim(), -0.45, VDD, True)
+        assert self.victim()(t) == pytest.approx(VDD / 2 + 0.45, rel=1e-6)
+
+    def test_falling_victim_level(self):
+        falling = ramp(0.0, 1.0 * NS, VDD, 0.0, pad=1 * NS)
+        t = input_objective_peak_time(falling, 0.45, VDD, False)
+        assert falling(t) == pytest.approx(VDD / 2 - 0.45, rel=1e-6)
+
+    def test_oversized_pulse_clamped(self):
+        # |Vp| > Vdd/2 would demand a level above the rail; clamped.
+        t = input_objective_peak_time(self.victim(), -1.5, VDD, True)
+        assert t <= 1.0 * NS
+
+    def test_later_for_taller_pulse(self):
+        t_small = input_objective_peak_time(self.victim(), -0.2, VDD, True)
+        t_big = input_objective_peak_time(self.victim(), -0.6, VDD, True)
+        assert t_big > t_small
+
+
+@pytest.fixture(scope="module")
+def receiver():
+    return ReceiverSpec(inverter(scale=2), c_load=5 * FF)
+
+
+@pytest.fixture(scope="module")
+def victim_wave():
+    return ramp(-0.15 * NS, 0.3 * NS, 0.0, VDD, pad=0.5 * NS)
+
+
+class TestReceiverOutput:
+    def test_inverts(self, receiver, victim_wave):
+        out = receiver_output_waveform(receiver, victim_wave, 2 * NS)
+        assert out(victim_wave.t_start) == pytest.approx(VDD, abs=0.02)
+        assert out.values[-1] == pytest.approx(0.0, abs=0.02)
+
+    def test_extra_delays_zero_without_noise(self, receiver, victim_wave):
+        ein, eout, _ = combined_extra_delays(
+            receiver, victim_wave, victim_wave, VDD, True, 2 * NS)
+        assert ein == pytest.approx(0.0, abs=1 * PS)
+        assert eout == pytest.approx(0.0, abs=1 * PS)
+
+    def test_opposing_noise_adds_delay(self, receiver, victim_wave):
+        pulse = noise_pulse(0.05 * NS, -0.5, 0.15 * NS)
+        noisy = victim_wave + pulse
+        ein, eout, _ = combined_extra_delays(
+            receiver, victim_wave, noisy, VDD, True, 2 * NS)
+        assert ein > 10 * PS
+        assert eout > 10 * PS
+
+    def test_receiver_filters_late_pulse(self, receiver, victim_wave):
+        """Figure 3: a pulse arriving after the receiver finished its
+        transition yields a big input disturbance but ~zero output
+        delay — the noise pulse is filtered below the functional-noise
+        threshold."""
+        pulse = noise_pulse(1.0 * NS, -0.5, 0.08 * NS)
+        noisy = victim_wave + pulse
+        ein, eout, noisy_out = combined_extra_delays(
+            receiver, victim_wave, noisy, VDD, True, 2.5 * NS)
+        assert eout == pytest.approx(0.0, abs=2 * PS)
+        # The receiver output pulse is small (paper: < 100 mV).
+        tail = noisy_out.clipped(0.9 * NS, 2.0 * NS)
+        assert tail.value_range()[1] < 0.35
+
+
+class TestExhaustiveSearch:
+    def test_finds_interior_maximum(self, receiver, victim_wave):
+        pulse = noise_pulse(0.0, -0.45, 0.12 * NS)
+        sweep = exhaustive_worst_alignment(
+            receiver, victim_wave, pulse, VDD, True, steps=21, refine=6,
+            dt=2 * PS)
+        assert sweep.best_extra_output > 20 * PS
+        # The optimum is mid-transition, not at the span edges.
+        assert sweep.peak_times[0] < sweep.best_peak_time \
+            < sweep.peak_times[-1]
+
+    def test_refine_improves_or_matches(self, receiver, victim_wave):
+        pulse = noise_pulse(0.0, -0.45, 0.12 * NS)
+        coarse = exhaustive_worst_alignment(
+            receiver, victim_wave, pulse, VDD, True, steps=9, dt=2 * PS)
+        fine = exhaustive_worst_alignment(
+            receiver, victim_wave, pulse, VDD, True, steps=9, refine=8,
+            dt=2 * PS)
+        assert fine.best_extra_output >= coarse.best_extra_output - 1e-15
+
+    def test_delay_at_interpolates(self, receiver, victim_wave):
+        pulse = noise_pulse(0.0, -0.4, 0.12 * NS)
+        sweep = exhaustive_worst_alignment(
+            receiver, victim_wave, pulse, VDD, True, steps=11, dt=2 * PS)
+        mid = 0.5 * (sweep.peak_times[3] + sweep.peak_times[4])
+        val = sweep.delay_at(mid)
+        lo = min(sweep.extra_output_delays[3], sweep.extra_output_delays[4])
+        hi = max(sweep.extra_output_delays[3], sweep.extra_output_delays[4])
+        assert lo <= val <= hi
+
+    def test_output_objective_differs_from_input(self, receiver,
+                                                 victim_wave):
+        """The input-objective alignment is NOT the output worst case in
+        general (the paper's central argument)."""
+        pulse = noise_pulse(0.0, -0.5, 0.12 * NS)
+        sweep = exhaustive_worst_alignment(
+            receiver, victim_wave, pulse, VDD, True, steps=25, refine=8,
+            dt=2 * PS)
+        t_input_obj = input_objective_peak_time(victim_wave, -0.5, VDD,
+                                                True)
+        d_at_input_obj = sweep.delay_at(t_input_obj)
+        assert sweep.best_extra_output > d_at_input_obj

@@ -1,0 +1,125 @@
+"""Tests for repro.mor.awe (AWE pole/residue macromodels)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, GROUND, build_mna
+from repro.circuit.topology import rc_line
+from repro.mor import PoleResidueModel, awe_from_mna, pade_poles
+from repro.sim import simulate_linear, time_grid
+from repro.units import FF, KOHM, NS, PS
+from repro.waveform import ramp, step
+
+
+def single_pole_mna(r=1 * KOHM, c=50 * FF):
+    circuit = Circuit("rc")
+    circuit.add_vsource("vin", "in", GROUND, 0.0)
+    circuit.add_resistor("r", "in", "out", r)
+    circuit.add_capacitor("c", "out", GROUND, c)
+    return build_mna(circuit), r * c
+
+
+def line_mna(segments=12):
+    circuit = Circuit("line")
+    circuit.add_vsource("vin", "in", GROUND, 0.0)
+    rc_line(circuit, "w_", "in", "out", segments, 2 * KOHM, 120 * FF)
+    return build_mna(circuit)
+
+
+class TestPadePoles:
+    def test_single_pole_exact(self):
+        mna, tau = single_pole_mna()
+        model = awe_from_mna(mna, "out", order=1)
+        assert model.order == 1
+        assert model.poles[0].real == pytest.approx(-1.0 / tau, rel=1e-9)
+        assert model.dc_gain() == pytest.approx(1.0, rel=1e-9)
+
+    def test_moment_match(self):
+        mna = line_mna()
+        model = awe_from_mna(mna, "out", order=3)
+        from repro.mor import transfer_moments
+        B = mna.input_incidence()[:, [0]]
+        L = mna.output_incidence(["out"])
+        exact = np.array([float(m[0, 0]) for m in
+                          transfer_moments(mna.G, mna.C, B, L,
+                                           2 * model.order)])
+        fitted = model.moments(2 * model.order)
+        np.testing.assert_allclose(fitted, exact, rtol=1e-5)
+
+    def test_all_poles_stable(self):
+        model = awe_from_mna(line_mna(), "out", order=4)
+        assert (model.poles.real < 0).all()
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            pade_poles(np.array([1.0, -1.0]), 0)
+
+    def test_insufficient_moments_degrade(self):
+        # Only 2 moments available: a 3-pole request falls back to 1.
+        poles, residues = pade_poles(np.array([1.0, -1e-10]), 3)
+        assert poles.size == 1
+
+
+class TestModel:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PoleResidueModel(np.array([-1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            PoleResidueModel(np.array([]), np.array([]))
+
+    def test_dominant_time_constant(self):
+        model = PoleResidueModel(np.array([-1e9, -1e11]),
+                                 np.array([1e9, 1e10]))
+        assert model.dominant_time_constant() == pytest.approx(1e-9)
+
+    def test_response_grid_validation(self):
+        model = PoleResidueModel(np.array([-1e9]), np.array([1e9]))
+        with pytest.raises(ValueError):
+            model.response(step(0, 0, 1), np.array([0.0]))
+
+
+class TestResponseAccuracy:
+    def test_single_pole_step_exact(self):
+        mna, tau = single_pole_mna()
+        model = awe_from_mna(mna, "out", order=1)
+        times = time_grid(5 * tau, tau / 50)
+        # The input must be resolved by the grid: a step strictly before
+        # the first sample is seen as the constant 1 everywhere.
+        out = model.response(step(-1 * PS, 0.0, 1.0), times)
+        expected = 1.0 - np.exp(-times / tau)
+        np.testing.assert_allclose(out.values[1:], expected[1:],
+                                   atol=1e-9)
+
+    def test_step_insensitive_to_grid(self):
+        """The recursive convolution is exact per segment: a coarse grid
+        agrees with a fine one at shared points."""
+        mna, tau = single_pole_mna()
+        model = awe_from_mna(mna, "out", order=1)
+        u = ramp(0.0, 3 * tau, 0.0, 1.0)
+        coarse = model.response(u, np.linspace(0, 6 * tau, 7))
+        fine = model.response(u, np.linspace(0, 6 * tau, 601))
+        for t in coarse.times[1:]:
+            assert coarse(t) == pytest.approx(fine(t), abs=1e-9)
+
+    def test_line_matches_simulator(self):
+        """4-pole AWE of a 12-segment line tracks the transient within
+        a couple percent of full simulation."""
+        circuit = Circuit("line")
+        wave = ramp(0.05 * NS, 0.2 * NS, 0.0, 1.0)
+        circuit.add_vsource("vin", "in", GROUND, wave)
+        rc_line(circuit, "w_", "in", "out", 12, 2 * KOHM, 120 * FF)
+        full = simulate_linear(circuit, 3 * NS, 1 * PS)
+
+        model = awe_from_mna(full.mna, "out", order=4)
+        approx = model.response(wave, full.times)
+        err = np.abs(approx.values - full.voltage("out").values).max()
+        assert err < 0.03
+
+    def test_dc_gain_of_divider(self):
+        circuit = Circuit("div")
+        circuit.add_vsource("vin", "in", GROUND, 0.0)
+        circuit.add_resistor("r1", "in", "out", 1 * KOHM)
+        circuit.add_resistor("r2", "out", GROUND, 3 * KOHM)
+        circuit.add_capacitor("c", "out", GROUND, 10 * FF)
+        model = awe_from_mna(build_mna(circuit), "out", order=1)
+        assert model.dc_gain() == pytest.approx(0.75, rel=1e-9)

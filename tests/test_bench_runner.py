@@ -1,0 +1,73 @@
+"""Tests for repro.bench.runner (stats + table formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import ErrorStats, format_table
+
+
+class TestErrorStats:
+    def stats(self):
+        return ErrorStats(predicted=[90.0, 110.0, 95.0],
+                          golden=[100.0, 100.0, 100.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorStats([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ErrorStats([], [])
+
+    def test_mean_abs_error(self):
+        assert self.stats().mean_abs_error() == pytest.approx(25.0 / 3)
+
+    def test_worst_abs_error(self):
+        assert self.stats().worst_abs_error() == pytest.approx(10.0)
+
+    def test_pct_errors(self):
+        s = self.stats()
+        assert s.mean_abs_pct_error() == pytest.approx(100 * 25 / 300)
+        assert s.worst_abs_pct_error() == pytest.approx(10.0)
+
+    def test_pct_error_floor(self):
+        s = ErrorStats([1.0, 5.0], [0.0, 10.0])
+        # Zero golden is masked out entirely without a floor...
+        assert s.mean_abs_pct_error() == pytest.approx(50.0)
+        # ...and guarded with one: |1|/2 = 50% and |5|/10 = 50%.
+        assert s.mean_abs_pct_error(floor=2.0) == pytest.approx(50.0)
+
+    def test_underestimation_fraction(self):
+        assert self.stats().underestimation_fraction() == \
+            pytest.approx(2 / 3)
+
+    def test_correlation(self):
+        s = ErrorStats([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+        assert s.correlation() == pytest.approx(1.0)
+
+    def test_correlation_degenerate(self):
+        s = ErrorStats([1.0, 2.0], [3.0, 3.0])
+        assert np.isnan(s.correlation())
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["b", 123456.789]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert "alpha" in lines[3]
+        # Float formatting trims digits.
+        assert "1.235e+05" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_column_alignment(self):
+        text = format_table(["x", "y"], [["long-entry", 1], ["s", 2]])
+        lines = text.splitlines()
+        # All rows have the same y-column offset.
+        offsets = {line.find("y") if i == 0 else None
+                   for i, line in enumerate(lines)}
+        assert len(lines[2]) >= len("long-entry")

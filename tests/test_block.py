@@ -1,0 +1,121 @@
+"""Tests for repro.core.block (the full windows <-> noise loop)."""
+
+import pytest
+
+from repro.bench.netgen import canonical_net
+from repro.core.block import BlockAnalyzer, BlockNet
+from repro.sta import TimingGraph, Window
+from repro.units import NS, PS
+
+
+def small_block(agg_window=(0.0, 0.6 * NS)):
+    """One coupled net inside a 3-node graph with an aggressor path."""
+    graph = TimingGraph()
+    graph.add_input("launch", Window(0.1 * NS, 0.2 * NS))
+    graph.add_input("agg_in", Window(*agg_window))
+    # Seed estimate; the block loop replaces it with measured delays.
+    graph.add_edge("launch", "rcv_out", 0.3 * NS, 0.5 * NS)
+    graph.add_edge("rcv_out", "capture", 0.1 * NS, 0.12 * NS)
+    graph.add_edge("agg_in", "agg_out", 0.02 * NS, 0.05 * NS)
+
+    net = canonical_net(name="blknet")
+    block_net = BlockNet(net=net, launch_node="launch",
+                         receiver_node="rcv_out",
+                         aggressor_nodes={"agg0": "agg_out"})
+    return graph, [block_net]
+
+
+class TestBlockAnalyzer:
+    def test_unique_names_required(self, analyzer):
+        graph, nets = small_block()
+        with pytest.raises(ValueError, match="unique"):
+            BlockAnalyzer(graph, nets + nets, analyzer)
+
+    def test_converges(self, analyzer):
+        graph, nets = small_block()
+        block = BlockAnalyzer(graph, nets, analyzer)
+        report = block.run(max_iterations=4)
+        assert report.converged
+        assert report.iterations <= 4
+
+    def test_overlapping_aggressor_adds_delta(self, analyzer):
+        graph, nets = small_block(agg_window=(0.0, 1.2 * NS))
+        block = BlockAnalyzer(graph, nets, analyzer)
+        report = block.run()
+        assert report.deltas["blknet"] > 10 * PS
+        # Stage delay and delta both present on the victim edge.
+        d_min, d_max = graph.edge_delay("launch", "rcv_out")
+        assert d_max == pytest.approx(
+            report.stage_delays["blknet"] + report.deltas["blknet"])
+        # Capture window reflects the measured stage + noise.
+        assert report.windows["capture"].latest > \
+            report.windows["launch"].latest
+
+    def test_distant_aggressor_no_delta(self, analyzer):
+        """Aggressor windows far from the victim: the clamped alignment
+        puts the pulse harmlessly away and the delta vanishes."""
+        graph, nets = small_block(agg_window=(8 * NS, 9 * NS))
+        block = BlockAnalyzer(graph, nets, analyzer)
+        report = block.run()
+        assert report.deltas["blknet"] < 5 * PS
+
+    def test_victim_launch_tracks_window(self, analyzer):
+        graph, nets = small_block()
+        block = BlockAnalyzer(graph, nets, analyzer)
+        report = block.run()
+        net_report = report.reports["blknet"]
+        # The victim's noiseless transition starts after its launch time.
+        t50 = net_report.noiseless_input.crossing_time(0.9, rising=True)
+        assert t50 > 0.2 * NS
+
+
+class TestCascadedNets:
+    """Two coupled nets in a chain: the first net's delta widens the
+    second victim's launch window — the cross-net interaction the block
+    loop exists to resolve."""
+
+    @pytest.fixture(scope="class")
+    def block(self, analyzer):
+        graph = TimingGraph()
+        graph.add_input("launch", Window(0.1 * NS, 0.15 * NS))
+        graph.add_input("agg1_in", Window(0.0, 1.0 * NS))
+        graph.add_input("agg2_in", Window(0.0, 2.0 * NS))
+        graph.add_edge("launch", "rcv1", 0.3 * NS, 0.5 * NS)
+        graph.add_edge("rcv1", "rcv2", 0.3 * NS, 0.5 * NS)
+        graph.add_edge("agg1_in", "agg1", 0.02 * NS, 0.05 * NS)
+        graph.add_edge("agg2_in", "agg2", 0.02 * NS, 0.05 * NS)
+
+        nets = [
+            BlockNet(net=canonical_net(name="stage1"),
+                     launch_node="launch", receiver_node="rcv1",
+                     aggressor_nodes={"agg0": "agg1"}),
+            BlockNet(net=canonical_net(name="stage2"),
+                     launch_node="rcv1", receiver_node="rcv2",
+                     aggressor_nodes={"agg0": "agg2"}),
+        ]
+        analyzer_block = BlockAnalyzer(graph, nets, analyzer)
+        return analyzer_block, analyzer_block.run(max_iterations=4)
+
+    def test_converges(self, block):
+        _b, report = block
+        assert report.converged
+
+    def test_both_stages_analyzed(self, block):
+        _b, report = block
+        assert set(report.reports) == {"stage1", "stage2"}
+        assert report.deltas["stage1"] > 10 * PS
+        assert report.deltas["stage2"] > 10 * PS
+
+    def test_stage2_launch_includes_stage1_delta(self, block):
+        b, report = block
+        w1 = report.windows["rcv1"]
+        # rcv1 latest = launch latest + stage1 (delay + delta).
+        expected = (0.15 * NS + report.stage_delays["stage1"]
+                    + report.deltas["stage1"])
+        assert w1.latest == pytest.approx(expected, abs=1 * PS)
+
+    def test_endpoint_slack_accounts_for_both_deltas(self, block):
+        b, report = block
+        requirement = {"rcv2": report.windows["rcv2"].latest - 1 * PS}
+        assert b.graph.worst_slack(requirement) == pytest.approx(
+            -1 * PS, abs=0.1 * PS)

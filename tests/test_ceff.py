@@ -1,0 +1,137 @@
+"""Tests for repro.gates.ceff (driving-point π + effective capacitance)."""
+
+import pytest
+
+from repro.circuit import Circuit, GROUND
+from repro.circuit.topology import couple_nodes, rc_line
+from repro.gates import (
+    PiModel,
+    TheveninTable,
+    driving_point_pi,
+    effective_capacitance,
+    inverter,
+)
+from repro.gates.ceff import admittance_moments
+from repro.devices import default_technology
+from repro.units import FF, KOHM, NS, OHM
+
+TECH = default_technology()
+VDD = TECH.vdd
+
+
+def lumped_net(c=50 * FF):
+    net = Circuit("lumped")
+    net.add_capacitor("c", "port", GROUND, c)
+    # Tiny series R so the port node exists in a resistive path.
+    net.add_resistor("r", "port", "far", 1 * OHM)
+    net.add_capacitor("cf", "far", GROUND, 1 * FF)
+    return net
+
+
+def shielded_net(r=5 * KOHM, c_near=10 * FF, c_far=90 * FF):
+    net = Circuit("shielded")
+    net.add_capacitor("cn", "port", GROUND, c_near)
+    net.add_resistor("r", "port", "far", r)
+    net.add_capacitor("cf", "far", GROUND, c_far)
+    return net
+
+
+class TestAdmittanceMoments:
+    def test_single_cap_first_moment(self):
+        y = admittance_moments(lumped_net(50 * FF), "port", count=2)
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[1] == pytest.approx(51 * FF, rel=1e-6)
+
+    def test_distributed_line_total_cap(self):
+        net = Circuit("line")
+        rc_line(net, "w_", "port", "end", 10, 2 * KOHM, 120 * FF)
+        y = admittance_moments(net, "port", count=2)
+        assert y[1] == pytest.approx(120 * FF, rel=1e-9)
+
+    def test_coupling_caps_seen_through_held_aggressor(self):
+        net = Circuit("coupled")
+        rc_line(net, "v_", "port", "vend", 4, 1 * KOHM, 40 * FF)
+        rc_line(net, "a_", "aroot", "aend", 4, 1 * KOHM, 40 * FF)
+        va = [f"v_n{i}" for i in range(1, 4)]
+        aa = [f"a_n{i}" for i in range(1, 4)]
+        couple_nodes(net, "x_", va, aa, 30 * FF)
+        net.add_resistor("rhold", "aroot", GROUND, 500.0)
+        y = admittance_moments(net, "port", count=2)
+        # Low-frequency: coupling caps appear at full value.
+        assert y[1] == pytest.approx(70 * FF, rel=1e-6)
+
+
+class TestDrivingPointPi:
+    def test_recovers_exact_pi(self):
+        pi = driving_point_pi(shielded_net(), "port")
+        assert pi.c_near == pytest.approx(10 * FF, rel=1e-6)
+        assert pi.r == pytest.approx(5 * KOHM, rel=1e-6)
+        assert pi.c_far == pytest.approx(90 * FF, rel=1e-6)
+
+    def test_total_cap_preserved_for_line(self):
+        net = Circuit("line")
+        rc_line(net, "w_", "port", "end", 12, 3 * KOHM, 150 * FF)
+        pi = driving_point_pi(net, "port")
+        assert pi.total_cap == pytest.approx(150 * FF, rel=1e-6)
+        assert pi.r > 0
+
+    def test_lumped_degenerates(self):
+        pi = driving_point_pi(lumped_net(), "port")
+        assert pi.total_cap == pytest.approx(51 * FF, rel=1e-3)
+
+    def test_install_roundtrip(self):
+        pi = PiModel(c_near=10 * FF, r=2 * KOHM, c_far=30 * FF)
+        c = Circuit("t")
+        c.add_resistor("anchor", "p", GROUND, 1e9)
+        pi.install(c, "pi_", "p")
+        rebuilt = driving_point_pi(c, "p")
+        assert rebuilt.c_near == pytest.approx(10 * FF, rel=1e-3)
+        assert rebuilt.c_far == pytest.approx(30 * FF, rel=1e-3)
+
+    def test_degenerate_install(self):
+        pi = PiModel(c_near=20 * FF, r=0.0, c_far=0.0)
+        c = Circuit("t")
+        pi.install(c, "pi_", "p")
+        assert c.grounded_cap_at("p") == pytest.approx(20 * FF)
+        assert not c.resistors
+
+
+class TestEffectiveCapacitance:
+    @pytest.fixture(scope="class")
+    def table(self):
+        inv = inverter(scale=2)
+        return TheveninTable.build(inv, 0.25 * NS, output_rising=False,
+                                   points=5)
+
+    def test_lumped_net_ceff_equals_total(self, table):
+        net = lumped_net(60 * FF)
+        ceff, model = effective_capacitance(table.lookup, net, "port", VDD)
+        assert ceff == pytest.approx(61 * FF, rel=0.05)
+        assert model.rth > 0
+
+    def test_shielding_reduces_ceff(self, table):
+        """Far cap behind big wire resistance is partially hidden: Ceff
+        strictly between near cap and total cap."""
+        net = shielded_net(r=10 * KOHM, c_near=10 * FF, c_far=90 * FF)
+        ceff, _ = effective_capacitance(table.lookup, net, "port", VDD)
+        assert 10 * FF < ceff < 95 * FF
+        assert ceff < 85 * FF  # meaningful shielding visible
+
+    def test_weak_shielding_near_total(self, table):
+        net = shielded_net(r=50 * OHM, c_near=10 * FF, c_far=90 * FF)
+        ceff, _ = effective_capacitance(table.lookup, net, "port", VDD)
+        assert ceff == pytest.approx(100 * FF, rel=0.08)
+
+    def test_ceff_monotone_in_shielding(self, table):
+        values = []
+        for r in (0.1 * KOHM, 2 * KOHM, 20 * KOHM):
+            net = shielded_net(r=r)
+            ceff, _ = effective_capacitance(table.lookup, net, "port", VDD)
+            values.append(ceff)
+        assert values[0] > values[1] > values[2]
+
+    def test_empty_net_rejected(self, table):
+        net = Circuit("empty")
+        net.add_resistor("r", "port", GROUND, 1 * KOHM)
+        with pytest.raises(ValueError, match="capacitance"):
+            effective_capacitance(table.lookup, net, "port", VDD)

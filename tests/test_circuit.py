@@ -1,0 +1,189 @@
+"""Tests for repro.circuit (elements, netlist, MNA stamping)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    GROUND,
+    Resistor,
+    build_mna,
+)
+from repro.devices import default_technology, nmos_params
+from repro.units import FF, KOHM, NS
+from repro.waveform import ramp
+
+
+class TestElements:
+    def test_resistor_validation(self):
+        with pytest.raises(ValueError):
+            Resistor("r1", "a", "b", -5.0)
+
+    def test_capacitor_validation(self):
+        with pytest.raises(ValueError):
+            Capacitor("c1", "a", "b", 0.0)
+
+    def test_coupling_flag(self):
+        c = Capacitor("cc", "a", "b", 1 * FF, coupling=True)
+        assert c.coupling
+
+
+class TestCircuit:
+    def build(self):
+        c = Circuit("t")
+        c.add_vsource("vin", "in", GROUND, 1.0)
+        c.add_resistor("r1", "in", "out", 1 * KOHM)
+        c.add_capacitor("c1", "out", GROUND, 10 * FF)
+        return c
+
+    def test_nodes_exclude_ground(self):
+        c = self.build()
+        assert set(c.nodes()) == {"in", "out"}
+
+    def test_duplicate_names_rejected(self):
+        c = self.build()
+        with pytest.raises(ValueError, match="duplicate"):
+            c.add_resistor("r1", "x", "y", 1.0)
+
+    def test_element_count(self):
+        assert self.build().element_count() == 3
+
+    def test_grounded_cap_at(self):
+        c = self.build()
+        c.add_capacitor("c2", "out", GROUND, 5 * FF)
+        c.add_capacitor("cc", "out", "agg", 7 * FF, coupling=True)
+        assert c.grounded_cap_at("out") == pytest.approx(15 * FF)
+        assert c.total_cap_at("out") == pytest.approx(22 * FF)
+
+    def test_coupling_caps_listed(self):
+        c = self.build()
+        c.add_capacitor("cc", "out", "agg", 7 * FF, coupling=True)
+        assert [x.name for x in c.coupling_caps()] == ["cc"]
+
+    def test_merge_with_prefix(self):
+        a = self.build()
+        b = self.build()
+        a.merge(b, prefix="x_")
+        assert "x_out" in a.nodes()
+        assert a.element_count() == 6
+
+    def test_merge_with_node_map(self):
+        a = self.build()
+        b = Circuit("load")
+        b.add_capacitor("cl", "port", GROUND, 20 * FF)
+        a.merge(b, prefix="l_", node_map={"port": "out"})
+        assert a.grounded_cap_at("out") == pytest.approx(30 * FF)
+
+    def test_merge_ground_never_renamed(self):
+        a = Circuit("a")
+        b = Circuit("b")
+        b.add_resistor("r", "x", GROUND, 1.0)
+        a.merge(b, prefix="p_")
+        assert GROUND not in a.nodes()
+        assert "p_x" in a.nodes()
+
+    def test_copy_independent(self):
+        a = self.build()
+        c = a.copy()
+        c.add_resistor("rx", "q", GROUND, 1.0)
+        assert a.element_count() == 3
+        assert c.element_count() == 4
+
+    def test_without(self):
+        a = self.build()
+        trimmed = a.without(["c1"])
+        assert trimmed.element_count() == 2
+        assert a.element_count() == 3
+
+    def test_mosfet_registration(self):
+        c = self.build()
+        c.add_mosfet("m1", nmos_params(default_technology(), 1e-6),
+                     "out", "in", GROUND)
+        assert len(c.mosfets) == 1
+        assert "out" in c.nodes()
+
+
+class TestMna:
+    def test_rejects_devices_by_default(self):
+        c = Circuit("nl")
+        c.add_mosfet("m1", nmos_params(default_technology(), 1e-6),
+                     "d", "g", GROUND)
+        with pytest.raises(ValueError, match="MOSFET"):
+            build_mna(c)
+        build_mna(c, allow_devices=True)  # explicitly allowed
+
+    def test_dimensions(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, 1.0)
+        c.add_resistor("r1", "a", "b", 1.0)
+        c.add_capacitor("c1", "b", GROUND, 1.0)
+        mna = build_mna(c)
+        assert mna.n_nodes == 2
+        assert mna.dim == 3
+
+    def test_conductance_stamp_symmetry(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "a", "b", 2.0)
+        c.add_resistor("r2", "b", GROUND, 4.0)
+        mna = build_mna(c)
+        ia, ib = mna.index_of("a"), mna.index_of("b")
+        assert mna.G[ia, ia] == pytest.approx(0.5)
+        assert mna.G[ib, ib] == pytest.approx(0.5 + 0.25)
+        assert mna.G[ia, ib] == mna.G[ib, ia] == pytest.approx(-0.5)
+
+    def test_capacitance_stamp(self):
+        c = Circuit("t")
+        c.add_capacitor("c1", "a", "b", 3.0)
+        mna = build_mna(c)
+        ia, ib = mna.index_of("a"), mna.index_of("b")
+        assert mna.C[ia, ia] == 3.0
+        assert mna.C[ia, ib] == -3.0
+        np.testing.assert_allclose(mna.C, mna.C.T)
+
+    def test_ground_index_raises(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "a", GROUND, 1.0)
+        mna = build_mna(c)
+        with pytest.raises(KeyError):
+            mna.index_of(GROUND)
+
+    def test_rhs_with_waveform_source(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, ramp(0.0, 1 * NS, 0.0, 1.8))
+        c.add_resistor("r1", "a", GROUND, 1.0)
+        mna = build_mna(c)
+        rhs = mna.rhs_matrix(np.array([0.0, 0.5 * NS, 2 * NS]))
+        row = mna.vsource_index["v1"]
+        np.testing.assert_allclose(rhs[row], [0.0, 0.9, 1.8])
+
+    def test_rhs_current_source_signs(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "a", "b", 1.0)
+        c.add_resistor("r2", "b", GROUND, 1.0)
+        c.add_isource("i1", "a", "b", 2.0)
+        mna = build_mna(c)
+        rhs = mna.rhs_matrix(np.array([0.0]))
+        assert rhs[mna.index_of("a"), 0] == 2.0
+        assert rhs[mna.index_of("b"), 0] == -2.0
+
+    def test_input_incidence_shape_and_content(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, 1.0)
+        c.add_isource("i1", "b", GROUND, 1.0)
+        c.add_resistor("r1", "a", "b", 1.0)
+        c.add_resistor("r2", "b", GROUND, 1.0)
+        mna = build_mna(c)
+        B = mna.input_incidence()
+        assert B.shape == (mna.dim, 2)
+        assert B[mna.n_nodes, 0] == 1.0  # vsource row
+        assert B[mna.index_of("b"), 1] == 1.0  # isource injection
+
+    def test_output_incidence(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "a", "b", 1.0)
+        c.add_resistor("r2", "b", GROUND, 1.0)
+        mna = build_mna(c)
+        L = mna.output_incidence(["b"])
+        assert L.shape == (mna.dim, 1)
+        assert L[mna.index_of("b"), 0] == 1.0

@@ -1,0 +1,129 @@
+"""Tests for repro.cli."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+DECK = """
+Rv1 v_root v1 400
+Rv2 v1 v_rcv 400
+Cv1 v1 0 20f
+Cv2 v_rcv 0 10f
+Ra1 a_root a1 300
+Ra2 a1 a_far 300
+Ca1 a1 0 15f
+Ca2 a_far 0 10f
+Cc1 v1 a1 25f COUPLING
+Cc2 v_rcv a_far 15f COUPLING
+"""
+
+
+@pytest.fixture()
+def deck_path(tmp_path):
+    path = tmp_path / "net.sp"
+    path.write_text(DECK)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_engineering_values(self):
+        args = build_parser().parse_args(
+            ["analyze", "x.sp", "--victim-root", "a",
+             "--victim-receiver", "b", "--aggressor", "g:r:f",
+             "--receiver-load", "25f", "--victim-slew", "150p"])
+        assert args.receiver_load == pytest.approx(25e-15)
+        assert args.victim_slew == pytest.approx(150e-12)
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "x.sp", "--victim-root", "a",
+                 "--victim-receiver", "b", "--aggressor", "g:r:f",
+                 "--receiver-load", "wat"])
+
+
+class TestAnalyze:
+    def test_basic_run(self, deck_path, capsys):
+        code = main([
+            "analyze", str(deck_path),
+            "--victim-root", "v_root", "--victim-receiver", "v_rcv",
+            "--aggressor", "agg0:a_root:a_far:INV_X4:120p",
+            "--alignment", "input-objective", "--no-rtr",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "extra delay output" in out
+        assert "composite pulse" in out
+
+    def test_plot_and_functional(self, deck_path, capsys):
+        code = main([
+            "analyze", str(deck_path),
+            "--victim-root", "v_root", "--victim-receiver", "v_rcv",
+            "--aggressor", "agg0:a_root:a_far",
+            "--alignment", "input-objective", "--no-rtr",
+            "--plot", "--functional",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "functional noise" in out
+        assert "noiseless" in out  # the ASCII chart legend
+
+    def test_bad_aggressor_spec(self, deck_path):
+        with pytest.raises(SystemExit, match="aggressor"):
+            main(["analyze", str(deck_path),
+                  "--victim-root", "v_root",
+                  "--victim-receiver", "v_rcv",
+                  "--aggressor", "only_a_name"])
+
+    def test_chardb_roundtrip(self, deck_path, tmp_path, capsys):
+        db = tmp_path / "db.json"
+        code = main([
+            "analyze", str(deck_path),
+            "--victim-root", "v_root", "--victim-receiver", "v_rcv",
+            "--aggressor", "agg0:a_root:a_far",
+            "--alignment", "input-objective", "--no-rtr",
+            "--save-chardb", str(db),
+        ])
+        assert code == 0
+        payload = json.loads(db.read_text())
+        assert payload["thevenin_tables"]
+        # Reload into a second run.
+        code = main([
+            "analyze", str(deck_path),
+            "--victim-root", "v_root", "--victim-receiver", "v_rcv",
+            "--aggressor", "agg0:a_root:a_far",
+            "--alignment", "input-objective", "--no-rtr",
+            "--chardb", str(db),
+        ])
+        assert code == 0
+        assert "loaded characterization" in capsys.readouterr().out
+
+
+class TestCharacterize:
+    def test_thevenin_only(self, tmp_path, capsys):
+        db = tmp_path / "char.json"
+        code = main(["characterize", "--cells", "INV_X1",
+                     "--slews", "200p", "--out", str(db),
+                     "--skip-alignment"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "saved" in out
+        payload = json.loads(db.read_text())
+        assert len(payload["thevenin_tables"]) == 2  # rising + falling
+        assert payload["alignment_tables"] == []
+
+
+class TestScreen:
+    def test_screen_runs(self, capsys):
+        code = main(["screen", "--seed", "3", "--count", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Rtr/Rth" in out
+        assert "net0" in out

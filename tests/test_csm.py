@@ -1,0 +1,127 @@
+"""Tests for repro.gates.csm (current-source driver models)."""
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    CurrentSourceModel,
+    PiModel,
+    characterize_csm,
+    inverter,
+    simulate_csm_driver,
+)
+from repro.sim import simulate_nonlinear
+from repro.units import FF, KOHM, NS, PS
+from repro.waveform import Waveform, ramp, triangular_pulse
+
+VDD = 1.8
+
+
+@pytest.fixture(scope="module")
+def csm():
+    return characterize_csm(inverter(scale=2), grid_points=13)
+
+
+class TestCharacterization:
+    def test_metadata(self, csm):
+        assert csm.gate_name == "INV_X2"
+        assert csm.inverting
+        assert csm.c_out > 0
+        assert csm.c_in > 0
+
+    def test_corner_signs(self, csm):
+        # Input low, output low: PMOS pulls up -> positive current in.
+        assert csm.output_current(0.0, 0.0) > 1e-4
+        # Input high, output high: NMOS pulls down -> negative current.
+        assert csm.output_current(VDD, VDD) < -1e-4
+
+    def test_equilibria_at_rails(self, csm):
+        # Input low, output AT the high rail: (almost) no current.
+        assert abs(csm.output_current(0.0, VDD)) < 2e-5
+        assert abs(csm.output_current(VDD, 0.0)) < 2e-5
+
+    def test_clamping_outside_grid(self, csm):
+        inside = csm.output_current(0.0, 0.0)
+        outside = csm.output_current(-1.0, -1.0)
+        assert outside == pytest.approx(inside)
+
+    def test_conductance_positive_when_holding(self, csm):
+        # Holding low (input high): triode NMOS, strong conductance.
+        g = csm.output_conductance(VDD, 0.1)
+        assert g > 1e-4
+
+    def test_table_shape_validation(self):
+        with pytest.raises(ValueError):
+            CurrentSourceModel("X", VDD, np.linspace(0, 1, 3),
+                               np.linspace(0, 1, 3), np.zeros((2, 3)),
+                               1e-15, 1e-15, True)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            characterize_csm(inverter(), grid_points=2)
+
+
+class TestTransientAccuracy:
+    @pytest.mark.parametrize("c_load", [10 * FF, 40 * FF, 120 * FF])
+    def test_matches_transistor_transition(self, csm, c_load):
+        """CSM crossing times within ~2 ps of the transistor gate."""
+        inv = inverter(scale=2)
+        wave = ramp(0.2 * NS, 0.2 * NS, VDD, 0.0)  # output rises
+        ref = simulate_nonlinear(
+            inv.driven_circuit(wave, c_load_external=c_load),
+            5 * NS, 1 * PS).voltage("out")
+        out = simulate_csm_driver(csm, wave, c_load, 5 * NS, 1 * PS)
+        for level in (0.1 * VDD, 0.5 * VDD, 0.9 * VDD):
+            t_ref = ref.crossing_time(level, rising=True)
+            t_csm = out.crossing_time(level, rising=True)
+            assert t_csm == pytest.approx(t_ref, abs=3 * PS)
+
+    def test_pi_load(self, csm):
+        """π-loaded CSM stays bounded and settles at the rail."""
+        wave = ramp(0.2 * NS, 0.2 * NS, VDD, 0.0)
+        pi = PiModel(c_near=15 * FF, r=1 * KOHM, c_far=40 * FF)
+        out = simulate_csm_driver(csm, wave, pi, 5 * NS, 1 * PS)
+        assert out.values[-1] == pytest.approx(VDD, abs=0.02)
+        lo, hi = out.value_range()
+        assert lo > -0.05 and hi < VDD + 0.05
+
+    def test_dc_start_matches_input(self, csm):
+        # Constant high input -> output starts (and stays) low.
+        out = simulate_csm_driver(csm, Waveform.constant(VDD, 0, 1 * NS),
+                                  20 * FF, 1 * NS, 1 * PS)
+        assert abs(out.values[0]) < 0.05
+        assert abs(out.values[-1]) < 0.05
+
+    def test_noise_injection_hook(self, csm):
+        """Injected current perturbs the switching CSM like the Rtr
+        driver pair perturbs the transistor gate."""
+        wave = ramp(0.2 * NS, 0.2 * NS, VDD, 0.0)
+        pulse = triangular_pulse(0.45 * NS, -1.0e-3, 0.1 * NS)
+        clean = simulate_csm_driver(csm, wave, 30 * FF, 3 * NS, 1 * PS)
+        noisy = simulate_csm_driver(csm, wave, 30 * FF, 3 * NS, 1 * PS,
+                                    i_inject=pulse)
+        diff = noisy - clean
+        assert diff.value_range()[0] < -0.05  # visible dip
+        assert abs(diff.values[-1]) < 1e-3    # recovers
+
+    def test_csm_noise_response_matches_transistor(self, csm):
+        """The CSM replay of an injected noise current reproduces the
+        transistor-level V'n within ~10% of area — the fast path for
+        Rtr-style computations."""
+        from repro.circuit import GROUND
+        inv = inverter(scale=2)
+        wave = ramp(0.2 * NS, 0.2 * NS, VDD, 0.0)
+        pulse = triangular_pulse(0.45 * NS, -0.8e-3, 0.12 * NS)
+
+        clean_c = inv.driven_circuit(wave, c_load_external=30 * FF)
+        noisy_c = inv.driven_circuit(wave, c_load_external=30 * FF)
+        noisy_c.add_isource("inj", "out", GROUND, pulse)
+        v1 = simulate_nonlinear(clean_c, 3 * NS, 1 * PS).voltage("out")
+        v2 = simulate_nonlinear(noisy_c, 3 * NS, 1 * PS).voltage("out")
+        ref = v2 - v1
+
+        c1 = simulate_csm_driver(csm, wave, 30 * FF, 3 * NS, 1 * PS)
+        c2 = simulate_csm_driver(csm, wave, 30 * FF, 3 * NS, 1 * PS,
+                                 i_inject=pulse)
+        fast = c2 - c1
+        assert fast.integral() == pytest.approx(ref.integral(), rel=0.1)

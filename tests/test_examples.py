@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run to completion.
+
+These are the repository's user-facing entry points; a refactor that
+breaks one must fail CI.  Each runs as a subprocess (fresh interpreter,
+no shared caches) and is checked for a zero exit code plus a key phrase
+in its output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "golden"),
+    ("alignment_objectives.py", "receiver-OUTPUT objective"),
+    ("netlist_analysis.py", "worst-case extra delay"),
+    ("sta_coupling.py", "converged"),
+    ("precharacterize_library.py", "alignment voltage"),
+    ("noise_screening.py", "delay noise"),
+    ("layout_shielding.py", "shielded"),
+    ("block_timing.py", "worst slack"),
+]
+
+
+@pytest.mark.parametrize("script,phrase", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, phrase):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True,
+        timeout=900)
+    assert result.returncode == 0, \
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    assert phrase in result.stdout, \
+        f"{script} output missing {phrase!r}:\n{result.stdout}"

@@ -1,0 +1,158 @@
+"""Tests for repro.extract (layout-level parasitic extraction)."""
+
+import pytest
+
+from repro.circuit import GROUND
+from repro.core.net import DriverSpec, ReceiverSpec
+from repro.extract import (
+    ParasiticTech,
+    Wire,
+    coupled_net_from_layout,
+    extract_interconnect,
+    parallel_overlap,
+)
+from repro.gates import inverter
+from repro.units import FF, NS, OHM, PS, UM
+
+TECH = ParasiticTech()
+
+
+def bus(victim_len=600 * UM, spacing_tracks=1):
+    """Victim on track 0, aggressor ``spacing_tracks`` away."""
+    return [
+        Wire("vic", 0, 0.0, victim_len),
+        Wire("agg", spacing_tracks, 0.0, victim_len),
+    ]
+
+
+class TestGeometry:
+    def test_wire_validation(self):
+        with pytest.raises(ValueError):
+            Wire("n", 0, 5.0, 5.0)
+
+    def test_overlap(self):
+        a = Wire("a", 0, 0.0, 10.0)
+        b = Wire("b", 1, 4.0, 20.0)
+        assert parallel_overlap(a, b) == pytest.approx(6.0)
+        assert parallel_overlap(b, a) == pytest.approx(6.0)
+
+    def test_same_track_no_overlap(self):
+        a = Wire("a", 0, 0.0, 10.0)
+        b = Wire("b", 0, 2.0, 5.0)
+        assert parallel_overlap(a, b) == 0.0
+
+    def test_disjoint(self):
+        a = Wire("a", 0, 0.0, 1.0)
+        b = Wire("b", 1, 2.0, 3.0)
+        assert parallel_overlap(a, b) == 0.0
+
+    def test_spacing(self):
+        a = Wire("a", 0, 0.0, 1.0)
+        b = Wire("b", 3, 0.0, 1.0)
+        assert a.spacing_to(b, TECH.pitch) == pytest.approx(3 * TECH.pitch)
+
+
+class TestParasiticTech:
+    def test_coupling_falls_with_spacing(self):
+        c1 = TECH.coupling_per_length(TECH.pitch)
+        c2 = TECH.coupling_per_length(2 * TECH.pitch)
+        assert c1 == pytest.approx(TECH.c_coupling_at_pitch)
+        assert c2 == pytest.approx(c1 / 2)
+
+    def test_cutoff(self):
+        far = (TECH.max_coupling_tracks + 1) * TECH.pitch
+        assert TECH.coupling_per_length(far) == 0.0
+
+    def test_same_track_rejected(self):
+        with pytest.raises(ValueError):
+            TECH.coupling_per_length(0.0)
+
+
+class TestExtraction:
+    def test_totals_scale_with_length(self):
+        circuit, _ = extract_interconnect(bus(victim_len=600 * UM), TECH)
+        r_total = sum(r.resistance for r in circuit.resistors) / 2
+        assert r_total == pytest.approx(TECH.r_per_length * 600 * UM)
+        ground = sum(c.capacitance for c in circuit.capacitors
+                     if not c.coupling) / 2
+        assert ground == pytest.approx(
+            TECH.c_ground_per_length * 600 * UM)
+
+    def test_coupling_total(self):
+        circuit, _ = extract_interconnect(bus(victim_len=600 * UM), TECH)
+        cc = sum(c.capacitance for c in circuit.coupling_caps())
+        assert cc == pytest.approx(TECH.c_coupling_at_pitch * 600 * UM)
+
+    def test_partial_overlap(self):
+        wires = [Wire("vic", 0, 0.0, 600 * UM),
+                 Wire("agg", 1, 300 * UM, 900 * UM)]
+        circuit, _ = extract_interconnect(wires, TECH)
+        cc = sum(c.capacitance for c in circuit.coupling_caps())
+        assert cc == pytest.approx(TECH.c_coupling_at_pitch * 300 * UM)
+
+    def test_duplicate_signal_net_rejected(self):
+        wires = [Wire("x", 0, 0.0, 1 * UM), Wire("x", 1, 0.0, 1 * UM)]
+        with pytest.raises(ValueError, match="single wire"):
+            extract_interconnect(wires, TECH)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            extract_interconnect([], TECH)
+
+    def test_shield_tied_to_ground(self):
+        wires = bus() + [Wire("gnd", 2, 0.0, 600 * UM)]
+        circuit, nodes = extract_interconnect(wires, TECH)
+        ties = [r for r in circuit.resistors if "tie" in r.name]
+        assert len(ties) == 2
+        assert all(GROUND in (r.node1, r.node2) for r in ties)
+
+
+class TestCoupledNetBuilder:
+    def victim_driver(self):
+        return DriverSpec(inverter(1), 0.2 * NS, True, 0.2 * NS)
+
+    def agg_driver(self):
+        return DriverSpec(inverter(4), 0.12 * NS, False, 0.2 * NS)
+
+    def build(self, wires):
+        return coupled_net_from_layout(
+            wires, TECH, "vic", self.victim_driver(),
+            ReceiverSpec(inverter(2), 10 * FF),
+            {"agg": self.agg_driver()})
+
+    def test_net_assembles(self):
+        net = self.build(bus())
+        assert net.victim_root.endswith("left")
+        assert net.victim_receiver_node.endswith("right")
+        assert len(net.aggressors) == 1
+
+    def test_missing_driver_rejected(self):
+        wires = bus() + [Wire("orphan", 3, 0.0, 100 * UM)]
+        with pytest.raises(ValueError, match="without drivers"):
+            self.build(wires)
+
+    def test_unknown_victim(self):
+        with pytest.raises(ValueError, match="victim net"):
+            coupled_net_from_layout(
+                bus(), TECH, "ghost", self.victim_driver(),
+                ReceiverSpec(inverter(2), 10 * FF),
+                {"agg": self.agg_driver()})
+
+    def test_shield_insertion_cuts_noise(self, model_cache):
+        """The classic fix: moving the aggressor a track out and putting
+        a grounded shield between halves-or-better the noise pulse."""
+        from repro.core.superposition import SuperpositionEngine
+        from repro.waveform.pulses import pulse_peak
+
+        unshielded = self.build(bus(spacing_tracks=1))
+        shielded = self.build(
+            [Wire("vic", 0, 0.0, 600 * UM),
+             Wire("gnd", 1, 0.0, 600 * UM),
+             Wire("agg", 2, 0.0, 600 * UM)])
+
+        def noise_peak(net):
+            engine = SuperpositionEngine(net, cache=model_cache)
+            return abs(pulse_peak(
+                engine.aggressor_noise("agg").at_receiver)[1])
+
+        assert noise_peak(shielded) < 0.5 * noise_peak(unshielded)

@@ -1,0 +1,133 @@
+"""Tests for repro.core.filtering (aggressor ranking / demotion)."""
+
+import pytest
+
+from repro.bench.netgen import canonical_net
+from repro.circuit import Circuit, GROUND
+from repro.circuit.topology import couple_nodes, rc_line
+from repro.core.filtering import (
+    filter_aggressors,
+    partition_nodes,
+    rank_aggressors,
+)
+from repro.core.net import AggressorSpec, CoupledNet, DriverSpec, ReceiverSpec
+from repro.gates import inverter
+from repro.units import FF, KOHM, NS, PS
+
+
+def lopsided_net() -> CoupledNet:
+    """One big aggressor, one tiny one."""
+    wires = Circuit("lop_wires")
+    v_nodes = rc_line(wires, "v_", "v_root", "v_rcv", 6, 1 * KOHM,
+                      40 * FF)
+    big = rc_line(wires, "b_", "b_root", "b_far", 6, 0.6 * KOHM, 30 * FF)
+    tiny = rc_line(wires, "t_", "t_root", "t_far", 6, 0.6 * KOHM,
+                   30 * FF)
+    couple_nodes(wires, "xb_", v_nodes, big, 40 * FF)
+    couple_nodes(wires, "xt_", v_nodes, tiny, 1.5 * FF)
+    wires.add_capacitor("b_load", "b_far", GROUND, 8 * FF)
+    wires.add_capacitor("t_load", "t_far", GROUND, 8 * FF)
+
+    def agg(name, root, far):
+        return AggressorSpec(
+            name=name,
+            driver=DriverSpec(gate=inverter(4), input_slew=0.12 * NS,
+                              output_rising=False, input_start=0.2 * NS),
+            root=root, far_end=far)
+
+    return CoupledNet(
+        name="lopsided",
+        interconnect=wires,
+        victim_root="v_root",
+        victim_receiver_node="v_rcv",
+        victim_driver=DriverSpec(gate=inverter(1), input_slew=0.2 * NS,
+                                 output_rising=True,
+                                 input_start=0.2 * NS),
+        receiver=ReceiverSpec(gate=inverter(2), c_load=10 * FF),
+        aggressors=[agg("big", "b_root", "b_far"),
+                    agg("tiny", "t_root", "t_far")],
+    )
+
+
+class TestPartition:
+    def test_every_wire_node_assigned(self):
+        net = lopsided_net()
+        assignment = partition_nodes(net)
+        assert assignment["v_root"] == "victim"
+        assert assignment["v_rcv"] == "victim"
+        assert assignment["b_far"] == "big"
+        assert assignment["t_n3"] == "tiny"
+
+    def test_canonical_net(self):
+        net = canonical_net(n_aggressors=2)
+        assignment = partition_nodes(net)
+        assert assignment["a0_root"] == "agg0"
+        assert assignment["a1_root"] == "agg1"
+
+
+class TestRanking:
+    def test_order_and_values(self):
+        ranks = rank_aggressors(lopsided_net())
+        assert [r.name for r in ranks] == ["big", "tiny"]
+        assert ranks[0].coupling_cap == pytest.approx(40 * FF)
+        assert ranks[1].coupling_cap == pytest.approx(1.5 * FF)
+        assert ranks[0].significant
+        assert not ranks[1].significant
+
+    def test_charge_ratio_bounded(self):
+        for rank in rank_aggressors(canonical_net(n_aggressors=3)):
+            assert 0.0 < rank.charge_ratio < 1.0
+
+
+class TestFiltering:
+    def test_tiny_aggressor_demoted(self):
+        net = lopsided_net()
+        filtered = filter_aggressors(net, threshold=0.05)
+        assert [a.name for a in filtered.aggressors] == ["big"]
+        # Tiny's wire is gone; its coupling reappears as grounded cap.
+        assert "t_root" not in filtered.interconnect.nodes()
+        demoted = [c for c in filtered.interconnect.capacitors
+                   if c.name.startswith("__demoted")]
+        assert sum(c.capacitance for c in demoted) == \
+            pytest.approx(1.5 * FF)
+
+    def test_victim_total_cap_preserved(self):
+        """Demotion must not lose victim-side capacitance."""
+        net = lopsided_net()
+        filtered = filter_aggressors(net, threshold=0.05)
+        nets_before = partition_nodes(net)
+        nets_after = partition_nodes(filtered)
+
+        def victim_cap(circuit, assignment):
+            total = 0.0
+            for c in circuit.capacitors:
+                if assignment.get(c.node1) == "victim" or \
+                        assignment.get(c.node2) == "victim":
+                    total += c.capacitance
+            return total
+
+        assert victim_cap(filtered.interconnect, nets_after) == \
+            pytest.approx(victim_cap(net.interconnect, nets_before))
+
+    def test_keep_overrides_threshold(self):
+        net = lopsided_net()
+        filtered = filter_aggressors(net, threshold=0.05, keep={"tiny"})
+        assert {a.name for a in filtered.aggressors} == {"big", "tiny"}
+
+    def test_no_demotion_returns_same_object(self):
+        net = lopsided_net()
+        assert filter_aggressors(net, threshold=1e-6) is net
+
+    def test_filtered_net_analyzable(self, model_cache):
+        """The filtered net runs the full flow; delay noise within a few
+        percent of the unfiltered analysis (tiny aggressor dropped)."""
+        from repro.core.analysis import DelayNoiseAnalyzer
+        analyzer = DelayNoiseAnalyzer(cache=model_cache)
+        net = lopsided_net()
+        full = analyzer.analyze(net, alignment="input-objective",
+                                use_rtr=False)
+        filtered = filter_aggressors(net, threshold=0.05)
+        slim = analyzer.analyze(filtered, alignment="input-objective",
+                                use_rtr=False)
+        assert slim.extra_delay_input == pytest.approx(
+            full.extra_delay_input, rel=0.1, abs=3 * PS)

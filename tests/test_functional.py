@@ -1,0 +1,79 @@
+"""Tests for repro.core.functional (static-victim noise) and the quiet
+holding resistance."""
+
+import pytest
+
+from repro.bench.netgen import canonical_net
+from repro.core.functional import functional_noise
+from repro.gates import inverter
+from repro.units import FF, NS
+
+
+class TestQuietHoldingResistance:
+    def test_positive_and_ohmic_range(self):
+        r = inverter(scale=1).holding_resistance(output_high=True)
+        assert 50.0 < r < 100_000.0
+
+    def test_scales_inversely_with_size(self):
+        r1 = inverter(scale=1).holding_resistance(True)
+        r4 = inverter(scale=4).holding_resistance(True)
+        assert r4 == pytest.approx(r1 / 4, rel=0.1)
+
+    def test_pullup_vs_pulldown_differ(self):
+        inv = inverter(scale=1)
+        r_high = inv.holding_resistance(True)   # PMOS holds high
+        r_low = inv.holding_resistance(False)   # NMOS holds low
+        assert r_high != pytest.approx(r_low, rel=0.05)
+
+    def test_quiet_holding_stiffer_than_thevenin(self, single_engine):
+        """A quiet driver in triode holds better (lower R) than the
+        transition-average Thevenin resistance of the same gate."""
+        from repro.core.superposition import VICTIM
+        gate = single_engine.net.victim_driver.gate
+        r_quiet = gate.holding_resistance(False)
+        assert r_quiet < single_engine.models[VICTIM].rth
+
+
+class TestFunctionalNoise:
+    @pytest.fixture(scope="class")
+    def report(self, single_aggressor_net, model_cache):
+        return functional_noise(single_aggressor_net, cache=model_cache)
+
+    def test_default_victim_level(self, report):
+        # Falling aggressor attacks a high victim.
+        assert report.victim_high
+
+    def test_pulse_polarity(self, report):
+        assert report.input_peak < 0.0
+        assert report.input_width > 0.0
+
+    def test_receiver_filters(self, report):
+        """Output deviation is bounded; for this mild net it stays
+        below the failure threshold."""
+        assert abs(report.output_peak) < abs(report.input_peak) * 3
+        assert not report.fails
+
+    def test_heavy_coupling_fails(self, model_cache):
+        """Crank the coupling until the pulse propagates: the verdict
+        must flip."""
+        net = canonical_net(n_aggressors=2, coupling_ratio=3.0,
+                            aggressor_scale=8.0, victim_scale=0.5,
+                            receiver_load=4 * FF)
+        report = functional_noise(net, cache=model_cache)
+        assert abs(report.input_peak) > 0.55  # big injected pulse
+        assert report.fails
+
+    def test_engine_reuse(self, single_aggressor_net, single_engine,
+                          model_cache):
+        direct = functional_noise(single_aggressor_net,
+                                  cache=model_cache)
+        reused = functional_noise(single_aggressor_net,
+                                  engine=single_engine)
+        assert reused.input_peak == pytest.approx(direct.input_peak,
+                                                  rel=1e-6)
+
+    def test_threshold_override(self, single_aggressor_net, single_engine):
+        strict = functional_noise(single_aggressor_net,
+                                  engine=single_engine,
+                                  threshold=1e-3)
+        assert strict.fails  # any visible output wiggle trips 1 mV

@@ -1,0 +1,216 @@
+"""Tests for repro.gates.gate and repro.gates.library."""
+
+import pytest
+
+from repro.circuit import Circuit, GROUND
+from repro.devices import default_technology
+from repro.gates import inverter, nand2, nor2, standard_cell
+from repro.gates.gate import DeviceTemplate, Gate
+from repro.devices.mosfet import nmos_params
+from repro.sim import simulate_nonlinear
+from repro.units import FF, NS, PS
+from repro.waveform import ramp
+
+TECH = default_technology()
+VDD = TECH.vdd
+
+
+class TestLibrary:
+    def test_inverter_structure(self):
+        inv = inverter()
+        assert inv.name == "INV_X1"
+        assert inv.inputs == ["a"]
+        assert len(inv.devices) == 2
+
+    def test_scaling_names(self):
+        assert inverter(scale=4).name == "INV_X4"
+        assert nand2(scale=2).name == "NAND2_X2"
+
+    def test_standard_cell_parsing(self):
+        assert standard_cell("INV_X2").name == "INV_X2"
+        assert standard_cell("NOR2_X1").inputs == ["a", "b"]
+
+    def test_standard_cell_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            standard_cell("XOR_X1")
+        with pytest.raises(ValueError):
+            standard_cell("INV_4")
+
+    def test_input_cap_scales_with_size(self):
+        assert standard_cell("INV_X4").input_capacitance() == pytest.approx(
+            4 * standard_cell("INV_X1").input_capacitance())
+
+    def test_nand_noncontrolling_high(self):
+        assert nand2().side_input_high
+        assert not nor2().side_input_high
+
+    def test_unknown_pin_rejected(self):
+        with pytest.raises(ValueError):
+            inverter().input_capacitance("zz")
+
+    def test_template_validates_nodes(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Gate("BAD", TECH,
+                 [DeviceTemplate("m", nmos_params(TECH, 1e-6),
+                                 "out", "a", "mystery")],
+                 inputs=["a"])
+
+
+class TestInstantiation:
+    def test_missing_port_rejected(self):
+        c = Circuit("t")
+        with pytest.raises(ValueError, match="missing ports"):
+            inverter().instantiate(c, "u1_", {"out": "n1"})
+
+    def test_devices_and_parasitics_added(self):
+        c = Circuit("t")
+        inverter().instantiate(c, "u1_", {"a": "in", "out": "n1",
+                                          "vdd": "vdd"})
+        assert len(c.mosfets) == 2
+        # Gate cap on input + diffusion cap on output.
+        assert c.grounded_cap_at("in") > 0
+        assert c.grounded_cap_at("n1") > 0
+
+    def test_internal_nodes_prefixed(self):
+        c = Circuit("t")
+        nand2().instantiate(c, "u1_", {"a": "in1", "b": "in2",
+                                       "out": "n1", "vdd": "vdd"})
+        assert "u1_x" in c.nodes()
+
+    def test_two_instances_no_collision(self):
+        c = Circuit("t")
+        inv = inverter()
+        inv.instantiate(c, "u1_", {"a": "a1", "out": "y1", "vdd": "vdd"})
+        inv.instantiate(c, "u2_", {"a": "y1", "out": "y2", "vdd": "vdd"})
+        assert len(c.mosfets) == 4
+
+    def test_rail_tied_pin_skips_cap(self):
+        c = Circuit("t")
+        nand2().instantiate(c, "u1_", {"a": "in", "b": "vdd",
+                                       "out": "n1", "vdd": "vdd"})
+        # No cap was stamped from the vdd rail to ground for pin b.
+        names = [cap.name for cap in c.capacitors]
+        assert "u1_cg_b" not in names
+        assert "u1_cg_a" in names
+
+    def test_diffusion_cap_matches_method(self):
+        c = Circuit("t")
+        inv = inverter()
+        inv.instantiate(c, "u1_", {"a": "in", "out": "n1", "vdd": "vdd"})
+        assert c.grounded_cap_at("n1") == pytest.approx(
+            inv.output_capacitance())
+
+
+class TestDrivenCircuit:
+    def test_inverter_inverts(self):
+        inv = inverter()
+        wave = ramp(0.1 * NS, 0.2 * NS, 0.0, VDD)
+        circuit = inv.driven_circuit(wave, c_load_external=10 * FF)
+        result = simulate_nonlinear(circuit, 2 * NS, 1 * PS)
+        out = result.voltage("out")
+        assert out(0.0) == pytest.approx(VDD, abs=0.02)
+        assert out.values[-1] == pytest.approx(0.0, abs=0.02)
+
+    @pytest.mark.parametrize("cell,expect_low", [
+        ("NAND2_X1", True),   # a ramps high, b tied high -> out falls
+        ("NOR2_X1", False),   # NOR with side input low behaves as inverter
+    ])
+    def test_multi_input_cells_invert(self, cell, expect_low):
+        gate = standard_cell(cell)
+        wave = ramp(0.1 * NS, 0.2 * NS, 0.0, VDD)
+        circuit = gate.driven_circuit(wave, c_load_external=10 * FF)
+        result = simulate_nonlinear(circuit, 2.5 * NS, 1 * PS)
+        final = result.voltage("out").values[-1]
+        assert final == pytest.approx(0.0, abs=0.05)
+
+    def test_drive_resistance_estimate_orders(self):
+        r1 = inverter(scale=1).drive_resistance_estimate(True)
+        r4 = inverter(scale=4).drive_resistance_estimate(True)
+        assert r4 == pytest.approx(r1 / 4, rel=1e-6)
+        assert 100 < r1 < 100_000  # sane ohmic range
+
+    def test_drive_resistance_rising_uses_pmos(self):
+        inv = inverter()
+        # PMOS is weaker per width but wider; both finite and different.
+        r_up = inv.drive_resistance_estimate(True)
+        r_down = inv.drive_resistance_estimate(False)
+        assert r_up != r_down
+
+
+class TestBuffer:
+    def test_structure(self):
+        from repro.gates.library import buffer
+        buf = buffer(scale=2)
+        assert buf.name == "BUF_X2"
+        assert not buf.inverting
+        assert len(buf.devices) == 4
+        assert "x" in buf.internal
+
+    def test_non_inverting_transient(self):
+        from repro.gates.library import buffer
+        buf = buffer(scale=1)
+        wave = ramp(0.1 * NS, 0.2 * NS, 0.0, VDD)
+        circuit = buf.driven_circuit(wave, c_load_external=10 * FF)
+        result = simulate_nonlinear(circuit, 2.5 * NS, 1 * PS)
+        out = result.voltage("out")
+        assert out(0.0) == pytest.approx(0.0, abs=0.05)
+        assert out.values[-1] == pytest.approx(VDD, abs=0.05)
+
+    def test_standard_cell_name(self):
+        assert standard_cell("BUF_X4").name == "BUF_X4"
+
+    def test_thevenin_characterization(self):
+        """The Thevenin fit understands non-inverting input polarity."""
+        from repro.gates import characterize_thevenin
+        from repro.gates.library import buffer
+        model = characterize_thevenin(buffer(scale=2), 0.2 * NS,
+                                      output_rising=True, c_load=40 * FF)
+        assert model.rising
+        assert model.rth > 0
+
+    def test_quiet_holding_levels(self):
+        from repro.gates.library import buffer
+        buf = buffer(scale=1)
+        r_hi = buf.holding_resistance(True)
+        r_lo = buf.holding_resistance(False)
+        assert 50 < r_hi < 1e5
+        assert 50 < r_lo < 1e5
+
+
+class TestComplexGates:
+    """AOI21 / OAI21 with per-pin sensitizing tie levels."""
+
+    @pytest.mark.parametrize("name", ["AOI21_X1", "OAI21_X2"])
+    def test_pin_a_sensitized(self, name):
+        gate = standard_cell(name)
+        wave = ramp(0.1 * NS, 0.2 * NS, 0.0, VDD)
+        circuit = gate.driven_circuit(wave, c_load_external=10 * FF)
+        result = simulate_nonlinear(circuit, 2.5 * NS, 1 * PS)
+        out = result.voltage("out")
+        assert out(0.0) == pytest.approx(VDD, abs=0.05)
+        assert out.values[-1] == pytest.approx(0.0, abs=0.05)
+
+    def test_tie_levels(self):
+        from repro.gates.library import aoi21, oai21
+        a = aoi21()
+        assert a.tie_level_high("b") and not a.tie_level_high("c")
+        o = oai21()
+        assert not o.tie_level_high("b") and o.tie_level_high("c")
+
+    def test_three_inputs(self):
+        gate = standard_cell("AOI21_X1")
+        assert gate.inputs == ["a", "b", "c"]
+        assert gate.input_capacitance("c") > 0
+
+    def test_thevenin_fit(self):
+        from repro.gates import characterize_thevenin
+        model = characterize_thevenin(standard_cell("AOI21_X2"),
+                                      0.2 * NS, output_rising=False,
+                                      c_load=40 * FF)
+        assert model.rth > 0
+        assert not model.rising
+
+    def test_quiet_holding(self):
+        gate = standard_cell("OAI21_X1")
+        assert 50 < gate.holding_resistance(True) < 1e6
+        assert 50 < gate.holding_resistance(False) < 1e6

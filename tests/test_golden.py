@@ -1,0 +1,92 @@
+"""Tests for repro.core.golden (full non-linear co-simulation)."""
+
+import pytest
+
+from repro.core.golden import (
+    golden_circuit,
+    golden_extra_delays,
+    golden_simulation,
+)
+from repro.units import NS, PS
+
+VDD = 1.8
+
+
+class TestGoldenCircuit:
+    def test_structure(self, single_aggressor_net):
+        circuit = golden_circuit(single_aggressor_net)
+        # Victim driver (2) + aggressor driver (2) + receiver (2).
+        assert len(circuit.mosfets) == 6
+        assert len(circuit.vsources) == 3  # vdd + 2 driver inputs
+
+    def test_quiet_aggressors_constant_input(self, single_aggressor_net):
+        circuit = golden_circuit(single_aggressor_net,
+                                 aggressors_switching=False)
+        agg_vin = [v for v in circuit.vsources if v.name.startswith("ad_")]
+        assert len(agg_vin) == 1
+        assert isinstance(agg_vin[0].value, float)
+
+
+class TestGoldenSimulation:
+    @pytest.fixture(scope="class")
+    def clean(self, single_aggressor_net):
+        return golden_simulation(single_aggressor_net, 3 * NS,
+                                 aggressors_switching=False)
+
+    def test_victim_transitions(self, clean):
+        assert clean.at_receiver_input(0.0) == pytest.approx(0.0, abs=0.02)
+        assert clean.at_receiver_input.values[-1] == \
+            pytest.approx(VDD, abs=0.02)
+
+    def test_receiver_output_inverts(self, clean):
+        assert clean.at_receiver_output(0.0) == pytest.approx(VDD,
+                                                              abs=0.05)
+        assert clean.at_receiver_output.values[-1] == \
+            pytest.approx(0.0, abs=0.05)
+
+    def test_quiet_aggressor_stays_high(self, clean, single_aggressor_net):
+        agg_root = clean.result.voltage(
+            single_aggressor_net.aggressors[0].root)
+        lo, hi = agg_root.value_range()
+        # Falling-aggressor quiet level is the high rail; slight sag from
+        # victim coupling back into it is expected.
+        assert lo > 0.5 * VDD
+        assert hi < 1.1 * VDD
+
+    def test_switching_aggressor_injects(self, single_aggressor_net,
+                                         clean):
+        noisy = golden_simulation(single_aggressor_net, 3 * NS,
+                                  aggressor_shifts={"agg0": 0.1 * NS})
+        noise = noisy.at_receiver_input - clean.at_receiver_input
+        assert noise.value_range()[0] < -0.1
+
+
+class TestGoldenDelays:
+    def test_noise_increases_delay(self, single_aggressor_net,
+                                   single_engine):
+        from repro.waveform.pulses import pulse_peak
+        vic = single_engine.victim_transition_absolute().at_receiver
+        t50 = vic.crossing_time(VDD / 2, rising=True)
+        t_peak, _ = pulse_peak(
+            single_engine.aggressor_noise("agg0").at_receiver)
+        shifts = {"agg0": t50 - t_peak}
+        delays = golden_extra_delays(single_aggressor_net, 3.5 * NS,
+                                     aggressor_shifts=shifts)
+        assert delays.extra_input > 20 * PS
+        assert delays.extra_output > 20 * PS
+
+    def test_clean_reuse(self, single_aggressor_net):
+        first = golden_extra_delays(single_aggressor_net, 3 * NS,
+                                    aggressor_shifts={"agg0": 0.2 * NS})
+        second = golden_extra_delays(single_aggressor_net, 3 * NS,
+                                     aggressor_shifts={"agg0": 0.2 * NS},
+                                     clean=first.clean)
+        assert second.extra_input == pytest.approx(first.extra_input,
+                                                   abs=0.1 * PS)
+
+    def test_far_early_noise_harmless(self, single_aggressor_net):
+        delays = golden_extra_delays(
+            single_aggressor_net, 3 * NS,
+            aggressor_shifts={"agg0": -3 * NS})
+        assert abs(delays.extra_input) < 5 * PS
+        assert abs(delays.extra_output) < 5 * PS

@@ -1,0 +1,51 @@
+"""Tests for repro.core.hold (aiding noise / min-delay analysis)."""
+
+import pytest
+
+from repro.bench.netgen import canonical_net
+from repro.core.hold import hold_speedup
+from repro.units import PS
+
+
+class TestHoldSpeedup:
+    @pytest.fixture(scope="class")
+    def report(self, model_cache):
+        return hold_speedup(canonical_net(n_aggressors=1),
+                            cache=model_cache)
+
+    def test_aiding_pulse_polarity(self, report):
+        # Rising victim, rising aggressor: positive pulse.
+        assert report.pulse_height > 0.1
+
+    def test_speedup_negative(self, report):
+        assert report.speedup_input < -10 * PS
+        assert report.speedup_output < -10 * PS
+
+    def test_noisy_input_leads_clean(self, report):
+        t_clean = report.noiseless_input.crossing_time(0.9, rising=True,
+                                                       which="first")
+        t_noisy = report.noisy_input.crossing_time(0.9, rising=True,
+                                                   which="first")
+        assert t_noisy < t_clean
+
+    def test_speedup_bounded_by_setup_delta(self, report, analyzer,
+                                            model_cache):
+        """Aiding and opposing worst cases are the same circuit seen
+        from both sides: comparable magnitudes, opposite signs."""
+        setup = analyzer.analyze(canonical_net(n_aggressors=1),
+                                 alignment="table")
+        assert setup.extra_delay_input > 0
+        ratio = abs(report.speedup_input) / setup.extra_delay_input
+        assert 0.2 < ratio < 3.0
+
+    def test_requires_aggressors(self, model_cache):
+        net = canonical_net(n_aggressors=1)
+        net.aggressors.clear()
+        with pytest.raises(ValueError, match="no aggressors"):
+            hold_speedup(net, cache=model_cache)
+
+    def test_original_net_untouched(self, model_cache):
+        net = canonical_net(n_aggressors=1)
+        hold_speedup(net, cache=model_cache)
+        # The direction override happened on a copy.
+        assert not net.aggressors[0].driver.output_rising

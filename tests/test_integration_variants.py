@@ -1,0 +1,144 @@
+"""End-to-end variants: falling victims, NAND/NOR drivers and receivers.
+
+The figure benches exercise the canonical rising-victim / inverter
+configuration; these tests prove the flow composes for the other shapes
+a real design contains.
+"""
+
+import pytest
+
+from repro.bench.netgen import canonical_net
+from repro.circuit import Circuit, GROUND
+from repro.circuit.topology import couple_nodes, rc_line
+from repro.core.analysis import DelayNoiseAnalyzer
+from repro.core.golden import golden_extra_delays
+from repro.core.net import AggressorSpec, CoupledNet, DriverSpec, ReceiverSpec
+from repro.gates import nand2, nor2, standard_cell
+from repro.units import FF, KOHM, NS, PS
+
+
+@pytest.fixture(scope="module")
+def variant_analyzer(model_cache):
+    return DelayNoiseAnalyzer(cache=model_cache)
+
+
+class TestFallingVictim:
+    @pytest.fixture(scope="class")
+    def report(self, variant_analyzer):
+        net = canonical_net(victim_rising=False, name="falling")
+        return variant_analyzer.analyze(net, alignment="table"), net
+
+    def test_pulse_polarity_positive(self, report):
+        rep, _net = report
+        # Rising aggressors push the falling victim back up.
+        assert rep.pulse_height > 0.1
+
+    def test_delay_noise_positive(self, report):
+        rep, _net = report
+        assert rep.extra_delay_input > 10 * PS
+        assert rep.extra_delay_output > 10 * PS
+
+    def test_rtr_exceeds_rth(self, report):
+        rep, _net = report
+        # NMOS pull-down mid-transition: holding is weaker than Rth.
+        assert rep.rtr > 0
+
+    def test_against_golden(self, report):
+        rep, net = report
+        golden = golden_extra_delays(
+            net, max(4 * NS, rep.noiseless_input.t_end),
+            aggressor_shifts=rep.aggressor_shifts)
+        assert golden.extra_input > 10 * PS
+        # Linear flow within 25% of golden at the same alignment.
+        assert rep.extra_delay_input == pytest.approx(
+            golden.extra_input, rel=0.25)
+
+
+def nand_nor_net() -> CoupledNet:
+    """Victim driven by a NAND2, received by a NOR2, NAND2 aggressor."""
+    wires = Circuit("nn_wires")
+    v_nodes = rc_line(wires, "v_", "v_root", "v_rcv", 6, 1 * KOHM,
+                      40 * FF)
+    a_nodes = rc_line(wires, "a_", "a_root", "a_far", 6, 0.6 * KOHM,
+                      30 * FF)
+    wires.add_capacitor("a_load", "a_far", GROUND, 8 * FF)
+    couple_nodes(wires, "x_", v_nodes, a_nodes, 45 * FF)
+    return CoupledNet(
+        name="nand_nor",
+        interconnect=wires,
+        victim_root="v_root",
+        victim_receiver_node="v_rcv",
+        victim_driver=DriverSpec(gate=nand2(scale=1),
+                                 input_slew=0.2 * NS,
+                                 output_rising=True,
+                                 input_start=0.2 * NS),
+        receiver=ReceiverSpec(gate=nor2(scale=2), c_load=10 * FF),
+        aggressors=[AggressorSpec(
+            name="agg0",
+            driver=DriverSpec(gate=standard_cell("NAND2_X4"),
+                              input_slew=0.12 * NS,
+                              output_rising=False,
+                              input_start=0.2 * NS),
+            root="a_root", far_end="a_far")],
+    )
+
+
+class TestNandNorNet:
+    @pytest.fixture(scope="class")
+    def report(self, variant_analyzer):
+        return variant_analyzer.analyze(nand_nor_net(), alignment="table")
+
+    def test_flow_completes(self, report):
+        assert report.rtr > 0
+        assert report.ceff_victim > 1 * FF
+
+    def test_noise_and_delay(self, report):
+        assert report.pulse_height < -0.05
+        assert report.extra_delay_input > 5 * PS
+
+    def test_golden_agreement(self, report):
+        net = nand_nor_net()
+        golden = golden_extra_delays(
+            net, max(4 * NS, report.noiseless_input.t_end),
+            aggressor_shifts=report.aggressor_shifts)
+        assert report.extra_delay_input == pytest.approx(
+            golden.extra_input, rel=0.3, abs=10 * PS)
+
+
+class TestDeterminism:
+    def test_same_net_same_report(self, variant_analyzer):
+        """The whole flow is deterministic: two runs agree exactly."""
+        a = variant_analyzer.analyze(canonical_net(name="det1"),
+                                     alignment="table")
+        b = variant_analyzer.analyze(canonical_net(name="det2"),
+                                     alignment="table")
+        assert a.extra_delay_output == pytest.approx(
+            b.extra_delay_output, abs=1e-18)
+        assert a.rtr == pytest.approx(b.rtr, abs=1e-12)
+
+
+class TestBufferReceiver:
+    """Non-inverting receiver: output polarity follows the victim."""
+
+    @pytest.fixture(scope="class")
+    def buffered_net(self):
+        from repro.gates.library import buffer
+        net = canonical_net(name="buffered")
+        net.receiver = ReceiverSpec(gate=buffer(scale=2), c_load=10 * FF)
+        return net
+
+    def test_analyzer_runs(self, buffered_net, variant_analyzer):
+        rep = variant_analyzer.analyze(buffered_net,
+                                       alignment="input-objective",
+                                       use_rtr=False)
+        assert rep.extra_delay_input > 10 * PS
+        # Output delay must be measured on the RISING output edge.
+        assert rep.noiseless_output.values[-1] == pytest.approx(
+            1.8, abs=0.05)
+
+    def test_golden_polarity(self, buffered_net):
+        golden = golden_extra_delays(buffered_net, 4 * NS,
+                                     aggressor_shifts={"agg0": 0.35 * NS})
+        out = golden.clean.at_receiver_output
+        assert out(0.0) == pytest.approx(0.0, abs=0.1)
+        assert out.values[-1] == pytest.approx(1.8, abs=0.1)

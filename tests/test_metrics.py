@@ -1,0 +1,92 @@
+"""Tests for repro.waveform.metrics."""
+
+import pytest
+
+from repro.units import NS, V
+from repro.waveform import (
+    Waveform,
+    crossing_delay,
+    extra_delay,
+    ramp,
+    transition_slew,
+    triangular_pulse,
+)
+
+VDD = 1.8 * V
+
+
+class TestCrossingDelay:
+    def test_pure_shift(self):
+        a = ramp(0.0, 1 * NS, 0.0, VDD)
+        b = a.shifted(0.3 * NS)
+        assert crossing_delay(a, b, VDD) == pytest.approx(0.3 * NS)
+
+    def test_inverting_stage(self):
+        a = ramp(0.0, 1 * NS, 0.0, VDD)
+        b = ramp(0.6 * NS, 1 * NS, VDD, 0.0)
+        d = crossing_delay(a, b, VDD, launch_rising=True,
+                           capture_rising=False)
+        assert d == pytest.approx(0.6 * NS)
+
+    def test_which_last_penalizes_recrossing(self):
+        a = ramp(0.0, 1 * NS, 0.0, VDD)
+        # Capture rises, dips back below 50%, then recovers.
+        b = Waveform(
+            [0.0, 1.0 * NS, 1.2 * NS, 1.5 * NS, 2.0 * NS],
+            [0.0, VDD, 0.4 * VDD, 0.4 * VDD, VDD],
+        )
+        d_last = crossing_delay(a, b, VDD, which="last")
+        d_first = crossing_delay(a, b, VDD, which="first")
+        assert d_last > d_first
+
+
+class TestTransitionSlew:
+    def test_linear_ramp_recovers_transition_time(self):
+        # 10-90% of a clean 0-100% ramp spans 80% of it; x1.25 restores it.
+        w = ramp(0.0, 1 * NS, 0.0, VDD)
+        assert transition_slew(w, VDD, rising=True) == \
+            pytest.approx(1 * NS, rel=1e-6)
+
+    def test_falling(self):
+        w = ramp(0.0, 0.4 * NS, VDD, 0.0)
+        assert transition_slew(w, VDD, rising=False) == \
+            pytest.approx(0.4 * NS, rel=1e-6)
+
+    def test_slew_scales(self):
+        fast = ramp(0.0, 0.1 * NS, 0.0, VDD)
+        slow = ramp(0.0, 1.0 * NS, 0.0, VDD)
+        assert transition_slew(slow, VDD, True) > \
+            transition_slew(fast, VDD, True)
+
+
+class TestExtraDelay:
+    def test_no_noise_zero(self):
+        clean = ramp(0.0, 1 * NS, 0.0, VDD)
+        assert extra_delay(clean, clean, VDD, rising=True) == \
+            pytest.approx(0.0)
+
+    def test_opposing_noise_increases_delay(self):
+        clean = ramp(0.0, 1 * NS, 0.0, VDD)
+        # Negative pulse near the 50% crossing delays the last crossing.
+        noise = triangular_pulse(0.5 * NS, -0.5 * VDD, 0.2 * NS)
+        noisy = clean + noise
+        assert extra_delay(clean, noisy, VDD, rising=True) > 0.0
+
+    def test_aiding_noise_decreases_delay(self):
+        clean = ramp(0.0, 1 * NS, 0.0, VDD)
+        noise = triangular_pulse(0.45 * NS, +0.4 * VDD, 0.3 * NS)
+        noisy = clean + noise
+        assert extra_delay(clean, noisy, VDD, rising=True) < 0.0
+
+    def test_late_noise_after_transition_is_harmless(self):
+        clean = ramp(0.0, 1 * NS, 0.0, VDD)
+        noise = triangular_pulse(5 * NS, -0.4 * VDD, 0.2 * NS)
+        noisy = clean + noise
+        assert extra_delay(clean, noisy, VDD, rising=True) == \
+            pytest.approx(0.0, abs=1e-15)
+
+    def test_falling_victim(self):
+        clean = ramp(0.0, 1 * NS, VDD, 0.0)
+        noise = triangular_pulse(0.55 * NS, +0.5 * VDD, 0.2 * NS)
+        noisy = clean + noise
+        assert extra_delay(clean, noisy, VDD, rising=False) > 0.0

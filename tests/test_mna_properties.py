@@ -1,0 +1,105 @@
+"""Property-based tests on MNA stamping and the linear solver.
+
+Random RC networks are generated with hypothesis and checked against
+structural invariants: symmetry and positive-semidefiniteness of the
+stamped matrices, passivity of the transient response, and linearity
+(superposition) of the solver.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, GROUND, build_mna
+from repro.sim import simulate_linear
+from repro.units import FF, KOHM, NS, PS
+from repro.waveform import ramp
+
+
+@st.composite
+def random_rc_circuit(draw):
+    """A connected random RC ladder/tree with a grounded anchor."""
+    n_nodes = draw(st.integers(2, 8))
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    circuit = Circuit("rand")
+    # Spanning structure: each node i > 0 connects to a previous node.
+    for i in range(1, n_nodes):
+        j = draw(st.integers(0, i - 1))
+        r = draw(st.floats(0.1, 10.0)) * KOHM
+        circuit.add_resistor(f"r{i}", nodes[j], nodes[i], r)
+    circuit.add_resistor("r_gnd", nodes[0], GROUND,
+                         draw(st.floats(0.1, 5.0)) * KOHM)
+    # Random capacitors.
+    n_caps = draw(st.integers(1, 6))
+    for k in range(n_caps):
+        a = draw(st.integers(0, n_nodes - 1))
+        to_ground = draw(st.booleans())
+        b = GROUND if to_ground else nodes[draw(st.integers(0,
+                                                            n_nodes - 1))]
+        if b == nodes[a]:
+            b = GROUND
+        circuit.add_capacitor(f"c{k}", nodes[a], b,
+                              draw(st.floats(1.0, 100.0)) * FF)
+    return circuit
+
+
+class TestStampInvariants:
+    @given(random_rc_circuit())
+    @settings(max_examples=60, deadline=None)
+    def test_matrices_symmetric_psd(self, circuit):
+        mna = build_mna(circuit)
+        for M in (mna.G, mna.C):
+            np.testing.assert_allclose(M, M.T, atol=1e-15)
+            eig = np.linalg.eigvalsh(M)
+            assert eig.min() >= -1e-12
+
+    @given(random_rc_circuit())
+    @settings(max_examples=60, deadline=None)
+    def test_row_sums_bounded(self, circuit):
+        """Each G row sums to the node's conductance to ground (>= 0):
+        off-diagonals cancel against the diagonal for floating pairs."""
+        mna = build_mna(circuit)
+        row_sums = mna.G.sum(axis=1)
+        assert (row_sums >= -1e-15).all()
+
+
+class TestSolverProperties:
+    @given(random_rc_circuit(), st.floats(0.1, 1.5), st.floats(0.1, 1.5))
+    @settings(max_examples=25, deadline=None)
+    def test_superposition(self, circuit, a1, a2):
+        """Response to a1*u1 + a2*u2 equals the weighted sum of the
+        individual responses (driving the anchor node)."""
+        u1 = ramp(0.1 * NS, 0.2 * NS, 0.0, 1.0)
+        u2 = ramp(0.3 * NS, 0.1 * NS, 0.0, -0.5)
+        node = circuit.nodes()[-1]
+
+        def run(stimulus):
+            trial = circuit.copy()
+            trial.add_isource("i_in", "n0", GROUND, stimulus)
+            return simulate_linear(trial, 1 * NS, 2 * PS).voltage(node)
+
+        combined = run(u1 * a1 + u2 * a2)
+        separate = run(u1) * a1 + run(u2) * a2
+        probe = np.linspace(0, 1 * NS, 40)
+        np.testing.assert_allclose(combined(probe), separate(probe),
+                                   atol=1e-9)
+
+    @given(random_rc_circuit())
+    @settings(max_examples=25, deadline=None)
+    def test_passivity_settles(self, circuit):
+        """With a step source, every node settles within the source
+        range (no energy creation) and reaches DC."""
+        trial = circuit.copy()
+        trial.add_vsource("v_in", "n0", GROUND,
+                          ramp(0.05 * NS, 0.1 * NS, 0.0, 1.0))
+        result = simulate_linear(trial, 100 * NS, 50 * PS)
+        for node in trial.nodes():
+            wave = result.voltage(node)
+            lo, hi = wave.value_range()
+            # Margin covers trapezoidal ringing on stiff sub-step time
+            # constants (the method is A-stable but not L-stable); the
+            # physical response of a passive RC stays within [0, 1].
+            assert lo >= -0.1
+            assert hi <= 1.1
+            assert wave.values[-1] == pytest.approx(1.0, abs=0.01)

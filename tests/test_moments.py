@@ -1,0 +1,116 @@
+"""Tests for repro.circuit.moments (Elmore / D2M wire delay metrics)."""
+
+import math
+
+import pytest
+
+from repro.circuit import Circuit, GROUND
+from repro.circuit.moments import (
+    d2m_delay,
+    elmore_delay,
+    transfer_voltage_moments,
+)
+from repro.circuit.topology import rc_line
+from repro.sim import simulate_linear
+from repro.units import FF, KOHM, NS, PS
+from repro.waveform import step
+
+
+def single_rc(r=1 * KOHM, c=50 * FF):
+    net = Circuit("rc")
+    net.add_resistor("r", "in", "out", r)
+    net.add_capacitor("c", "out", GROUND, c)
+    return net
+
+
+def line_net(segments=12, r=2 * KOHM, c=120 * FF):
+    net = Circuit("line")
+    rc_line(net, "w_", "in", "out", segments, r, c)
+    return net
+
+
+class TestMoments:
+    def test_m0_is_unity(self):
+        m = transfer_voltage_moments(single_rc(), "in", "out")
+        assert m[0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_single_pole_moments(self):
+        # H(s) = 1/(1+sRC): m1 = -RC, m2 = (RC)^2.
+        rc = 1 * KOHM * 50 * FF
+        m = transfer_voltage_moments(single_rc(), "in", "out")
+        assert m[1] == pytest.approx(-rc, rel=1e-9)
+        assert m[2] == pytest.approx(rc * rc, rel=1e-9)
+
+    def test_disconnected_sink_rejected(self):
+        net = single_rc()
+        net.add_capacitor("cx", "float", GROUND, 1 * FF)
+        net.add_capacitor("cc", "out", "float", 1 * FF, coupling=True)
+        with pytest.raises(ValueError, match="DC-connected|singular at DC"):
+            elmore_delay(net, "in", "float")
+
+
+class TestElmore:
+    def test_single_pole_exact(self):
+        assert elmore_delay(single_rc(), "in", "out") == \
+            pytest.approx(1 * KOHM * 50 * FF, rel=1e-9)
+
+    def test_distributed_line_half_rc(self):
+        # Distributed line Elmore to the far end: R*C/2 (+ discretization).
+        rc = 2 * KOHM * 120 * FF
+        d = elmore_delay(line_net(segments=24), "in", "out")
+        assert d == pytest.approx(rc / 2, rel=0.05)
+
+    def test_upper_bounds_simulated_t50(self):
+        """Elmore is an upper bound on the 50% step delay of RC trees."""
+        net = line_net()
+        elmore = elmore_delay(net, "in", "out")
+        trial = net.copy()
+        trial.add_vsource("vs", "in", GROUND, step(0.0, 0.0, 1.0))
+        t50 = simulate_linear(trial, 6 * elmore,
+                              elmore / 400).voltage("out").crossing_time(0.5)
+        assert t50 <= elmore
+
+
+class TestD2M:
+    def test_single_pole_matches_analytic(self):
+        # One pole: t50 = RC ln2 exactly; D2M gives ln2*m1^2/sqrt(m2)
+        # = ln2 * RC — exact here.
+        rc = 1 * KOHM * 50 * FF
+        assert d2m_delay(single_rc(), "in", "out") == \
+            pytest.approx(rc * math.log(2), rel=1e-9)
+
+    def test_tighter_than_elmore_on_line(self):
+        """D2M lands much closer to the simulated 50% delay."""
+        net = line_net()
+        elmore = elmore_delay(net, "in", "out")
+        d2m = d2m_delay(net, "in", "out")
+        trial = net.copy()
+        trial.add_vsource("vs", "in", GROUND, step(0.0, 0.0, 1.0))
+        t50 = simulate_linear(trial, 6 * elmore,
+                              elmore / 400).voltage("out").crossing_time(0.5)
+        assert abs(d2m - t50) < abs(elmore - t50)
+        assert d2m == pytest.approx(t50, rel=0.15)
+
+    def test_near_driver_node(self):
+        """Near-driver sinks are where Elmore is worst; D2M stays sane."""
+        net = line_net(segments=12)
+        mid = "w_n2"  # a quarter down the line
+        elmore = elmore_delay(net, "in", mid)
+        d2m = d2m_delay(net, "in", mid)
+        trial = net.copy()
+        trial.add_vsource("vs", "in", GROUND, step(0.0, 0.0, 1.0))
+        t50 = simulate_linear(trial, 20 * elmore,
+                              elmore / 200).voltage(mid).crossing_time(0.5)
+        assert abs(d2m - t50) < abs(elmore - t50)
+
+
+class TestStaIntegration:
+    def test_metrics_feed_timing_graph(self):
+        """The metric plugs straight into the STA substrate."""
+        from repro.sta import TimingGraph, Window
+        net = line_net()
+        d = d2m_delay(net, "in", "out")
+        g = TimingGraph()
+        g.add_input("launch", Window(0.0, 0.05 * NS))
+        g.add_edge("launch", "recv", 0.8 * d, d)
+        assert g.latest_arrival("recv") == pytest.approx(0.05 * NS + d)

@@ -1,0 +1,177 @@
+"""Tests for repro.devices (technology + MOSFET model)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import (
+    Mosfet,
+    MosfetParams,
+    default_technology,
+    nmos_params,
+    pmos_params,
+)
+from repro.units import UM
+
+TECH = default_technology()
+
+
+def make_nmos(width=1 * UM):
+    return Mosfet("mn", nmos_params(TECH, width), "d", "g", "s")
+
+
+def make_pmos(width=2 * UM):
+    return Mosfet("mp", pmos_params(TECH, width), "d", "g", "vdd")
+
+
+class TestTechnology:
+    def test_defaults_sane(self):
+        assert 0 < TECH.vt_n < TECH.vdd
+        assert 0 < TECH.vt_p < TECH.vdd
+        assert TECH.k_n > TECH.k_p  # electrons faster than holes
+
+    def test_caps_scale_with_width(self):
+        assert TECH.gate_cap(2 * UM) == pytest.approx(2 * TECH.gate_cap(UM))
+        assert TECH.diff_cap(2 * UM) == pytest.approx(2 * TECH.diff_cap(UM))
+
+    def test_default_is_singleton(self):
+        assert default_technology() is default_technology()
+
+
+class TestParams:
+    def test_beta(self):
+        p = nmos_params(TECH, 1 * UM)
+        assert p.beta == pytest.approx(TECH.k_n * 1 * UM / TECH.l_min)
+
+    def test_invalid_polarity(self):
+        with pytest.raises(ValueError):
+            MosfetParams("x", 0.4, 1e-4, 0.1, 1e-6, 1e-7)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MosfetParams("n", 0.4, 1e-4, 0.1, -1e-6, 1e-7)
+
+
+class TestNmosRegions:
+    def test_cutoff_tiny_current(self):
+        m = make_nmos()
+        i, *_ = m.evaluate(vg=0.0, vd=TECH.vdd, vs=0.0)
+        # Only gmin shunt + smoothing residue.
+        assert abs(i) < 1e-5
+
+    def test_saturation_current_positive(self):
+        m = make_nmos()
+        i, *_ = m.evaluate(vg=TECH.vdd, vd=TECH.vdd, vs=0.0)
+        assert i > 1e-4  # hundreds of uA for a 1um device
+
+    def test_square_law_in_saturation(self):
+        m = make_nmos()
+        vgs1, vgs2 = 1.0, 1.4
+        i1, *_ = m.evaluate(vg=vgs1, vd=TECH.vdd, vs=0.0)
+        i2, *_ = m.evaluate(vg=vgs2, vd=TECH.vdd, vs=0.0)
+        expected = ((vgs2 - TECH.vt_n) / (vgs1 - TECH.vt_n)) ** 2
+        # Channel-length modulation perturbs the ratio slightly.
+        assert i2 / i1 == pytest.approx(expected, rel=0.05)
+
+    def test_triode_resistive(self):
+        m = make_nmos()
+        i1, *_ = m.evaluate(vg=TECH.vdd, vd=0.05, vs=0.0)
+        i2, *_ = m.evaluate(vg=TECH.vdd, vd=0.10, vs=0.0)
+        assert i2 == pytest.approx(2 * i1, rel=0.05)
+
+    def test_symmetry_vds_negative(self):
+        m = make_nmos()
+        i_fwd, *_ = m.evaluate(vg=1.8, vd=0.3, vs=0.0)
+        i_rev, *_ = m.evaluate(vg=1.8, vd=0.0, vs=0.3)
+        assert i_rev == pytest.approx(-i_fwd, rel=1e-9)
+
+    def test_current_scales_with_width(self):
+        i1, *_ = make_nmos(1 * UM).evaluate(1.8, 1.8, 0.0)
+        i2, *_ = make_nmos(2 * UM).evaluate(1.8, 1.8, 0.0)
+        # gmin does not scale; subtract its contribution.
+        assert i2 == pytest.approx(2 * i1, rel=1e-3)
+
+
+class TestPmos:
+    def test_on_current_sign(self):
+        m = make_pmos()
+        # Inverter pulling output (drain) up: vg=0, vs=vdd, vd=0.
+        i, *_ = m.evaluate(vg=0.0, vd=0.0, vs=TECH.vdd)
+        assert i < -1e-4  # current flows out of drain node into the channel
+
+    def test_off_when_gate_high(self):
+        m = make_pmos()
+        i, *_ = m.evaluate(vg=TECH.vdd, vd=0.0, vs=TECH.vdd)
+        assert abs(i) < 1e-5
+
+    def test_weaker_than_nmos_at_same_width(self):
+        i_n, *_ = make_nmos(1 * UM).evaluate(1.8, 1.8, 0.0)
+        i_p, *_ = Mosfet("mp", pmos_params(TECH, 1 * UM), "d", "g",
+                         "vdd").evaluate(0.0, 0.0, 1.8)
+        assert abs(i_n) > abs(i_p)
+
+
+class TestDerivatives:
+    """Analytic derivatives must match finite differences everywhere —
+    the Newton solver depends on it."""
+
+    @staticmethod
+    def fd_check(device, vg, vd, vs, eps=1e-6):
+        i0, dg, dd, dsrc = device.evaluate(vg, vd, vs)
+        dg_fd = (device.evaluate(vg + eps, vd, vs)[0] - i0) / eps
+        dd_fd = (device.evaluate(vg, vd + eps, vs)[0] - i0) / eps
+        ds_fd = (device.evaluate(vg, vd, vs + eps)[0] - i0) / eps
+        assert dg == pytest.approx(dg_fd, rel=1e-3, abs=1e-9)
+        assert dd == pytest.approx(dd_fd, rel=1e-3, abs=1e-9)
+        assert dsrc == pytest.approx(ds_fd, rel=1e-3, abs=1e-9)
+
+    @given(st.floats(0.0, 1.8), st.floats(0.0, 1.8), st.floats(0.0, 1.8))
+    @settings(max_examples=150, deadline=None)
+    def test_nmos_derivatives(self, vg, vd, vs):
+        self.fd_check(make_nmos(), vg, vd, vs)
+
+    @given(st.floats(0.0, 1.8), st.floats(0.0, 1.8), st.floats(0.0, 1.8))
+    @settings(max_examples=150, deadline=None)
+    def test_pmos_derivatives(self, vg, vd, vs):
+        self.fd_check(make_pmos(), vg, vd, vs)
+
+    @given(st.floats(0.0, 1.8), st.floats(0.0, 1.8))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_vgs(self, vgs_lo, vds):
+        """Id is non-decreasing in Vgs at fixed Vds >= 0 (NMOS)."""
+        m = make_nmos()
+        i_lo, *_ = m.evaluate(vgs_lo, vds, 0.0)
+        i_hi, *_ = m.evaluate(vgs_lo + 0.1, vds, 0.0)
+        assert i_hi >= i_lo - 1e-12
+
+    @given(st.floats(0.0, 1.8), st.floats(0.0, 1.7))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_vds(self, vg, vds_lo):
+        """Id is non-decreasing in Vds at fixed Vgs (NMOS, lambda > 0)."""
+        m = make_nmos()
+        i_lo, *_ = m.evaluate(vg, vds_lo, 0.0)
+        i_hi, *_ = m.evaluate(vg, vds_lo + 0.1, 0.0)
+        assert i_hi >= i_lo - 1e-12
+
+    def test_continuity_at_cutoff(self):
+        m = make_nmos()
+        vt = TECH.vt_n
+        i_below, *_ = m.evaluate(vt - 1e-4, 1.0, 0.0)
+        i_above, *_ = m.evaluate(vt + 1e-4, 1.0, 0.0)
+        assert abs(i_above - i_below) < 1e-5
+
+    def test_continuity_at_vds_zero(self):
+        m = make_nmos()
+        i_neg, *_ = m.evaluate(1.8, -1e-6, 0.0)
+        i_pos, *_ = m.evaluate(1.8, +1e-6, 0.0)
+        assert abs(i_pos - i_neg) < 1e-6
+        assert i_pos > 0 > i_neg
+
+
+class TestRepr:
+    def test_repr_mentions_polarity_and_width(self):
+        text = repr(make_nmos())
+        assert "nmos" in text
+        assert "um" in text.lower()

@@ -1,0 +1,161 @@
+"""Tests for repro.core.net (the CoupledNet data model)."""
+
+import pytest
+
+from repro.bench.netgen import NetGenerator, canonical_net
+from repro.circuit import Circuit, GROUND
+from repro.core.net import AggressorSpec, CoupledNet, DriverSpec, ReceiverSpec
+from repro.gates import inverter
+from repro.units import FF, NS
+
+
+class TestDriverSpec:
+    def test_input_waveform_inverts_direction(self):
+        drv = DriverSpec(gate=inverter(), input_slew=0.2 * NS,
+                         output_rising=True, input_start=1 * NS)
+        wave = drv.input_waveform()
+        # Rising output -> falling input.
+        assert wave(0.9 * NS) == pytest.approx(1.8)
+        assert wave(1.3 * NS) == pytest.approx(0.0)
+
+    def test_input_waveform_shift(self):
+        drv = DriverSpec(gate=inverter(), input_slew=0.2 * NS,
+                         output_rising=False)
+        assert drv.input_waveform(1 * NS)(0.9 * NS) == pytest.approx(0.0)
+
+    def test_quiet_level(self):
+        rising = DriverSpec(inverter(), 0.2 * NS, True)
+        falling = DriverSpec(inverter(), 0.2 * NS, False)
+        assert rising.quiet_input_level() == pytest.approx(1.8)
+        assert falling.quiet_input_level() == pytest.approx(0.0)
+
+
+class TestAggressorWindow:
+    def agg(self, window):
+        return AggressorSpec(
+            "a", DriverSpec(inverter(), 0.1 * NS, False,
+                            input_start=1 * NS),
+            root="r", far_end="f", window=window)
+
+    def test_no_window_passthrough(self):
+        assert self.agg(None).clamp_shift(123.0) == 123.0
+
+    def test_clamped_high(self):
+        a = self.agg((0.5 * NS, 1.5 * NS))
+        assert a.clamp_shift(2 * NS) == pytest.approx(0.5 * NS)
+
+    def test_clamped_low(self):
+        a = self.agg((0.5 * NS, 1.5 * NS))
+        assert a.clamp_shift(-2 * NS) == pytest.approx(-0.5 * NS)
+
+    def test_inside_window(self):
+        a = self.agg((0.5 * NS, 1.5 * NS))
+        assert a.clamp_shift(0.2 * NS) == pytest.approx(0.2 * NS)
+
+
+class TestReceiverSpec:
+    def test_default_pin(self):
+        r = ReceiverSpec(inverter(), 10 * FF)
+        assert r.pin == "a"
+        assert r.input_capacitance() > 0
+
+
+class TestCoupledNetValidation:
+    def test_rejects_nonpassive_interconnect(self):
+        wires = Circuit("w")
+        wires.add_resistor("r", "v_root", "v_rcv", 1e3)
+        wires.add_vsource("v", "v_root", GROUND, 1.0)
+        with pytest.raises(ValueError, match="passive"):
+            CoupledNet("bad", wires, "v_root", "v_rcv",
+                       DriverSpec(inverter(), 0.1 * NS, True),
+                       ReceiverSpec(inverter(), 10 * FF))
+
+    def test_rejects_unknown_node(self):
+        wires = Circuit("w")
+        wires.add_resistor("r", "v_root", "v_rcv", 1e3)
+        with pytest.raises(ValueError, match="not in interconnect"):
+            CoupledNet("bad", wires, "v_root", "nowhere",
+                       DriverSpec(inverter(), 0.1 * NS, True),
+                       ReceiverSpec(inverter(), 10 * FF))
+
+    def test_rejects_duplicate_aggressor_names(self):
+        net = canonical_net(n_aggressors=2)
+        net.aggressors[1].name = net.aggressors[0].name
+        with pytest.raises(ValueError, match="duplicate"):
+            CoupledNet(net.name, net.interconnect, net.victim_root,
+                       net.victim_receiver_node, net.victim_driver,
+                       net.receiver, net.aggressors)
+
+    def test_canonical_net_valid(self):
+        net = canonical_net(n_aggressors=2)
+        assert net.vdd == pytest.approx(1.8)
+        assert net.victim_rising
+        assert net.victim_initial_level() == 0.0
+        assert net.aggressor("agg1").root == "a1_root"
+        with pytest.raises(KeyError):
+            net.aggressor("nope")
+
+
+class TestNetGenerator:
+    def test_deterministic_with_seed(self):
+        a = NetGenerator(seed=42).generate()
+        b = NetGenerator(seed=42).generate()
+        assert a.victim_driver.gate.name == b.victim_driver.gate.name
+        assert a.receiver.c_load == b.receiver.c_load
+        assert len(a.aggressors) == len(b.aggressors)
+
+    def test_different_seeds_differ(self):
+        pop_a = NetGenerator(seed=1).population(5)
+        pop_b = NetGenerator(seed=2).population(5)
+        fingerprints = [
+            (n.receiver.c_load, len(n.aggressors)) for n in pop_a + pop_b
+        ]
+        assert len(set(fingerprints)) > 2
+
+    def test_population_names_unique(self):
+        pop = NetGenerator(seed=3).population(10)
+        names = [n.name for n in pop]
+        assert len(set(names)) == 10
+
+    def test_all_nets_validate(self):
+        # CoupledNet.__post_init__ runs validation; just generating the
+        # population asserts structural integrity.
+        pop = NetGenerator(seed=7).population(20)
+        for net in pop:
+            assert net.interconnect.coupling_caps(), \
+                f"{net.name} has no coupling"
+            assert 1 <= len(net.aggressors) <= 3
+
+    def test_aggressors_oppose_victim(self):
+        pop = NetGenerator(seed=5).population(10)
+        for net in pop:
+            assert net.victim_driver.output_rising
+            for agg in net.aggressors:
+                assert not agg.driver.output_rising
+
+
+class TestBranchedVictims:
+    def test_branches_generated(self):
+        from repro.bench.netgen import NetGenConfig
+        cfg = NetGenConfig(victim_branches=2)
+        net = NetGenerator(seed=11, config=cfg).generate()
+        nodes = net.interconnect.nodes()
+        assert "vb0_leaf" in nodes
+        assert "vb1_leaf" in nodes
+
+    def test_branched_net_analyzable(self, model_cache):
+        from repro.bench.netgen import NetGenConfig
+        from repro.core.analysis import DelayNoiseAnalyzer
+        from repro.core.golden import golden_extra_delays
+        from repro.units import NS, PS
+        cfg = NetGenConfig(victim_branches=2, n_aggressors=(1, 1))
+        net = NetGenerator(seed=11, config=cfg).generate()
+        analyzer = DelayNoiseAnalyzer(cache=model_cache)
+        rep = analyzer.analyze(net, alignment="input-objective",
+                               use_rtr=False)
+        golden = golden_extra_delays(
+            net, max(4 * NS, rep.noiseless_input.t_end),
+            aggressor_shifts=rep.aggressor_shifts)
+        # The flow handles the branched (tree) load: within 30% or 10 ps.
+        assert rep.extra_delay_input == pytest.approx(
+            golden.extra_input, rel=0.3, abs=10 * PS)

@@ -1,0 +1,122 @@
+"""Tests for repro.circuit.parser."""
+
+import pytest
+
+from repro.circuit import GROUND
+from repro.circuit.parser import NetlistError, parse_netlist, parse_value
+from repro.units import FF, KOHM
+from repro.waveform import Waveform
+
+
+class TestParseValue:
+    @pytest.mark.parametrize("token,expected", [
+        ("1.2k", 1200.0),
+        ("35f", 35e-15),
+        ("0.4n", 0.4e-9),
+        ("2meg", 2e6),
+        ("10", 10.0),
+        ("-3.5p", -3.5e-12),
+        ("1e-12", 1e-12),
+        ("1.5E3", 1500.0),
+    ])
+    def test_values(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_garbage(self):
+        with pytest.raises(NetlistError):
+            parse_value("abc")
+
+    def test_bad_suffix(self):
+        with pytest.raises(NetlistError):
+            parse_value("1.5q")
+
+
+class TestParseNetlist:
+    def test_rc_deck(self):
+        deck = """
+        * simple RC
+        Vdrv in 0 DC 1.8
+        R1 in mid 1k
+        R2 mid out 500
+        C1 mid 0 20f
+        C2 out 0 35f
+        .end
+        """
+        c = parse_netlist(deck)
+        assert len(c.resistors) == 2
+        assert len(c.capacitors) == 2
+        assert c.resistors[0].resistance == pytest.approx(1 * KOHM)
+        assert c.capacitors[1].capacitance == pytest.approx(35 * FF)
+
+    def test_coupling_tag(self):
+        c = parse_netlist("Cc1 v1 a1 12f COUPLING\nR1 v1 0 1k")
+        assert c.coupling_caps()[0].capacitance == pytest.approx(12 * FF)
+
+    def test_unknown_cap_flag(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("Cc1 v1 a1 12f WEIRD")
+
+    def test_gnd_alias(self):
+        c = parse_netlist("R1 a GND 1k")
+        assert c.resistors[0].node2 == GROUND
+
+    def test_pwl_source(self):
+        c = parse_netlist("Vin in 0 PWL(0 0 1n 1.8)")
+        wave = c.vsources[0].value
+        assert isinstance(wave, Waveform)
+        assert wave(0.5e-9) == pytest.approx(0.9)
+
+    def test_pwl_with_commas(self):
+        c = parse_netlist("Iin n1 0 PWL(0 0, 1n 1m, 2n 0)")
+        assert c.isources[0].value(1e-9) == pytest.approx(1e-3)
+
+    def test_bare_dc_number(self):
+        c = parse_netlist("Vdd vdd 0 1.8")
+        assert c.vsources[0].value == pytest.approx(1.8)
+
+    def test_continuation_lines(self):
+        deck = "Vin in 0 PWL(0 0\n+ 1n 1.8)"
+        c = parse_netlist(deck)
+        assert c.vsources[0].value(1e-9) == pytest.approx(1.8)
+
+    def test_comments_and_blanks(self):
+        deck = "* header\n\nR1 a 0 1k ; trailing comment\n* tail"
+        c = parse_netlist(deck)
+        assert len(c.resistors) == 1
+
+    def test_end_stops_parsing(self):
+        deck = "R1 a 0 1k\n.end\nR2 b 0 1k"
+        c = parse_netlist(deck)
+        assert len(c.resistors) == 1
+
+    def test_dot_cards_ignored(self):
+        c = parse_netlist(".tran 1p 1n\nR1 a 0 1k")
+        assert len(c.resistors) == 1
+
+    def test_malformed_resistor(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a 0")
+
+    def test_unsupported_card(self):
+        with pytest.raises(NetlistError, match="unsupported card"):
+            parse_netlist("L1 a 0 1n")
+
+    def test_odd_pwl_pairs(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("Vin in 0 PWL(0 0 1n)")
+
+    def test_orphan_continuation(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("+ 1n 1.8")
+
+    def test_roundtrip_through_mna(self):
+        from repro.circuit import build_mna
+        from repro.sim import simulate_linear
+        deck = """
+        Vin in 0 PWL(0 0 0.1n 1.8)
+        R1 in out 1k
+        C1 out 0 100f
+        """
+        result = simulate_linear(parse_netlist(deck), 2e-9, 1e-12)
+        assert result.voltage("out").values[-1] == pytest.approx(1.8,
+                                                                 rel=1e-3)

@@ -1,0 +1,142 @@
+"""Tests for repro.core.precharacterize (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exhaustive import exhaustive_worst_alignment
+from repro.core.net import ReceiverSpec
+from repro.core.precharacterize import (
+    AlignmentTable,
+    build_alignment_table,
+    characterization_victim,
+)
+from repro.gates import inverter
+from repro.units import FF, NS, PS
+from repro.waveform import noise_pulse
+
+VDD = 1.8
+
+
+class TestCharacterizationVictim:
+    def test_fifty_percent_at_zero(self):
+        v = characterization_victim(0.3 * NS, VDD, rising=True)
+        assert v.crossing_time(VDD / 2, rising=True) == \
+            pytest.approx(0.0, abs=1 * PS)
+
+    def test_slew_recovered(self):
+        from repro.waveform import transition_slew
+        for slew in (0.15 * NS, 0.5 * NS):
+            v = characterization_victim(slew, VDD, rising=True)
+            assert transition_slew(v, VDD, True) == \
+                pytest.approx(slew, rel=0.02)
+
+    def test_falling(self):
+        v = characterization_victim(0.3 * NS, VDD, rising=False)
+        assert v.values[0] == pytest.approx(VDD)
+        assert v.values[-1] == pytest.approx(0.0, abs=0.01)
+
+    def test_has_settling_tail(self):
+        """Ramp-RC shape: the approach to the rail is gradual."""
+        v = characterization_victim(0.3 * NS, VDD, rising=True)
+        t90 = v.crossing_time(0.9 * VDD, rising=True)
+        t99 = v.crossing_time(0.99 * VDD, rising=True)
+        assert t99 - t90 > 20 * PS
+
+    def test_invalid_slew(self):
+        with pytest.raises(ValueError):
+            characterization_victim(0.0, VDD, True)
+
+
+@pytest.fixture(scope="module")
+def table():
+    """A coarse (fast) table for an X2 inverter receiver."""
+    return build_alignment_table(inverter(scale=2), sweep_steps=13,
+                                 refine_steps=6, dt=2 * PS)
+
+
+class TestTableStructure:
+    def test_shape_and_metadata(self, table):
+        assert table.va.shape == (2, 2, 2)
+        assert table.gate_name == "INV_X2"
+        assert table.victim_rising
+
+    def test_va_within_transition(self, table):
+        """Alignment voltages live strictly inside the swing — above
+        Vdd/2 for a rising victim (the pulse must drag the crossing)."""
+        assert (table.va > 0.5 * VDD).all()
+        assert (table.va < VDD).all()
+
+    def test_va_increases_with_height(self, table):
+        """Taller pulses can be placed later (higher victim voltage) —
+        the monotonicity behind Figure 8(b)."""
+        assert (table.va[:, :, 1] >= table.va[:, :, 0] - 0.05).all()
+
+    def test_invalid_shape_rejected(self, table):
+        with pytest.raises(ValueError):
+            AlignmentTable("X", VDD, True, 2 * FF, table.slews,
+                           table.widths, table.heights,
+                           np.zeros((2, 2)))
+
+
+class TestInterpolation:
+    def test_corner_recovery(self, table):
+        """At a characterized corner, interpolation returns the stored
+        value exactly."""
+        v = table.alignment_voltage(table.widths[0], table.heights[1],
+                                    slew_index=1)
+        assert v == pytest.approx(table.va[1, 0, 1])
+
+    def test_clamping_outside_range(self, table):
+        tiny = table.alignment_voltage(1 * PS, 0.01, 0)
+        assert tiny == pytest.approx(table.va[0, 0, 0])
+        huge = table.alignment_voltage(10 * NS, 5.0, 0)
+        assert huge == pytest.approx(table.va[0, 1, 1])
+
+    def test_midpoint_between_corners(self, table):
+        mid_w = 0.5 * (table.widths[0] + table.widths[1])
+        v = table.alignment_voltage(mid_w, table.heights[0], 0)
+        lo = min(table.va[0, 0, 0], table.va[0, 1, 0])
+        hi = max(table.va[0, 0, 0], table.va[0, 1, 0])
+        assert lo <= v <= hi
+
+
+class TestPrediction:
+    def test_predicted_time_before_cliff(self, table):
+        """The guard-banded prediction must land at-or-before the true
+        worst case (never off the cliff)."""
+        receiver = ReceiverSpec(inverter(scale=2), c_load=2 * FF)
+        victim = characterization_victim(0.3 * NS, VDD, True)
+        pulse = noise_pulse(0.0, -0.5, 0.15 * NS)
+        sweep = exhaustive_worst_alignment(receiver, victim, pulse, VDD,
+                                           True, steps=25, refine=8,
+                                           dt=2 * PS)
+        pred = table.predict_peak_time(victim, 0.15 * NS, -0.5, 0.3 * NS)
+        assert pred <= sweep.best_peak_time + 5 * PS
+
+    def test_predicted_delay_close_to_worst(self, table):
+        """Paper Figure 9: delay at predicted alignment within ~10% of
+        the exhaustive worst case (at characterization-like conditions)."""
+        receiver = ReceiverSpec(inverter(scale=2), c_load=2 * FF)
+        victim = characterization_victim(0.4 * NS, VDD, True)
+        pulse = noise_pulse(0.0, -0.45, 0.2 * NS)
+        sweep = exhaustive_worst_alignment(receiver, victim, pulse, VDD,
+                                           True, steps=25, refine=8,
+                                           dt=2 * PS)
+        pred = table.predict_peak_time(victim, 0.2 * NS, -0.45, 0.4 * NS)
+        d_pred = sweep.delay_at(pred)
+        assert d_pred >= 0.85 * sweep.best_extra_output
+
+    def test_prediction_monotone_in_height(self, table):
+        victim = characterization_victim(0.3 * NS, VDD, True)
+        t_small = table.predict_peak_time(victim, 0.2 * NS, -0.3, 0.3 * NS)
+        t_big = table.predict_peak_time(victim, 0.2 * NS, -0.7, 0.3 * NS)
+        assert t_big >= t_small - 1 * PS
+
+    def test_prediction_uses_actual_waveform(self, table):
+        """The same (w, h, slew) on a shifted victim maps to a shifted
+        time — the va -> time mapping goes through the real waveform."""
+        victim = characterization_victim(0.3 * NS, VDD, True)
+        shifted = victim.shifted(1.0 * NS)
+        t0 = table.predict_peak_time(victim, 0.2 * NS, -0.4, 0.3 * NS)
+        t1 = table.predict_peak_time(shifted, 0.2 * NS, -0.4, 0.3 * NS)
+        assert t1 - t0 == pytest.approx(1.0 * NS, abs=1 * PS)

@@ -1,0 +1,186 @@
+"""Tests for repro.waveform.pulses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import NS, PS, V
+from repro.waveform import (
+    pulse_peak,
+    pulse_width,
+    raised_cosine_pulse,
+    ramp,
+    step,
+    triangular_pulse,
+)
+
+
+class TestRamp:
+    def test_endpoints(self):
+        w = ramp(1 * NS, 0.2 * NS, 0.0, 1.8)
+        assert w(1 * NS) == 0.0
+        assert w(1.2 * NS) == pytest.approx(1.8)
+        assert w(1.1 * NS) == pytest.approx(0.9)
+
+    def test_pad(self):
+        w = ramp(1 * NS, 0.2 * NS, 0.0, 1.8, pad=0.5 * NS)
+        assert w.t_start == pytest.approx(0.5 * NS)
+        assert w.t_end == pytest.approx(1.7 * NS)
+
+    def test_falling(self):
+        w = ramp(0.0, 1 * NS, 1.8, 0.0)
+        assert w(0.5 * NS) == pytest.approx(0.9)
+
+    def test_invalid_transition(self):
+        with pytest.raises(ValueError):
+            ramp(0, 0, 0, 1)
+
+
+class TestStep:
+    def test_step_is_sharp(self):
+        w = step(1 * NS, 0.0, 1.8)
+        assert w(1 * NS - 1 * PS) == 0.0
+        assert w(1 * NS + 1 * PS) == pytest.approx(1.8)
+
+
+class TestTriangularPulse:
+    def test_peak_location_and_height(self):
+        p = triangular_pulse(2 * NS, -0.6, 0.3 * NS)
+        t, h = pulse_peak(p)
+        assert t == pytest.approx(2 * NS)
+        assert h == pytest.approx(-0.6)
+
+    def test_width_at_half_height(self):
+        p = triangular_pulse(2 * NS, 0.6, 0.3 * NS)
+        assert pulse_width(p) == pytest.approx(0.3 * NS, rel=1e-9)
+
+    def test_baseline(self):
+        p = triangular_pulse(2 * NS, 0.5, 0.3 * NS, baseline=1.8)
+        assert p(0.0) == pytest.approx(1.8)
+        assert p(2 * NS) == pytest.approx(2.3)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            triangular_pulse(0, 1, 0)
+
+
+class TestRaisedCosinePulse:
+    def test_peak(self):
+        p = raised_cosine_pulse(1 * NS, 0.9, 0.2 * NS)
+        t, h = pulse_peak(p)
+        assert t == pytest.approx(1 * NS, abs=5 * PS)
+        assert h == pytest.approx(0.9, rel=1e-3)
+
+    def test_width_at_half_height(self):
+        p = raised_cosine_pulse(1 * NS, 0.9, 0.2 * NS, samples=257)
+        assert pulse_width(p) == pytest.approx(0.2 * NS, rel=1e-3)
+
+    def test_support_is_twice_width(self):
+        p = raised_cosine_pulse(1 * NS, 0.9, 0.2 * NS)
+        assert p.t_start == pytest.approx(0.8 * NS)
+        assert p.t_end == pytest.approx(1.2 * NS)
+        assert p(0.8 * NS) == pytest.approx(0.0, abs=1e-12)
+
+    def test_negative_height(self):
+        p = raised_cosine_pulse(1 * NS, -0.9, 0.2 * NS)
+        _, h = pulse_peak(p)
+        assert h == pytest.approx(-0.9, rel=1e-3)
+
+
+class TestPulseMetrics:
+    def test_width_fraction_validation(self):
+        p = triangular_pulse(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            pulse_width(p, fraction=0.0)
+        with pytest.raises(ValueError):
+            pulse_width(p, fraction=1.0)
+
+    def test_width_other_fraction(self):
+        # Triangle with half-height width w has width 2w(1-f) at fraction f.
+        p = triangular_pulse(0.0, 1.0, 0.5)
+        assert pulse_width(p, fraction=0.25) == pytest.approx(0.75, rel=1e-9)
+
+    def test_flat_waveform_zero_width(self):
+        from repro.waveform import Waveform
+        flat = Waveform.constant(0.0, 0.0, 1.0)
+        assert pulse_width(flat) == 0.0
+
+    def test_peak_with_nonzero_settle(self):
+        # Pulse that settles at a non-zero baseline.
+        from repro.waveform import Waveform
+        w = Waveform([0, 1, 2, 3], [1.8, 1.1, 1.8, 1.8])
+        t, h = pulse_peak(w)
+        assert t == 1.0
+        assert h == pytest.approx(-0.7)
+
+    @given(st.floats(0.05, 1.5), st.floats(0.05, 2.0),
+           st.sampled_from([1.0, -1.0]))
+    @settings(max_examples=80)
+    def test_triangle_roundtrip(self, height, width, sign):
+        p = triangular_pulse(5.0, sign * height, width)
+        t, h = pulse_peak(p)
+        assert t == pytest.approx(5.0)
+        assert h == pytest.approx(sign * height, rel=1e-9)
+        assert pulse_width(p) == pytest.approx(width, rel=1e-6)
+
+    @given(st.floats(0.05, 1.5), st.floats(0.05, 2.0))
+    @settings(max_examples=80)
+    def test_raised_cosine_roundtrip(self, height, width):
+        p = raised_cosine_pulse(5.0, height, width, samples=201)
+        _, h = pulse_peak(p)
+        assert h == pytest.approx(height, rel=1e-3)
+        assert pulse_width(p) == pytest.approx(width, rel=5e-3)
+
+
+class TestNoisePulse:
+    """The asymmetric double-exponential characterization pulse."""
+
+    def test_peak_and_width_convention(self):
+        from repro.waveform import noise_pulse
+        p = noise_pulse(2 * NS, -0.5, 0.25 * NS)
+        t, h = pulse_peak(p)
+        assert t == pytest.approx(2 * NS, abs=2 * PS)
+        assert h == pytest.approx(-0.5, rel=1e-3)
+        assert pulse_width(p) == pytest.approx(0.25 * NS, rel=0.02)
+
+    def test_asymmetry_tail_longer_than_rise(self):
+        from repro.waveform import noise_pulse
+        import numpy as np
+        p = noise_pulse(0.0, 1.0, 0.2 * NS, asymmetry=4.0)
+        t_peak, h = pulse_peak(p)
+        half = 0.5 * h
+        crossings = p.crossings(half)
+        rise = t_peak - crossings[0]
+        fall = crossings[-1] - t_peak
+        assert fall > 1.5 * rise
+
+    def test_higher_asymmetry_longer_tail(self):
+        from repro.waveform import noise_pulse
+        p2 = noise_pulse(0.0, 1.0, 0.2 * NS, asymmetry=2.0)
+        p6 = noise_pulse(0.0, 1.0, 0.2 * NS, asymmetry=6.0)
+        assert p6.t_end - 0.0 > p2.t_end - 0.0
+
+    def test_baseline(self):
+        from repro.waveform import noise_pulse
+        p = noise_pulse(0.0, -0.4, 0.2 * NS, baseline=1.8)
+        assert p.values[0] == pytest.approx(1.8)
+        t, h = pulse_peak(p)
+        assert h == pytest.approx(-0.4, rel=1e-3)
+
+    def test_validation(self):
+        from repro.waveform import noise_pulse
+        with pytest.raises(ValueError):
+            noise_pulse(0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            noise_pulse(0.0, 1.0, 1 * NS, asymmetry=1.0)
+
+    @given(st.floats(0.05, 1.5), st.floats(0.05, 2.0),
+           st.floats(1.5, 8.0))
+    @settings(max_examples=60)
+    def test_roundtrip(self, height, width, asymmetry):
+        from repro.waveform import noise_pulse
+        p = noise_pulse(3.0, -height, width, asymmetry=asymmetry)
+        _, h = pulse_peak(p)
+        assert h == pytest.approx(-height, rel=1e-3)
+        assert pulse_width(p) == pytest.approx(width, rel=0.03)

@@ -1,0 +1,50 @@
+"""Tests for repro.waveform.render (ASCII charts)."""
+
+import pytest
+
+from repro.units import NS
+from repro.waveform import Waveform, noise_pulse, ramp
+from repro.waveform.render import render_waveform, render_waveforms
+
+
+class TestRender:
+    def test_single_waveform(self):
+        text = render_waveform(ramp(0.0, 1 * NS, 0.0, 1.8),
+                               label="victim")
+        assert "victim" in text
+        assert "*" in text
+        assert "1.800" in text
+
+    def test_multi_series_glyphs(self):
+        vic = ramp(0.0, 1 * NS, 0.0, 1.8, pad=0.2 * NS)
+        noisy = vic + noise_pulse(0.6 * NS, -0.5, 0.2 * NS)
+        text = render_waveforms({"clean": vic, "noisy": noisy})
+        assert "* clean" in text
+        assert "o noisy" in text
+        assert "o" in text.splitlines()[3]  # second series drawn
+
+    def test_dimensions(self):
+        text = render_waveforms({"v": ramp(0, 1 * NS, 0, 1)},
+                                width=40, height=8)
+        lines = text.splitlines()
+        # 8 plot rows + axis + time footer + legend.
+        assert len(lines) == 11
+        assert all(len(line) <= 40 + 12 for line in lines[:8])
+
+    def test_flat_waveform_does_not_crash(self):
+        text = render_waveform(Waveform.constant(0.7, 0.0, 1 * NS))
+        assert "0.7" in text
+
+    def test_time_span_override(self):
+        text = render_waveforms({"v": ramp(0, 1 * NS, 0, 1)},
+                                t_start=0.0, t_end=0.5 * NS)
+        assert "500ps" in text or "0.5ns" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_waveforms({})
+        with pytest.raises(ValueError):
+            render_waveforms({"v": ramp(0, 1, 0, 1)}, width=4)
+        with pytest.raises(ValueError):
+            render_waveforms({"v": ramp(0, 1, 0, 1)},
+                             t_start=1.0, t_end=0.5)

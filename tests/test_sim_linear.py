@@ -1,0 +1,154 @@
+"""Tests for repro.sim.linear against analytic RC responses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, GROUND, build_mna
+from repro.circuit.topology import rc_line
+from repro.sim import simulate_linear, time_grid
+from repro.units import FF, KOHM, NS, PS
+from repro.waveform import Waveform, ramp, step, triangular_pulse
+
+
+def rc_charging_circuit(r=1 * KOHM, c=100 * FF):
+    circuit = Circuit("rc")
+    circuit.add_vsource("vin", "in", GROUND, step(0.1 * NS, 0.0, 1.0))
+    circuit.add_resistor("r1", "in", "out", r)
+    circuit.add_capacitor("c1", "out", GROUND, c)
+    return circuit
+
+
+class TestTimeGrid:
+    def test_includes_endpoints(self):
+        g = time_grid(1 * NS, 10 * PS)
+        assert g[0] == 0.0
+        assert g[-1] == pytest.approx(1 * NS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_grid(0.0, 1 * PS)
+        with pytest.raises(ValueError):
+            time_grid(1 * NS, -1 * PS)
+
+
+class TestRcStep:
+    def test_exponential_charging(self):
+        r, c = 1 * KOHM, 100 * FF
+        tau = r * c
+        result = simulate_linear(rc_charging_circuit(r, c), 2 * NS, 0.5 * PS)
+        out = result.voltage("out")
+        for multiple in (0.5, 1.0, 2.0, 3.0):
+            t = 0.1 * NS + multiple * tau
+            expected = 1.0 - math.exp(-multiple)
+            assert out(t) == pytest.approx(expected, abs=2e-3)
+
+    def test_initial_dc_state(self):
+        # Source is 0 before the step: output starts at 0.
+        result = simulate_linear(rc_charging_circuit(), 1 * NS, 1 * PS)
+        assert result.voltage("out")(0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_final_value(self):
+        result = simulate_linear(rc_charging_circuit(), 3 * NS, 1 * PS)
+        assert result.voltage("out").values[-1] == pytest.approx(1.0,
+                                                                 rel=1e-4)
+
+    def test_branch_current(self):
+        result = simulate_linear(rc_charging_circuit(), 2 * NS, 1 * PS)
+        i = result.branch_current("vin")
+        # 10 ps (= tau/10) after the step the source still sinks nearly
+        # -1V/1k = -1mA (current flows out of the + terminal, MNA measures
+        # into it): exp(-0.1) ~ 0.905 mA.
+        assert i(0.11 * NS) == pytest.approx(-0.905e-3, rel=0.05)
+        assert abs(i.values[-1]) < 1e-6
+
+
+class TestElmoreLadder:
+    def test_distributed_line_delay(self):
+        """50% step delay of a distributed RC line ~ 0.38 * R * C
+        (Sakurai's closed form for the open-ended distributed line)."""
+        circuit = Circuit("line")
+        circuit.add_vsource("vin", "drv", GROUND, step(0.0, 0.0, 1.0))
+        rc_line(circuit, "w_", "drv", "rcv", 20, 2 * KOHM, 200 * FF)
+        rc = 2 * KOHM * 200 * FF
+        result = simulate_linear(circuit, 3 * rc, rc / 1000)
+        t50 = result.voltage("rcv").crossing_time(0.5)
+        assert t50 == pytest.approx(0.38 * rc, rel=0.05)
+
+
+class TestSuperposition:
+    def test_two_sources_superpose(self):
+        """Linear system: response to both sources = sum of individual."""
+        def build(v1_on, v2_on):
+            circuit = Circuit("sp")
+            w1 = ramp(0.1 * NS, 0.2 * NS, 0.0, 1.0) if v1_on else 0.0
+            w2 = triangular_pulse(0.5 * NS, 0.8, 0.1 * NS) if v2_on else 0.0
+            circuit.add_vsource("v1", "a", GROUND, w1)
+            circuit.add_vsource("v2", "b", GROUND, w2)
+            circuit.add_resistor("r1", "a", "x", 1 * KOHM)
+            circuit.add_resistor("r2", "b", "y", 2 * KOHM)
+            circuit.add_capacitor("cc", "x", "y", 20 * FF, coupling=True)
+            circuit.add_capacitor("c1", "x", GROUND, 50 * FF)
+            circuit.add_capacitor("c2", "y", GROUND, 30 * FF)
+            return simulate_linear(circuit, 2 * NS, 1 * PS).voltage("x")
+
+        both = build(True, True)
+        only1 = build(True, False)
+        only2 = build(False, True)
+        probe = np.linspace(0, 2 * NS, 50)
+        np.testing.assert_allclose(
+            both(probe), only1(probe) + only2(probe), atol=1e-9)
+
+
+class TestCurrentInjection:
+    def test_current_source_into_rc(self):
+        """I into R||C: final voltage = I*R."""
+        circuit = Circuit("irc")
+        circuit.add_isource("inoise", "n", GROUND, 1e-3)
+        circuit.add_resistor("r", "n", GROUND, 1 * KOHM)
+        circuit.add_capacitor("c", "n", GROUND, 100 * FF)
+        result = simulate_linear(circuit, 2 * NS, 1 * PS)
+        assert result.voltage("n").values[-1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_pulse_current_returns_to_zero(self):
+        circuit = Circuit("irc")
+        pulse = triangular_pulse(0.3 * NS, 1e-3, 0.1 * NS)
+        circuit.add_isource("inoise", "n", GROUND, pulse)
+        circuit.add_resistor("r", "n", GROUND, 1 * KOHM)
+        circuit.add_capacitor("c", "n", GROUND, 50 * FF)
+        result = simulate_linear(circuit, 3 * NS, 1 * PS)
+        v = result.voltage("n")
+        assert abs(v.values[-1]) < 1e-4
+        assert v.value_range()[1] > 0.3  # pulse actually developed voltage
+
+
+class TestMnaReuse:
+    def test_prebuilt_mna_accepted(self):
+        circuit = rc_charging_circuit()
+        mna = build_mna(circuit)
+        r1 = simulate_linear(mna, 1 * NS, 1 * PS)
+        r2 = simulate_linear(circuit, 1 * NS, 1 * PS)
+        np.testing.assert_allclose(r1.states, r2.states)
+
+    def test_explicit_x0(self):
+        circuit = rc_charging_circuit()
+        mna = build_mna(circuit)
+        x0 = np.zeros(mna.dim)
+        result = simulate_linear(mna, 1 * NS, 1 * PS, x0=x0)
+        assert result.states[:, 0] == pytest.approx(x0)
+
+    def test_bad_x0_shape(self):
+        circuit = rc_charging_circuit()
+        with pytest.raises(ValueError):
+            simulate_linear(circuit, 1 * NS, 1 * PS, x0=np.zeros(99))
+
+
+class TestEnergyConservation:
+    def test_rc_discharge_charge_balance(self):
+        """Charge delivered by the source equals Q = C*V (within tol)."""
+        r, c = 1 * KOHM, 100 * FF
+        result = simulate_linear(rc_charging_circuit(r, c), 4 * NS, 0.5 * PS)
+        i_src = result.branch_current("vin")
+        delivered = -i_src.integral()  # current into + terminal is negative
+        assert delivered == pytest.approx(c * 1.0, rel=1e-3)

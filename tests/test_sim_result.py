@@ -1,0 +1,50 @@
+"""Tests for repro.sim.result (SimulationResult container)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, GROUND, build_mna
+from repro.sim import SimulationResult, simulate_linear, time_grid
+from repro.units import FF, KOHM, NS, PS
+from repro.waveform import ramp
+
+
+def small_result():
+    c = Circuit("t")
+    c.add_vsource("vin", "in", GROUND, ramp(0.0, 0.5 * NS, 0.0, 1.0))
+    c.add_resistor("r", "in", "out", 1 * KOHM)
+    c.add_capacitor("c", "out", GROUND, 20 * FF)
+    return simulate_linear(c, 1 * NS, 5 * PS)
+
+
+class TestSimulationResult:
+    def test_shape_validation(self):
+        result = small_result()
+        with pytest.raises(ValueError, match="inconsistent"):
+            SimulationResult(result.mna, result.times,
+                             result.states[:, :-1])
+
+    def test_voltage_unknown_node(self):
+        with pytest.raises(KeyError):
+            small_result().voltage("nowhere")
+
+    def test_branch_current_unknown(self):
+        with pytest.raises(KeyError):
+            small_result().branch_current("nosrc")
+
+    def test_final_voltages(self):
+        finals = small_result().final_voltages()
+        assert set(finals) == {"in", "out"}
+        assert finals["in"] == pytest.approx(1.0, abs=1e-9)
+        assert finals["out"] == pytest.approx(1.0, rel=1e-3)
+
+    def test_voltage_is_waveform(self):
+        wave = small_result().voltage("out")
+        assert wave.t_start == 0.0
+        assert wave.t_end == pytest.approx(1 * NS)
+
+    def test_states_align_with_grid(self):
+        result = small_result()
+        assert result.states.shape[1] == result.times.size
+        np.testing.assert_allclose(result.times,
+                                   time_grid(1 * NS, 5 * PS))

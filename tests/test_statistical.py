@@ -1,0 +1,107 @@
+"""Tests for repro.core.statistical (alignment-uncertainty analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exhaustive import AlignmentSweep
+from repro.core.statistical import (
+    DelayNoiseDistribution,
+    sample_alignment_delays,
+)
+from repro.sta import Window
+from repro.units import NS, PS
+
+
+def triangle_sweep(peak=100 * PS, center=1 * NS, halfwidth=0.3 * NS):
+    """Synthetic delay-vs-alignment curve: triangular bump."""
+    times = np.linspace(center - 2 * halfwidth, center + 2 * halfwidth,
+                        201)
+    delays = np.maximum(0.0,
+                        peak * (1 - np.abs(times - center) / halfwidth))
+    return AlignmentSweep(
+        peak_times=times, extra_output_delays=delays,
+        extra_input_delays=delays, best_peak_time=center,
+        best_extra_output=peak)
+
+
+class TestDistribution:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayNoiseDistribution(np.array([]))
+        d = DelayNoiseDistribution(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            d.quantile(1.5)
+
+    def test_statistics(self):
+        d = DelayNoiseDistribution(np.array([0.0, 1.0, 2.0, 3.0]))
+        assert d.mean == pytest.approx(1.5)
+        assert d.worst == 3.0
+        assert d.quantile(0.5) == pytest.approx(1.5)
+        assert d.exceedance(1.5) == pytest.approx(0.5)
+
+
+class TestSampling:
+    def test_deterministic_seed(self):
+        sweep = triangle_sweep()
+        window = Window(0.5 * NS, 1.5 * NS)
+        a = sample_alignment_delays(sweep, window, samples=500, seed=7)
+        b = sample_alignment_delays(sweep, window, samples=500, seed=7)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_worst_bounded_by_sweep(self):
+        sweep = triangle_sweep()
+        window = Window(0.0, 2 * NS)
+        dist = sample_alignment_delays(sweep, window, samples=20000)
+        assert dist.worst <= sweep.best_extra_output + 1e-18
+
+    def test_uniform_triangle_mean(self):
+        """Uniform peak over a window spanning the whole triangle:
+        E[delay] = area/window = peak*halfwidth / span."""
+        peak, halfwidth = 100 * PS, 0.3 * NS
+        sweep = triangle_sweep(peak, 1 * NS, halfwidth)
+        window = Window(1 * NS - 2 * halfwidth, 1 * NS + 2 * halfwidth)
+        dist = sample_alignment_delays(sweep, window, samples=200000)
+        expected = peak * halfwidth / window.span
+        assert dist.mean == pytest.approx(expected, rel=0.03)
+
+    def test_narrow_window_hits_worst(self):
+        sweep = triangle_sweep()
+        window = Window(1 * NS, 1 * NS)  # pinned at the peak
+        dist = sample_alignment_delays(sweep, window, samples=100)
+        assert dist.mean == pytest.approx(sweep.best_extra_output)
+
+    def test_far_window_zero(self):
+        sweep = triangle_sweep()
+        window = Window(5 * NS, 6 * NS)
+        dist = sample_alignment_delays(sweep, window, samples=100)
+        assert dist.worst == 0.0
+
+    def test_pessimism_metric(self):
+        sweep = triangle_sweep()
+        window = Window(0.0, 2 * NS)
+        dist = sample_alignment_delays(sweep, window, samples=50000)
+        pessimism = dist.pessimism_of_worst_case(sweep.best_extra_output)
+        # A wide window rarely samples the exact peak: positive pessimism.
+        assert pessimism > 0.0
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            sample_alignment_delays(triangle_sweep(), Window(0, 1),
+                                    samples=0)
+
+    def test_end_to_end_with_real_sweep(self, single_engine,
+                                        single_aggressor_net):
+        """Distribution from an actual net's sweep: the 99.9% quantile
+        sits at or below the deterministic worst case."""
+        from repro.core.exhaustive import exhaustive_worst_alignment
+        net = single_aggressor_net
+        victim = (single_engine.victim_transition().at_receiver
+                  + net.victim_initial_level())
+        pulse = single_engine.aggressor_noise("agg0").at_receiver
+        sweep = exhaustive_worst_alignment(net.receiver, victim, pulse,
+                                           net.vdd, True, steps=17,
+                                           refine=4, dt=2 * PS)
+        window = Window(sweep.peak_times[0], sweep.peak_times[-1])
+        dist = sample_alignment_delays(sweep, window, samples=5000)
+        assert dist.quantile(0.999) <= sweep.best_extra_output + 1e-15
+        assert dist.mean < sweep.best_extra_output

@@ -1,0 +1,113 @@
+"""Tests for repro.storage (characterization persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import DelayNoiseAnalyzer
+from repro.core.precharacterize import AlignmentTable, characterization_victim
+from repro.gates import TheveninTable, characterize_thevenin, inverter
+from repro.storage import (
+    alignment_table_from_dict,
+    alignment_table_to_dict,
+    load_characterization,
+    save_characterization,
+    thevenin_model_from_dict,
+    thevenin_model_to_dict,
+    thevenin_table_from_dict,
+    thevenin_table_to_dict,
+)
+from repro.gates.thevenin import TheveninModel
+from repro.units import FF, NS
+
+
+def sample_alignment_table():
+    return AlignmentTable(
+        gate_name="INV_X2", vdd=1.8, victim_rising=True, c_load=2 * FF,
+        slews=(0.15 * NS, 1.2 * NS), widths=(0.08 * NS, 0.5 * NS),
+        heights=(0.27, 0.81),
+        va=np.array([[[1.2, 1.5], [1.3, 1.6]],
+                     [[1.0, 1.4], [1.1, 1.5]]]),
+        cliff_guard=0.08)
+
+
+class TestModelRoundtrip:
+    def test_thevenin_model(self):
+        m = TheveninModel(1e-10, 3e-10, 850.0, 0.0, 1.8)
+        again = thevenin_model_from_dict(thevenin_model_to_dict(m))
+        assert again == m
+
+    def test_alignment_table(self):
+        t = sample_alignment_table()
+        again = alignment_table_from_dict(alignment_table_to_dict(t))
+        assert again.gate_name == t.gate_name
+        np.testing.assert_allclose(again.va, t.va)
+        assert again.slews == t.slews
+        # Predictions agree exactly.
+        victim = characterization_victim(0.3 * NS, 1.8, True)
+        assert again.predict_peak_time(victim, 0.2 * NS, -0.5, 0.3 * NS) \
+            == pytest.approx(
+                t.predict_peak_time(victim, 0.2 * NS, -0.5, 0.3 * NS))
+
+    def test_alignment_table_default_guard(self):
+        data = alignment_table_to_dict(sample_alignment_table())
+        del data["cliff_guard"]
+        again = alignment_table_from_dict(data)
+        assert again.cliff_guard == 0.08
+
+
+class TestTheveninTableRoundtrip:
+    def test_lookup_preserved(self):
+        table = TheveninTable.build(inverter(scale=2), 0.2 * NS,
+                                    output_rising=False, points=3)
+        again = thevenin_table_from_dict(thevenin_table_to_dict(table))
+        probe = float(np.sqrt(table.loads[0] * table.loads[-1]))
+        a = table.lookup(probe)
+        b = again.lookup(probe)
+        assert b.rth == pytest.approx(a.rth, rel=1e-12)
+        assert b.dt == pytest.approx(a.dt, rel=1e-12)
+        assert again.gate.name == "INV_X2"
+
+
+class TestDatabaseRoundtrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "chardb.json"
+        source = DelayNoiseAnalyzer()
+        # Populate: one thevenin table + one alignment table.
+        from repro.core.net import DriverSpec
+        driver = DriverSpec(inverter(scale=2), 0.2 * NS,
+                            output_rising=False)
+        source.cache.table_for(driver)
+        source.register_table(sample_alignment_table())
+        save_characterization(path, source)
+
+        target = DelayNoiseAnalyzer()
+        load_characterization(path, target)
+        assert len(target.cache) == 1
+        # The loaded thevenin table answers without re-characterizing.
+        table = target.cache.table_for(driver)
+        assert table.lookup(30 * FF).rth > 0
+        fetched = target.alignment_table_for(inverter(scale=2), True)
+        assert fetched.gate_name == "INV_X2"
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99,
+                                    "thevenin_tables": [],
+                                    "alignment_tables": []}))
+        with pytest.raises(ValueError, match="format"):
+            load_characterization(path, DelayNoiseAnalyzer())
+
+    def test_layering_preserves_existing(self, tmp_path):
+        path = tmp_path / "db.json"
+        a = DelayNoiseAnalyzer()
+        a.register_table(sample_alignment_table())
+        save_characterization(path, a)
+
+        b = DelayNoiseAnalyzer()
+        other = sample_alignment_table()
+        object.__setattr__(other, "gate_name", "INV_X4")
+        b.register_table(other)
+        load_characterization(path, b)
+        assert len(b._tables) == 2

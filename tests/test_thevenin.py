@@ -1,0 +1,163 @@
+"""Tests for repro.gates.thevenin (model fitting + table)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, GROUND
+from repro.devices import default_technology
+from repro.gates import TheveninTable, characterize_thevenin, inverter
+from repro.gates.thevenin import TheveninModel, ramp_rc_crossing
+from repro.sim import simulate_linear, simulate_nonlinear
+from repro.units import FF, NS, PS
+from repro.waveform import ramp
+
+TECH = default_technology()
+VDD = TECH.vdd
+
+
+class TestRampRcCrossing:
+    def test_no_rc_limit(self):
+        # tau -> 0: crossing of fraction f at f*dt.
+        assert ramp_rc_crossing(0.5, 1e-9, 1e-15) == \
+            pytest.approx(0.5e-9, rel=1e-3)
+
+    def test_rc_dominated(self):
+        # dt -> 0: pure exponential, t50 = tau*ln(2).
+        assert ramp_rc_crossing(0.5, 1e-15, 1e-9) == \
+            pytest.approx(math.log(2) * 1e-9, rel=1e-3)
+
+    def test_monotone_in_fraction(self):
+        ts = [ramp_rc_crossing(f, 1e-9, 0.3e-9) for f in (0.1, 0.5, 0.9)]
+        assert ts[0] < ts[1] < ts[2]
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            ramp_rc_crossing(1.5, 1e-9, 1e-9)
+
+    def test_matches_linear_simulation(self):
+        """Closed-form crossing agrees with the trapezoidal simulator."""
+        dt_ramp, tau = 0.4 * NS, 0.15 * NS
+        r, c = 1e3, tau / 1e3
+        circuit = Circuit("rrc")
+        circuit.add_vsource("vs", "s", GROUND, ramp(0.0, dt_ramp, 0.0, 1.0))
+        circuit.add_resistor("r", "s", "o", r)
+        circuit.add_capacitor("c", "o", GROUND, c)
+        result = simulate_linear(circuit, 3 * NS, 0.5 * PS)
+        for f in (0.1, 0.5, 0.9):
+            t_sim = result.voltage("o").crossing_time(f)
+            assert ramp_rc_crossing(f, dt_ramp, tau) == \
+                pytest.approx(t_sim, abs=2 * PS)
+
+
+class TestTheveninModel:
+    def model(self):
+        return TheveninModel(t0=0.1e-9, dt=0.3e-9, rth=800.0,
+                             v_start=0.0, v_end=VDD)
+
+    def test_properties(self):
+        m = self.model()
+        assert m.rising
+        assert m.delta_v == pytest.approx(VDD)
+
+    def test_falling(self):
+        m = TheveninModel(0.0, 1e-9, 500.0, VDD, 0.0)
+        assert not m.rising
+        assert m.delta_v == pytest.approx(-VDD)
+
+    def test_source_waveforms(self):
+        m = self.model()
+        assert m.source_delta()(1.0) == pytest.approx(VDD)
+        assert m.source_absolute()(0.0) == pytest.approx(0.0)
+
+    def test_shifted(self):
+        m = self.model().shifted(1e-9)
+        assert m.t0 == pytest.approx(1.1e-9)
+        assert m.rth == 800.0
+
+    def test_install_switching(self):
+        c = Circuit("t")
+        c.add_capacitor("cl", "net", GROUND, 10 * FF)
+        self.model().install_switching(c, "d_", "net")
+        assert len(c.vsources) == 1
+        assert c.resistors[0].resistance == 800.0
+
+    def test_install_holding_with_override(self):
+        c = Circuit("t")
+        c.add_capacitor("cl", "net", GROUND, 10 * FF)
+        self.model().install_holding(c, "d_", "net", resistance=1463.0)
+        assert c.resistors[0].resistance == 1463.0
+
+
+class TestCharacterization:
+    def test_fit_reproduces_crossings(self):
+        """The fitted linear model must match the non-linear gate's
+        10/50/90 crossings at the characterization load."""
+        inv = inverter(scale=2)
+        c_load = 60 * FF
+        slew = 0.3 * NS
+        model = characterize_thevenin(inv, slew, output_rising=False,
+                                      c_load=c_load)
+        assert model.rth > 0
+        assert model.dt > 0
+
+        # Non-linear reference.
+        c_ext = c_load - inv.output_capacitance()
+        v_in = ramp(0.0, slew, 0.0, VDD)
+        nl = simulate_nonlinear(inv.driven_circuit(v_in, c_load_external=c_ext),
+                                4 * NS, 0.5 * PS).voltage("out")
+        # Linear model driving the same lumped load.
+        lin_circuit = Circuit("lin")
+        model.install_switching(lin_circuit, "d_", "out")
+        lin_circuit.add_capacitor("cl", "out", GROUND, c_load)
+        lin = simulate_linear(lin_circuit, 4 * NS, 0.5 * PS).voltage("out")
+        # Compare crossings (linear model is in delta domain; output falls
+        # from 0 to -VDD, so compare VDD + delta against the absolute).
+        for f in (0.1, 0.5, 0.9):
+            level = VDD * (1 - f)
+            t_nl = nl.crossing_time(level, rising=False)
+            t_lin = (lin + VDD).crossing_time(level, rising=False)
+            assert t_lin == pytest.approx(t_nl, abs=3 * PS), f"at {f}"
+
+    def test_rth_decreases_with_gate_size(self):
+        m1 = characterize_thevenin(inverter(1), 0.2 * NS, False, 50 * FF)
+        m4 = characterize_thevenin(inverter(4), 0.2 * NS, False, 50 * FF)
+        assert m4.rth < m1.rth
+
+    def test_rising_direction(self):
+        m = characterize_thevenin(inverter(1), 0.2 * NS, True, 40 * FF)
+        assert m.rising
+        assert m.v_end == pytest.approx(VDD)
+
+
+class TestTheveninTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return TheveninTable.build(inverter(scale=2), 0.25 * NS,
+                                   output_rising=False, points=4)
+
+    def test_models_cover_grid(self, table):
+        assert len(table.models) == 4
+
+    def test_lookup_interpolates(self, table):
+        mid = math.sqrt(table.loads[0] * table.loads[1])
+        m = table.lookup(mid)
+        assert table.models[0].dt <= m.dt <= table.models[1].dt or \
+            table.models[1].dt <= m.dt <= table.models[0].dt
+
+    def test_lookup_at_grid_point_exact(self, table):
+        m = table.lookup(float(table.loads[2]))
+        assert m.dt == pytest.approx(table.models[2].dt, rel=1e-9)
+        assert m.rth == pytest.approx(table.models[2].rth, rel=1e-9)
+
+    def test_lookup_clamps_out_of_range(self, table):
+        low = table.lookup(table.loads[0] / 100)
+        # tau is clamped, so rth scales with 1/c_load.
+        assert low.rth == pytest.approx(
+            table.models[0].rth * 100, rel=1e-6)
+
+    def test_dt_grows_with_load(self, table):
+        # Heavier loads slow the driver: the fitted ramp+tau lengthen.
+        tau = [m.rth * c for m, c in zip(table.models, table.loads)]
+        assert tau[-1] > tau[0]

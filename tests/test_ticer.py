@@ -1,0 +1,114 @@
+"""Tests for repro.mor.ticer (realizable RC reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, GROUND, build_mna
+from repro.circuit.moments import elmore_delay
+from repro.circuit.topology import couple_nodes, rc_line
+from repro.mor import ticer_reduce
+from repro.sim import simulate_linear
+from repro.units import FF, KOHM, NS, PS
+from repro.waveform import ramp
+
+
+def ladder(segments=10):
+    circuit = Circuit("ladder")
+    rc_line(circuit, "w_", "in", "out", segments, 2 * KOHM, 100 * FF)
+    return circuit
+
+
+def dc_resistance(circuit, a, b):
+    """Two-point resistance via a probe current."""
+    from repro.gates.ceff import admittance_moments
+    trial = circuit.copy()
+    # Ground b, probe a.
+    trial.add_resistor("__short", b, GROUND, 1e-6)
+    y = admittance_moments(trial, a, count=1)
+    return 1.0 / y[0]
+
+
+class TestStructure:
+    def test_ports_survive(self):
+        reduced = ticer_reduce(ladder(), keep=["in", "out"])
+        assert set(reduced.nodes()) == {"in", "out"}
+
+    def test_threshold_limits_elimination(self):
+        # Per-node tau ~ (10fF)/(2*1/200ohm) = 1 ps; a tiny threshold
+        # keeps everything.
+        reduced = ticer_reduce(ladder(), keep=["in", "out"],
+                               max_time_constant=1e-18)
+        assert len(reduced.nodes()) == len(ladder().nodes())
+
+    def test_rejects_active_circuits(self):
+        circuit = ladder()
+        circuit.add_vsource("v", "in", GROUND, 1.0)
+        with pytest.raises(ValueError, match="passive"):
+            ticer_reduce(circuit, keep=["in"])
+
+    def test_unknown_keep(self):
+        with pytest.raises(KeyError):
+            ticer_reduce(ladder(), keep=["ghost"])
+
+    def test_capacitor_only_node_kept(self):
+        circuit = ladder()
+        circuit.add_capacitor("cc", "out", "floaty", 5 * FF)
+        circuit.add_capacitor("cg", "floaty", GROUND, 5 * FF)
+        reduced = ticer_reduce(circuit, keep=["in", "out"])
+        assert "floaty" in reduced.nodes()
+
+
+class TestExactness:
+    def test_dc_resistance_exact(self):
+        full = ladder()
+        reduced = ticer_reduce(full, keep=["in", "out"])
+        assert dc_resistance(reduced, "in", "out") == pytest.approx(
+            dc_resistance(full, "in", "out"), rel=1e-9)
+
+    def test_total_capacitance_preserved(self):
+        full = ladder()
+        reduced = ticer_reduce(full, keep=["in", "out"])
+        total_full = sum(c.capacitance for c in full.capacitors)
+        total_reduced = sum(c.capacitance for c in reduced.capacitors)
+        assert total_reduced == pytest.approx(total_full, rel=1e-9)
+
+    def test_elmore_delay_preserved(self):
+        """The charge-preserving cap rule keeps the first moment."""
+        full = ladder()
+        reduced = ticer_reduce(full, keep=["in", "out"])
+        assert elmore_delay(reduced, "in", "out") == pytest.approx(
+            elmore_delay(full, "in", "out"), rel=1e-6)
+
+
+class TestTransientAccuracy:
+    def test_waveform_close_with_threshold(self):
+        """Eliminating only sub-5ps nodes leaves the ns-scale transient
+        intact."""
+        def run(circuit):
+            trial = circuit.copy()
+            trial.add_vsource("v", "in", GROUND,
+                              ramp(0.05 * NS, 0.2 * NS, 0.0, 1.0))
+            return simulate_linear(trial, 3 * NS, 1 * PS).voltage("out")
+
+        full = ladder(segments=20)
+        reduced = ticer_reduce(full, keep=["in", "out"],
+                               max_time_constant=5 * PS)
+        assert len(reduced.nodes()) < len(full.nodes())
+        out_full = run(full)
+        out_reduced = run(reduced)
+        err = np.abs(out_full.values - out_reduced.values).max()
+        assert err < 0.03
+
+    def test_coupled_net_reduction(self):
+        """Coupling caps survive as port-to-port capacitance."""
+        circuit = Circuit("coupled")
+        na = rc_line(circuit, "a_", "a_in", "a_out", 6, 1 * KOHM, 40 * FF)
+        nb = rc_line(circuit, "b_", "b_in", "b_out", 6, 1 * KOHM, 40 * FF)
+        couple_nodes(circuit, "x_", na, nb, 30 * FF)
+        reduced = ticer_reduce(
+            circuit, keep=["a_in", "a_out", "b_in", "b_out"])
+        # Some capacitance now bridges the two nets' kept nodes.
+        cross = sum(
+            c.capacitance for c in reduced.capacitors
+            if {c.node1[0], c.node2[0]} == {"a", "b"})
+        assert cross > 5 * FF

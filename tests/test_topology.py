@@ -1,0 +1,108 @@
+"""Tests for repro.circuit.topology."""
+
+import networkx as nx
+import pytest
+
+from repro.circuit import Circuit, GROUND
+from repro.circuit.topology import (
+    couple_nodes,
+    pi_model,
+    rc_line,
+    rc_tree_from_graph,
+)
+from repro.units import FF, KOHM, OHM, PF
+
+
+class TestRcLine:
+    def test_node_list(self):
+        c = Circuit("t")
+        nodes = rc_line(c, "w_", "drv", "rcv", 4, 1 * KOHM, 100 * FF)
+        assert nodes[0] == "drv"
+        assert nodes[-1] == "rcv"
+        assert len(nodes) == 5
+
+    def test_total_resistance(self):
+        c = Circuit("t")
+        rc_line(c, "w_", "a", "b", 5, 1 * KOHM, 100 * FF)
+        assert sum(r.resistance for r in c.resistors) == \
+            pytest.approx(1 * KOHM)
+
+    def test_total_capacitance(self):
+        c = Circuit("t")
+        rc_line(c, "w_", "a", "b", 5, 1 * KOHM, 100 * FF)
+        assert sum(x.capacitance for x in c.capacitors) == \
+            pytest.approx(100 * FF)
+
+    def test_pi_halves_at_ends(self):
+        c = Circuit("t")
+        rc_line(c, "w_", "a", "b", 4, 1 * KOHM, 100 * FF)
+        assert c.grounded_cap_at("a") == pytest.approx(100 * FF / 4 / 2)
+        assert c.grounded_cap_at("b") == pytest.approx(100 * FF / 4 / 2)
+
+    def test_single_segment(self):
+        c = Circuit("t")
+        nodes = rc_line(c, "w_", "a", "b", 1, 100 * OHM, 10 * FF)
+        assert nodes == ["a", "b"]
+
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            rc_line(Circuit("t"), "w_", "a", "b", 0, 1.0, 1.0)
+
+
+class TestCoupling:
+    def test_total_coupling_cap(self):
+        c = Circuit("t")
+        na = rc_line(c, "a_", "a0", "a1", 4, 1 * KOHM, 50 * FF)
+        nb = rc_line(c, "b_", "b0", "b1", 4, 1 * KOHM, 50 * FF)
+        couple_nodes(c, "x_", na, nb, 80 * FF)
+        total = sum(x.capacitance for x in c.coupling_caps())
+        assert total == pytest.approx(80 * FF)
+
+    def test_mismatched_lengths(self):
+        c = Circuit("t")
+        na = rc_line(c, "a_", "a0", "a1", 6, 1 * KOHM, 50 * FF)
+        nb = rc_line(c, "b_", "b0", "b1", 2, 1 * KOHM, 50 * FF)
+        couple_nodes(c, "x_", na, nb, 30 * FF)
+        assert len(c.coupling_caps()) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            couple_nodes(Circuit("t"), "x_", [], ["a"], 1 * FF)
+
+
+class TestRcTree:
+    def test_from_graph(self):
+        tree = nx.Graph()
+        tree.add_edge(0, 1, r=100.0, c=10 * FF)
+        tree.add_edge(1, 2, r=200.0, c=20 * FF)
+        tree.add_edge(1, 3, r=300.0, c=30 * FF)
+        c = Circuit("t")
+        names = rc_tree_from_graph(c, "t_", tree, root=0)
+        assert len(c.resistors) == 3
+        assert len(c.capacitors) == 3
+        assert names[0] == "t_0"
+
+    def test_rejects_non_tree(self):
+        g = nx.cycle_graph(3)
+        for u, v in g.edges:
+            g.edges[u, v].update(r=1.0, c=1.0)
+        with pytest.raises(ValueError, match="tree"):
+            rc_tree_from_graph(Circuit("t"), "t_", g, root=0)
+
+    def test_custom_naming(self):
+        tree = nx.Graph()
+        tree.add_edge("root", "leaf", r=1.0, c=1 * FF)
+        c = Circuit("t")
+        names = rc_tree_from_graph(
+            c, "t_", tree, root="root",
+            node_name=lambda v: "drv_out" if v == "root" else f"t_{v}")
+        assert names["root"] == "drv_out"
+
+
+class TestPiModel:
+    def test_structure(self):
+        c = Circuit("t")
+        pi_model(c, "p_", "in", "out", 10 * FF, 500 * OHM, 20 * FF)
+        assert c.grounded_cap_at("in") == pytest.approx(10 * FF)
+        assert c.grounded_cap_at("out") == pytest.approx(20 * FF)
+        assert c.resistors[0].resistance == 500 * OHM

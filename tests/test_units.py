@@ -1,0 +1,34 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_constants_ordering():
+    assert units.FS < units.PS < units.NS < units.US < units.MS < units.S
+
+
+def test_basic_values():
+    assert units.PS == 1e-12
+    assert units.FF == 1e-15
+    assert units.KOHM == 1e3
+    assert units.UM == 1e-6
+    assert units.MV == 1e-3
+
+
+def test_from_engineering():
+    assert units.from_engineering(1.5, "k") == pytest.approx(1500.0)
+    assert units.from_engineering(20, "f") == pytest.approx(2e-14)
+    assert units.from_engineering(3, "meg") == pytest.approx(3e6)
+    assert units.from_engineering(7, "") == 7
+
+
+def test_from_engineering_case_insensitive():
+    assert units.from_engineering(1, "K") == 1e3
+    assert units.from_engineering(1, "MEG") == 1e6
+
+
+def test_from_engineering_unknown_suffix():
+    with pytest.raises(ValueError):
+        units.from_engineering(1, "q")

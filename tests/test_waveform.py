@@ -1,0 +1,275 @@
+"""Tests for repro.waveform.waveform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.waveform import Waveform
+
+
+def simple_ramp():
+    return Waveform([0.0, 1.0, 2.0, 3.0], [0.0, 0.0, 1.0, 1.0])
+
+
+class TestConstruction:
+    def test_basic(self):
+        w = simple_ramp()
+        assert len(w) == 4
+        assert w.t_start == 0.0
+        assert w.t_end == 3.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Waveform([0, 1, 2], [0, 1])
+
+    def test_rejects_non_monotonic(self):
+        with pytest.raises(ValueError):
+            Waveform([0, 2, 1], [0, 1, 2])
+
+    def test_rejects_duplicate_times(self):
+        with pytest.raises(ValueError):
+            Waveform([0, 1, 1], [0, 1, 2])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            Waveform([0], [1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Waveform([[0, 1]], [[0, 1]])
+
+    def test_constant(self):
+        w = Waveform.constant(2.5, 0.0, 5.0)
+        assert w(3.0) == 2.5
+        assert w(-1.0) == 2.5
+
+    def test_immutability(self):
+        w = simple_ramp()
+        with pytest.raises(ValueError):
+            w.times[0] = 99.0
+
+
+class TestEvaluation:
+    def test_interpolation(self):
+        w = simple_ramp()
+        assert w(1.5) == pytest.approx(0.5)
+        assert w(2.5) == pytest.approx(1.0)
+
+    def test_extrapolation_holds_edges(self):
+        w = simple_ramp()
+        assert w(-10.0) == 0.0
+        assert w(+10.0) == 1.0
+
+    def test_vectorized(self):
+        w = simple_ramp()
+        out = w(np.array([0.0, 1.5, 3.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+
+class TestArithmetic:
+    def test_add_waveforms_union_grid(self):
+        a = Waveform([0.0, 2.0], [0.0, 2.0])
+        b = Waveform([1.0, 3.0], [1.0, 3.0])
+        c = a + b
+        assert c(1.0) == pytest.approx(1.0 + 1.0)
+        assert c(2.0) == pytest.approx(2.0 + 2.0)
+
+    def test_add_scalar(self):
+        w = simple_ramp() + 1.0
+        assert w(0.0) == 1.0
+        assert w(3.0) == 2.0
+
+    def test_radd_for_sum(self):
+        parts = [simple_ramp(), simple_ramp()]
+        total = sum(parts, 0.0)
+        assert total(3.0) == pytest.approx(2.0)
+
+    def test_subtract(self):
+        w = simple_ramp() - simple_ramp()
+        assert np.allclose(w.values, 0.0)
+
+    def test_rsub(self):
+        w = 1.0 - simple_ramp()
+        assert w(3.0) == pytest.approx(0.0)
+        assert w(0.0) == pytest.approx(1.0)
+
+    def test_scale_and_neg(self):
+        w = simple_ramp() * 2.0
+        assert w(3.0) == 2.0
+        assert (-w)(3.0) == -2.0
+        assert (3.0 * simple_ramp())(3.0) == 3.0
+
+
+class TestTransformations:
+    def test_shifted(self):
+        w = simple_ramp().shifted(10.0)
+        assert w.t_start == 10.0
+        assert w(11.5) == pytest.approx(0.5)
+
+    def test_clipped(self):
+        w = simple_ramp().clipped(1.5, 2.5)
+        assert w.t_start == 1.5
+        assert w.t_end == 2.5
+        assert w(1.5) == pytest.approx(0.5)
+
+    def test_clipped_invalid(self):
+        with pytest.raises(ValueError):
+            simple_ramp().clipped(2.0, 1.0)
+
+    def test_resampled(self):
+        w = simple_ramp().resampled(np.linspace(0, 3, 31))
+        assert len(w) == 31
+        assert w(1.5) == pytest.approx(0.5)
+
+    def test_extended(self):
+        w = simple_ramp().extended(t_start=-5.0, t_end=7.0)
+        assert w.t_start == -5.0
+        assert w.t_end == 7.0
+        assert w(-5.0) == 0.0
+        assert w(7.0) == 1.0
+
+    def test_extended_noop_when_inside(self):
+        w = simple_ramp().extended(t_start=1.0, t_end=2.0)
+        assert w.t_start == 0.0
+        assert w.t_end == 3.0
+
+
+class TestCalculus:
+    def test_derivative_of_ramp(self):
+        w = Waveform([0.0, 1.0], [0.0, 2.0])
+        d = w.derivative()
+        assert d(0.5) == pytest.approx(2.0)
+
+    def test_derivative_piecewise(self):
+        d = simple_ramp().derivative()
+        assert d(1.5) == pytest.approx(1.0)
+        # Flat regions differentiate to zero.
+        assert d(0.2) == pytest.approx(0.0)
+
+    def test_integral(self):
+        w = Waveform([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        assert w.integral() == pytest.approx(1.0)
+
+    def test_abs_integral(self):
+        w = Waveform([0.0, 1.0, 2.0], [-1.0, 1.0, -1.0])
+        assert w.abs_integral() >= abs(w.integral())
+
+
+class TestCrossings:
+    def test_single_crossing(self):
+        w = simple_ramp()
+        assert w.crossing_time(0.5) == pytest.approx(1.5)
+
+    def test_rising_vs_falling(self):
+        w = Waveform([0, 1, 2], [0.0, 1.0, 0.0])
+        assert w.crossing_time(0.5, rising=True) == pytest.approx(0.5)
+        assert w.crossing_time(0.5, rising=False) == pytest.approx(1.5)
+
+    def test_which_last(self):
+        w = Waveform([0, 1, 2, 3, 4], [0.0, 1.0, 0.0, 1.0, 1.0])
+        assert w.crossing_time(0.5, rising=True, which="last") == \
+            pytest.approx(2.5)
+
+    def test_no_crossing_raises(self):
+        w = simple_ramp()
+        with pytest.raises(ValueError, match="never crosses"):
+            w.crossing_time(2.0)
+
+    def test_invalid_which(self):
+        with pytest.raises(ValueError):
+            simple_ramp().crossing_time(0.5, which="median")
+
+    def test_crossings_count(self):
+        w = Waveform([0, 1, 2, 3, 4], [0.0, 1.0, 0.0, 1.0, 0.0])
+        assert w.crossings(0.5).size == 4
+        assert w.crossings(0.5, rising=True).size == 2
+
+    def test_peak(self):
+        w = Waveform([0, 1, 2], [0.0, -2.0, 0.5])
+        t, v = w.peak()
+        assert t == 1.0
+        assert v == -2.0
+
+    def test_settles_to(self):
+        w = simple_ramp()
+        assert w.settles_to(1.0, 1e-9)
+        assert not w.settles_to(0.0, 0.5)
+
+
+class TestProperties:
+    """Hypothesis property tests on waveform algebra invariants."""
+
+    @given(
+        st.lists(st.floats(-5, 5), min_size=2, max_size=12),
+        st.floats(-3, 3),
+    )
+    @settings(max_examples=100)
+    def test_shift_preserves_values(self, values, delta):
+        times = np.arange(len(values), dtype=float)
+        w = Waveform(times, values)
+        shifted = w.shifted(delta)
+        mid_times = times[:-1] + 0.5
+        np.testing.assert_allclose(
+            shifted(mid_times + delta), w(mid_times), atol=1e-9)
+
+    @given(st.lists(st.floats(-5, 5), min_size=2, max_size=12))
+    @settings(max_examples=100)
+    def test_add_commutes(self, values):
+        times = np.arange(len(values), dtype=float)
+        a = Waveform(times, values)
+        b = Waveform(times * 1.5 + 0.25, values[::-1])
+        left = a + b
+        right = b + a
+        probe = np.linspace(-1, times[-1] * 2, 37)
+        np.testing.assert_allclose(left(probe), right(probe), atol=1e-9)
+
+    @given(st.lists(st.floats(-5, 5), min_size=2, max_size=12),
+           st.floats(-2, 2), st.floats(-2, 2))
+    @settings(max_examples=100)
+    def test_scaling_linear(self, values, s1, s2):
+        times = np.arange(len(values), dtype=float)
+        w = Waveform(times, values)
+        probe = np.linspace(0, times[-1], 17)
+        np.testing.assert_allclose(
+            (w * (s1 + s2))(probe), (w * s1 + w * s2)(probe), atol=1e-7)
+
+    @given(st.lists(st.floats(0.01, 5), min_size=2, max_size=10))
+    @settings(max_examples=100)
+    def test_integral_additive_under_sum(self, values):
+        times = np.arange(len(values), dtype=float)
+        a = Waveform(times, values)
+        b = Waveform(times, values[::-1])
+        assert (a + b).integral() == pytest.approx(
+            a.integral() + b.integral(), rel=1e-9)
+
+
+class TestNearDuplicateTimes:
+    """Regression: summing a waveform with an almost-identically shifted
+    copy must not create near-duplicate time points whose finite
+    differences blow up the derivative (float rounding amplification)."""
+
+    def test_sum_with_tiny_shift_is_clean(self):
+        times = np.arange(0, 2000) * 1e-12
+        values = np.sin(times / 3e-10)
+        w = Waveform(times, values)
+        # A shift that is float-noise away from a multiple of the grid.
+        noisy_shift = 137e-12 + 3e-22
+        total = w + w.shifted(noisy_shift)
+        d = total.derivative()
+        # The true slope is bounded by 2 * max|cos|/3e-10.
+        assert np.abs(d.values).max() < 3.0 / 3e-10
+
+    def test_derivative_times_strictly_increasing(self):
+        times = np.arange(0, 500) * 1e-12
+        w = Waveform(times, np.linspace(0, 1, 500))
+        total = w + w.shifted(1e-22) + w.shifted(50e-12 - 1e-22)
+        d = total.derivative()  # must not raise
+        assert (np.diff(d.times) > 0).all()
+
+    def test_legitimate_fine_steps_preserved(self):
+        # 1 fs separations are real features (ideal steps) — kept.
+        w = Waveform([0.0, 1e-15, 1e-12], [0.0, 1.0, 1.0])
+        total = w + Waveform([0.0, 1e-12], [0.0, 0.0])
+        assert len(total) >= 3
+        assert total(5e-13) == pytest.approx(1.0)

@@ -1,0 +1,99 @@
+"""Tests for repro.circuit.writer (netlist emission + round-trips)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, GROUND
+from repro.circuit.parser import parse_netlist
+from repro.circuit.writer import format_value, write_netlist
+from repro.units import FF, KOHM, NS
+from repro.waveform import Waveform, ramp
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize("value,text", [
+        (1200.0, "1.2k"),
+        (35e-15, "35f"),
+        (0.0, "0"),
+        (2e6, "2meg"),
+        (-4.7e-12, "-4.7p"),
+        (1.0, "1"),
+    ])
+    def test_known_values(self, value, text):
+        assert format_value(value) == text
+
+    @given(st.floats(1e-15, 1e12))
+    @settings(max_examples=200)
+    def test_parse_inverse(self, value):
+        from repro.circuit.parser import parse_value
+        assert parse_value(format_value(value)) == \
+            pytest.approx(value, rel=1e-5)
+
+
+def sample_circuit():
+    c = Circuit("rt")
+    c.add_resistor("R1", "a", "b", 1.2 * KOHM)
+    c.add_capacitor("C1", "b", GROUND, 35 * FF)
+    c.add_capacitor("Cc", "b", "agg", 12 * FF, coupling=True)
+    c.add_vsource("Vin", "a", GROUND, ramp(0.0, 1 * NS, 0.0, 1.8))
+    c.add_isource("Inoise", "b", GROUND, 1e-3)
+    return c
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        text = write_netlist(sample_circuit())
+        again = parse_netlist(text)
+        assert len(again.resistors) == 1
+        assert len(again.capacitors) == 2
+        assert again.coupling_caps()[0].capacitance == \
+            pytest.approx(12 * FF, rel=1e-5)
+        assert again.resistors[0].resistance == \
+            pytest.approx(1.2 * KOHM, rel=1e-5)
+
+    def test_pwl_source_roundtrip(self):
+        text = write_netlist(sample_circuit())
+        again = parse_netlist(text)
+        wave = again.vsources[0].value
+        assert isinstance(wave, Waveform)
+        assert wave(0.5 * NS) == pytest.approx(0.9, rel=1e-4)
+
+    def test_dc_source_roundtrip(self):
+        text = write_netlist(sample_circuit())
+        again = parse_netlist(text)
+        assert again.isources[0].value == pytest.approx(1e-3, rel=1e-5)
+
+    def test_card_prefix_added(self):
+        c = Circuit("odd")
+        c.add_resistor("wire0", "a", GROUND, 1.0)
+        text = write_netlist(c)
+        assert "Rwire0" in text
+        parse_netlist(text)  # and it parses
+
+    def test_mosfets_rejected(self):
+        from repro.devices import default_technology, nmos_params
+        c = Circuit("nl")
+        c.add_mosfet("m1", nmos_params(default_technology(), 1e-6),
+                     "d", "g", GROUND)
+        with pytest.raises(ValueError, match="MOSFET"):
+            write_netlist(c)
+
+    def test_ticer_output_exportable(self):
+        """Reduced circuits survive a write/parse cycle with identical
+        DC behaviour."""
+        from repro.circuit.topology import rc_line
+        from repro.gates.ceff import admittance_moments
+        from repro.mor import ticer_reduce
+        full = Circuit("line")
+        rc_line(full, "w_", "in", "out", 10, 2 * KOHM, 100 * FF)
+        reduced = ticer_reduce(full, keep=["in", "out"])
+        again = parse_netlist(write_netlist(reduced))
+        probe_a = reduced.copy()
+        probe_b = again.copy()
+        for probe in (probe_a, probe_b):
+            probe.add_resistor("__anchor", "out", GROUND, 1e-3)
+        ya = admittance_moments(probe_a, "in", 2)
+        yb = admittance_moments(probe_b, "in", 2)
+        np.testing.assert_allclose(ya, yb, rtol=1e-4)
