@@ -9,6 +9,12 @@
 """
 
 from repro.bench.netgen import NetGenerator, canonical_net
-from repro.bench.runner import ErrorStats, format_table
+from repro.bench.runner import (
+    ErrorStats,
+    extra_delay_arrays,
+    format_table,
+    run_population,
+)
 
-__all__ = ["NetGenerator", "canonical_net", "ErrorStats", "format_table"]
+__all__ = ["NetGenerator", "canonical_net", "ErrorStats", "format_table",
+           "run_population", "extra_delay_arrays"]

@@ -1,4 +1,5 @@
-"""Error statistics and table formatting for the benchmark harnesses."""
+"""Error statistics, table formatting and population sweeps for the
+benchmark harnesses."""
 
 from __future__ import annotations
 
@@ -6,7 +7,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ErrorStats", "format_table"]
+__all__ = ["ErrorStats", "format_table", "run_population",
+           "extra_delay_arrays"]
 
 
 @dataclass
@@ -39,15 +41,24 @@ class ErrorStats:
 
         ``floor`` guards tiny golden values from exploding the ratio (the
         paper's per-net percentages are over nets with measurable noise).
+        Returns 0.0 when every golden value is masked out (all zero and
+        no floor): there is no measurable reference to be wrong against.
         """
-        denom = np.maximum(np.abs(self.golden), floor)
-        mask = denom > 0
-        return float(100.0 * (np.abs(self.errors)[mask] / denom[mask]).mean())
+        ratios = self._pct_ratios(floor)
+        if ratios.size == 0:
+            return 0.0
+        return float(100.0 * ratios.mean())
 
     def worst_abs_pct_error(self, floor: float = 0.0) -> float:
+        ratios = self._pct_ratios(floor)
+        if ratios.size == 0:
+            return 0.0
+        return float(100.0 * ratios.max())
+
+    def _pct_ratios(self, floor: float) -> np.ndarray:
         denom = np.maximum(np.abs(self.golden), floor)
         mask = denom > 0
-        return float(100.0 * (np.abs(self.errors)[mask] / denom[mask]).max())
+        return np.abs(self.errors)[mask] / denom[mask]
 
     def underestimation_fraction(self) -> float:
         """Fraction of samples where the prediction is below golden."""
@@ -57,6 +68,33 @@ class ErrorStats:
         if self.predicted.size < 2 or np.std(self.golden) == 0:
             return float("nan")
         return float(np.corrcoef(self.predicted, self.golden)[0, 1])
+
+
+def run_population(nets, *, jobs: int = 1, analyzer=None,
+                   timeout: float | None = None, **analyze_kwargs):
+    """Run the delay-noise analysis over a whole population.
+
+    A thin front over :func:`repro.exec.analyze_nets` for benchmark
+    sweeps: workers warm-start from the shared characterization caches,
+    per-net failures are recorded instead of aborting the sweep, and
+    the returned :class:`~repro.exec.ExecResult` carries throughput
+    stats alongside the input-ordered reports.
+    """
+    from repro.exec import analyze_nets
+
+    return analyze_nets(nets, jobs=jobs, analyzer=analyzer,
+                        timeout=timeout, **analyze_kwargs)
+
+
+def extra_delay_arrays(reports) -> tuple[np.ndarray, np.ndarray]:
+    """(input, output) extra-delay arrays from a sweep's reports.
+
+    Failed nets (``None`` entries) are skipped, so the arrays line up
+    with each other but not necessarily with the input population.
+    """
+    good = [r for r in reports if r is not None]
+    return (np.array([r.extra_delay_input for r in good]),
+            np.array([r.extra_delay_output for r in good]))
 
 
 def format_table(headers: list[str], rows: list[list],

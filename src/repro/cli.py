@@ -43,6 +43,16 @@ def _value(text: str) -> float:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -99,6 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default="default")
     p_scr.add_argument("--hold", action="store_true",
                        help="also report worst-case hold speed-up")
+    p_scr.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes for the per-net analysis "
+                            "(workers warm-start from the parent's "
+                            "characterization tables)")
+    p_scr.add_argument("--timeout", type=float, default=None,
+                       help="per-net wall-clock limit in seconds; an "
+                            "overrunning net is reported as failed "
+                            "instead of stalling the screen")
     return parser
 
 
@@ -215,21 +233,36 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_screen(args) -> int:
     from repro.bench.netgen import NetGenConfig, NetGenerator
+    from repro.exec import analyze_nets
 
     config = NetGenConfig.high_performance() if args.preset == "hp" \
         else None
     generator = NetGenerator(seed=args.seed, config=config)
     analyzer = DelayNoiseAnalyzer()
+    nets = generator.population(args.count)
+
+    # Delay-noise analysis fans out over worker processes (warm-started
+    # from the parent's tables); the functional screen below reuses the
+    # same warmed caches serially.
+    result = analyze_nets(nets, jobs=args.jobs, analyzer=analyzer,
+                          timeout=args.timeout, alignment="table")
+    failures = {f.net_name: f for f in result.failures}
+
     header = ("net     aggr  func in/out (V)  func?   "
               "delay in/out (ps)   Rtr/Rth")
     if args.hold:
         header += "   hold speedup (ps)"
     print(header)
-    for net in generator.population(args.count):
+    for net, report in zip(nets, result.reports):
         engine = SuperpositionEngine(net, cache=analyzer.cache)
         func = functional_noise(net, engine=engine)
-        report = analyzer.analyze(net, alignment="table")
         verdict = "FAIL" if func.fails else "ok"
+        if report is None:
+            print(f"{net.name:6s}  {len(net.aggressors):4d}  "
+                  f"{func.input_peak:6.3f}/{func.output_peak:6.3f}  "
+                  f"{verdict:5s}  analysis failed: "
+                  f"{failures[net.name].error}")
+            continue
         line = (f"{net.name:6s}  {len(net.aggressors):4d}  "
                 f"{func.input_peak:6.3f}/{func.output_peak:6.3f}  "
                 f"{verdict:5s}  "
@@ -241,7 +274,15 @@ def _cmd_screen(args) -> int:
             hold = hold_speedup(net, cache=analyzer.cache)
             line += f"   {hold.speedup_output / PS:10.1f}"
         print(line)
-    return 0
+
+    stats = result.stats
+    print(f"# {stats.nets} nets, {stats.failures} failed | "
+          f"jobs={stats.jobs} | analysis {stats.wall_time:.2f} s "
+          f"({stats.nets_per_second:.2f} nets/s) + "
+          f"characterization {stats.warm_time:.2f} s | "
+          f"table cache {stats.cache_hits} hits / "
+          f"{stats.cache_misses} misses")
+    return 0 if not failures else 1
 
 
 def main(argv: list[str] | None = None) -> int:

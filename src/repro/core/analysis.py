@@ -108,6 +108,10 @@ class DelayNoiseAnalyzer:
         self.cache = cache if cache is not None else ModelCache()
         self.table_kwargs = dict(table_kwargs or {})
         self._tables: dict[tuple[str, bool], AlignmentTable] = {}
+        #: Alignment-table cache traffic (mirrors ModelCache.hits/misses;
+        #: the parallel engine's stats aggregate both).
+        self.table_hits = 0
+        self.table_misses = 0
 
     # ------------------------------------------------------------------
     # Pre-characterization cache
@@ -117,14 +121,21 @@ class DelayNoiseAnalyzer:
         """Fetch (building on first use) the 8-point table for a cell."""
         key = (receiver_gate.name, victim_rising)
         if key not in self._tables:
+            self.table_misses += 1
             self._tables[key] = build_alignment_table(
                 receiver_gate, victim_rising=victim_rising,
                 **self.table_kwargs)
+        else:
+            self.table_hits += 1
         return self._tables[key]
 
     def register_table(self, table: AlignmentTable) -> None:
         """Install a pre-built table (e.g. characterized offline)."""
         self._tables[(table.gate_name, table.victim_rising)] = table
+
+    def alignment_tables(self) -> list[AlignmentTable]:
+        """All cached alignment tables (for persistence/snapshots)."""
+        return list(self._tables.values())
 
     # ------------------------------------------------------------------
     # Main flow
@@ -151,6 +162,10 @@ class DelayNoiseAnalyzer:
         if alignment not in ALIGNMENT_METHODS:
             raise ValueError(
                 f"alignment must be one of {ALIGNMENT_METHODS}")
+        if outer_iterations < 1:
+            raise ValueError(
+                f"outer_iterations must be >= 1 (the flow needs at least "
+                f"one model/alignment pass), got {outer_iterations}")
         if not net.aggressors:
             raise ValueError(f"{net.name} has no aggressors to analyze")
 

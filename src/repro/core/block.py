@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.core.analysis import DelayNoiseAnalyzer, NoiseReport
 from repro.core.net import AggressorSpec, CoupledNet
+from repro.exec.pool import ExecStats, analyze_nets
 from repro.sta.graph import TimingGraph
 from repro.sta.windows import Window
 from repro.units import PS
@@ -57,7 +58,11 @@ class BlockNet:
 
 @dataclass
 class BlockReport:
-    """Converged block state."""
+    """Converged block state.
+
+    ``exec_stats`` holds one :class:`~repro.exec.ExecStats` per
+    fixed-point iteration (throughput of the per-net re-analysis).
+    """
 
     iterations: int
     converged: bool
@@ -65,6 +70,7 @@ class BlockReport:
     reports: dict[str, NoiseReport]
     deltas: dict[str, float]
     stage_delays: dict[str, float]
+    exec_stats: list[ExecStats] = field(default_factory=list)
 
 
 class BlockAnalyzer:
@@ -75,14 +81,50 @@ class BlockAnalyzer:
         names = [b.net.name for b in nets]
         if len(set(names)) != len(names):
             raise ValueError("block nets must have unique names")
+        for block_net in nets:
+            self._validate_net(graph, block_net)
         self.graph = graph
         self.nets = nets
         self.analyzer = analyzer or DelayNoiseAnalyzer()
+
+    @staticmethod
+    def _validate_net(graph: TimingGraph, block_net: BlockNet) -> None:
+        """Check a block net's graph references up front.
+
+        A dangling node name used to surface deep inside the run as a
+        bare ``KeyError``; fail at construction with the net and node
+        spelled out instead.
+        """
+        name = block_net.net.name
+        if not graph.has_node(block_net.launch_node):
+            raise ValueError(
+                f"block net {name!r}: launch node "
+                f"{block_net.launch_node!r} is not in the timing graph")
+        if not graph.has_node(block_net.receiver_node):
+            raise ValueError(
+                f"block net {name!r}: receiver node "
+                f"{block_net.receiver_node!r} is not in the timing graph")
+        if not graph.has_edge(block_net.launch_node,
+                              block_net.receiver_node):
+            raise ValueError(
+                f"block net {name!r}: no timing arc "
+                f"{block_net.launch_node!r} -> "
+                f"{block_net.receiver_node!r} to carry the stage delay")
+        for agg_name, node in block_net.aggressor_nodes.items():
+            if not graph.has_node(node):
+                raise ValueError(
+                    f"block net {name!r}: aggressor {agg_name!r} window "
+                    f"node {node!r} is not in the timing graph")
 
     def _prepared_net(self, block_net: BlockNet,
                       windows: dict[str, Window]) -> CoupledNet:
         """Copy of the coupled net with launch time + windows applied."""
         net = block_net.net
+        if block_net.launch_node not in windows:
+            raise ValueError(
+                f"block net {net.name!r}: launch node "
+                f"{block_net.launch_node!r} has no propagated window — "
+                f"it is unreachable from any primary input")
         launch = windows[block_net.launch_node].latest
         victim_driver = dataclasses.replace(net.victim_driver,
                                             input_start=launch)
@@ -111,21 +153,38 @@ class BlockAnalyzer:
 
     def run(self, *, max_iterations: int = 3,
             tolerance: float = 1.0 * PS,
-            alignment: str = "table") -> BlockReport:
-        """Iterate windows and delay noise to convergence."""
+            alignment: str = "table",
+            jobs: int = 1,
+            timeout: float | None = None) -> BlockReport:
+        """Iterate windows and delay noise to convergence.
+
+        ``jobs`` parallelizes the per-net re-analysis inside each
+        fixed-point iteration across worker processes (the window
+        propagation between iterations stays in the parent).  Results
+        are bit-identical to ``jobs=1``.  ``timeout`` bounds each net's
+        analysis wall-clock time in seconds; the fixed point needs every
+        net's delta, so any per-net failure or timeout aborts the run
+        with a ``RuntimeError`` naming the nets.
+        """
         deltas: dict[str, float] = {b.net.name: 0.0 for b in self.nets}
         reports: dict[str, NoiseReport] = {}
         stage_delays: dict[str, float] = {}
+        exec_stats: list[ExecStats] = []
         windows = self.graph.propagate_windows()
         converged = False
         iterations = 0
 
         for iterations in range(1, max_iterations + 1):
             moved = 0.0
-            for block_net in self.nets:
-                prepared = self._prepared_net(block_net, windows)
-                report = self.analyzer.analyze(prepared,
-                                               alignment=alignment)
+            prepared_nets = [self._prepared_net(b, windows)
+                             for b in self.nets]
+            result = analyze_nets(prepared_nets, jobs=jobs,
+                                  analyzer=self.analyzer,
+                                  timeout=timeout, alignment=alignment)
+            exec_stats.append(result.stats)
+            result.raise_on_failure()
+            for block_net, prepared, report in zip(
+                    self.nets, prepared_nets, result.reports):
                 reports[prepared.name] = report
 
                 vdd = prepared.vdd
@@ -156,4 +215,5 @@ class BlockAnalyzer:
             reports=reports,
             deltas=deltas,
             stage_delays=stage_delays,
+            exec_stats=exec_stats,
         )

@@ -41,14 +41,23 @@ class ModelCache:
 
     def __init__(self):
         self._tables: dict[tuple, TheveninTable] = {}
+        #: Cache traffic counters: a hit means a table was reused, a miss
+        #: that non-linear characterization simulations had to run.  The
+        #: parallel engine (:mod:`repro.exec`) reports these so a cold
+        #: worker cache is visible instead of silently slow.
+        self.hits = 0
+        self.misses = 0
 
     def table_for(self, driver: DriverSpec) -> TheveninTable:
         key = (driver.gate.name, round(driver.input_slew, 15),
                driver.output_rising)
         if key not in self._tables:
+            self.misses += 1
             self._tables[key] = TheveninTable.build(
                 driver.gate, driver.input_slew, driver.output_rising,
                 switching_pin=driver.switching_pin)
+        else:
+            self.hits += 1
         return self._tables[key]
 
     def __len__(self) -> int:

@@ -1,0 +1,264 @@
+"""Parallel per-net analysis: a process-pool map over coupled nets.
+
+The paper's flow is embarrassingly parallel across nets — every
+:meth:`DelayNoiseAnalyzer.analyze` call is independent once the shared
+characterization tables exist.  :func:`analyze_nets` exploits that:
+
+* ``jobs=1`` runs serially in-process — no subprocess, no pickling, the
+  exact code path a plain loop would take;
+* ``jobs>1`` fans the nets out over a :class:`ProcessPoolExecutor`
+  whose workers are *warm-started* from a characterization snapshot
+  (see :mod:`repro.exec.snapshot`), so no worker ever re-runs a
+  non-linear characterization simulation.
+
+Results come back in input order regardless of completion order, and
+serial/parallel runs produce bit-identical reports.  A net that fails
+(or exceeds the optional per-net wall-clock ``timeout``) becomes a
+structured :class:`NetFailure` record instead of killing the run, and
+:class:`ExecStats` reports throughput, cache traffic and wall time.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.core.analysis import DelayNoiseAnalyzer, NoiseReport
+from repro.core.net import CoupledNet
+from repro.exec.snapshot import build_snapshot, restore_analyzer, warm_analyzer
+
+__all__ = ["NetFailure", "NetTimeout", "ExecStats", "ExecResult",
+           "analyze_nets"]
+
+
+class NetTimeout(Exception):
+    """One net's analysis exceeded the per-net wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class NetFailure:
+    """One net's analysis failure, captured without killing the run."""
+
+    net_name: str
+    error: str        #: ``"ExceptionType: message"``
+    traceback: str    #: full formatted traceback from the failing process
+
+
+@dataclass
+class ExecStats:
+    """Throughput and cache accounting for one :func:`analyze_nets` run.
+
+    ``cache_hits``/``cache_misses`` aggregate Thevenin *and* alignment
+    table traffic across all processes.  A warm-started worker should
+    show zero misses; a non-zero count means characterization ran inside
+    a worker — visible here instead of silently slow.
+    """
+
+    jobs: int
+    nets: int = 0
+    failures: int = 0
+    wall_time: float = 0.0
+    warm_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def nets_per_second(self) -> float:
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.nets / self.wall_time
+
+
+@dataclass
+class ExecResult:
+    """Outcome of :func:`analyze_nets`, in input-net order.
+
+    ``reports[i]`` corresponds to ``nets[i]``; it is ``None`` exactly
+    when that net produced a :class:`NetFailure` (failures are also
+    listed in input order).
+    """
+
+    reports: list[NoiseReport | None]
+    failures: list[NetFailure] = field(default_factory=list)
+    stats: ExecStats = field(default_factory=lambda: ExecStats(jobs=1))
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def report(self, net_name: str) -> NoiseReport:
+        """The report for one net, by name."""
+        for report in self.reports:
+            if report is not None and report.net_name == net_name:
+                return report
+        for failure in self.failures:
+            if failure.net_name == net_name:
+                raise KeyError(
+                    f"net {net_name!r} failed: {failure.error}")
+        raise KeyError(f"no net named {net_name!r} in this run")
+
+    def raise_on_failure(self) -> None:
+        """Raise ``RuntimeError`` summarizing failures, if there are any."""
+        if not self.failures:
+            return
+        lines = [f"  {f.net_name}: {f.error}" for f in self.failures]
+        raise RuntimeError(
+            f"{len(self.failures)} of {self.stats.nets} nets failed:\n"
+            + "\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# Per-net execution (shared by the serial path and the workers)
+# ----------------------------------------------------------------------
+@contextmanager
+def _time_limit(seconds: float | None):
+    """Raise :class:`NetTimeout` if the body runs longer than ``seconds``.
+
+    Implemented with ``SIGALRM``/``setitimer``, which only works in a
+    main thread (process-pool workers and the serial path both qualify);
+    elsewhere the limit is skipped rather than mis-armed.
+    """
+    if not seconds or seconds <= 0 or \
+            threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise NetTimeout(f"net analysis exceeded {seconds:g} s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _cache_counters(analyzer: DelayNoiseAnalyzer) -> tuple[int, int]:
+    return (analyzer.cache.hits + analyzer.table_hits,
+            analyzer.cache.misses + analyzer.table_misses)
+
+
+def _analyze_one(analyzer: DelayNoiseAnalyzer, net: CoupledNet,
+                 timeout: float | None, analyze_kwargs: dict
+                 ) -> tuple[NoiseReport | None, NetFailure | None]:
+    try:
+        with _time_limit(timeout):
+            return analyzer.analyze(net, **analyze_kwargs), None
+    except Exception as exc:
+        return None, NetFailure(
+            net_name=net.name,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc())
+
+
+# ----------------------------------------------------------------------
+# Worker protocol
+# ----------------------------------------------------------------------
+# Populated once per worker process by the pool initializer; workers then
+# analyze any number of nets against the same warm analyzer.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(snapshot: dict, analyze_kwargs: dict,
+                 timeout: float | None) -> None:
+    _WORKER_STATE["analyzer"] = restore_analyzer(snapshot)
+    _WORKER_STATE["analyze_kwargs"] = analyze_kwargs
+    _WORKER_STATE["timeout"] = timeout
+
+
+def _worker_run(net: CoupledNet):
+    analyzer = _WORKER_STATE["analyzer"]
+    hits0, misses0 = _cache_counters(analyzer)
+    report, failure = _analyze_one(
+        analyzer, net, _WORKER_STATE["timeout"],
+        _WORKER_STATE["analyze_kwargs"])
+    hits1, misses1 = _cache_counters(analyzer)
+    return report, failure, hits1 - hits0, misses1 - misses0
+
+
+# ----------------------------------------------------------------------
+# The map
+# ----------------------------------------------------------------------
+def analyze_nets(nets, *, jobs: int = 1,
+                 analyzer: DelayNoiseAnalyzer | None = None,
+                 timeout: float | None = None,
+                 warm: bool = True,
+                 **analyze_kwargs) -> ExecResult:
+    """Analyze every net, optionally across ``jobs`` worker processes.
+
+    Parameters
+    ----------
+    nets:
+        The coupled nets to analyze (any iterable; order is preserved in
+        the result).
+    jobs:
+        Worker processes.  1 (the default) runs serially in-process with
+        no subprocess overhead.
+    analyzer:
+        The parent analyzer whose characterization caches seed the
+        workers (created fresh if omitted).  Its caches are extended by
+        the warm-up, so it stays hot for follow-up work.
+    timeout:
+        Optional per-net wall-clock limit in seconds; an overrunning net
+        becomes a :class:`NetFailure` with a :class:`NetTimeout` error.
+    warm:
+        Pre-build all needed characterization tables in the parent
+        before mapping (recommended; disable only when the caller
+        guarantees the analyzer is already hot).
+    **analyze_kwargs:
+        Forwarded to :meth:`DelayNoiseAnalyzer.analyze` (``alignment``,
+        ``use_rtr``, ...).
+    """
+    nets = list(nets)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if analyzer is None:
+        analyzer = DelayNoiseAnalyzer()
+
+    stats = ExecStats(jobs=jobs, nets=len(nets))
+    if warm and nets:
+        t_warm = time.perf_counter()
+        warm_analyzer(analyzer, nets,
+                      alignment=analyze_kwargs.get("alignment", "table"))
+        stats.warm_time = time.perf_counter() - t_warm
+
+    reports: list[NoiseReport | None] = [None] * len(nets)
+    failures: list[NetFailure] = []
+    t_start = time.perf_counter()
+
+    if jobs == 1 or len(nets) <= 1:
+        hits0, misses0 = _cache_counters(analyzer)
+        for i, net in enumerate(nets):
+            reports[i], failure = _analyze_one(
+                analyzer, net, timeout, analyze_kwargs)
+            if failure is not None:
+                failures.append(failure)
+        hits1, misses1 = _cache_counters(analyzer)
+        stats.cache_hits = hits1 - hits0
+        stats.cache_misses = misses1 - misses0
+    else:
+        snapshot = build_snapshot(analyzer)
+        workers = min(jobs, len(nets))
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init,
+                initargs=(snapshot, analyze_kwargs, timeout)) as pool:
+            # Executor.map yields in submission order — deterministic
+            # result ordering independent of worker scheduling.
+            outcomes = pool.map(_worker_run, nets)
+            for i, (report, failure, hits, misses) in enumerate(outcomes):
+                reports[i] = report
+                if failure is not None:
+                    failures.append(failure)
+                stats.cache_hits += hits
+                stats.cache_misses += misses
+
+    stats.wall_time = time.perf_counter() - t_start
+    stats.failures = len(failures)
+    return ExecResult(reports=reports, failures=failures, stats=stats)

@@ -60,6 +60,12 @@ class TimingGraph:
     def nodes(self) -> list[str]:
         return list(self._graph.nodes)
 
+    def has_node(self, name: str) -> bool:
+        return self._graph.has_node(name)
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return self._graph.has_edge(src, dst)
+
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------

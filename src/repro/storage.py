@@ -20,6 +20,8 @@ name and rebuilt from :func:`repro.gates.standard_cell` on load.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any
 
 import numpy as np
@@ -33,6 +35,7 @@ __all__ = [
     "thevenin_model_to_dict", "thevenin_model_from_dict",
     "thevenin_table_to_dict", "thevenin_table_from_dict",
     "alignment_table_to_dict", "alignment_table_from_dict",
+    "characterization_payload", "install_characterization",
     "save_characterization", "load_characterization",
 ]
 
@@ -100,8 +103,14 @@ def alignment_table_from_dict(data: dict[str, Any]) -> AlignmentTable:
     )
 
 
-def save_characterization(path, analyzer: DelayNoiseAnalyzer) -> None:
-    """Write the analyzer's characterization caches to ``path``."""
+def characterization_payload(analyzer: DelayNoiseAnalyzer
+                             ) -> dict[str, Any]:
+    """The analyzer's characterization caches as a plain-dict payload.
+
+    The payload is JSON-serializable and is the exchange format both for
+    the on-disk chardb (:func:`save_characterization`) and for the
+    worker warm-start snapshots of :mod:`repro.exec`.
+    """
     thevenin = [
         {"key": {"gate": key[0], "input_slew": key[1],
                  "output_rising": key[2]},
@@ -109,24 +118,21 @@ def save_characterization(path, analyzer: DelayNoiseAnalyzer) -> None:
         for key, table in analyzer.cache.entries()
     ]
     alignment = [alignment_table_to_dict(t)
-                 for t in analyzer._tables.values()]
-    payload = {
+                 for t in analyzer.alignment_tables()]
+    return {
         "format_version": FORMAT_VERSION,
         "thevenin_tables": thevenin,
         "alignment_tables": alignment,
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1)
 
 
-def load_characterization(path, analyzer: DelayNoiseAnalyzer) -> None:
-    """Populate an analyzer's caches from a saved database.
+def install_characterization(payload: dict[str, Any],
+                             analyzer: DelayNoiseAnalyzer) -> None:
+    """Populate an analyzer's caches from a payload dict.
 
     Existing entries with the same keys are overwritten; others are
-    preserved, so several databases can be layered.
+    preserved, so several payloads can be layered.
     """
-    with open(path) as handle:
-        payload = json.load(handle)
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(
@@ -139,3 +145,38 @@ def load_characterization(path, analyzer: DelayNoiseAnalyzer) -> None:
             entry["table"]))
     for data in payload["alignment_tables"]:
         analyzer.register_table(alignment_table_from_dict(data))
+
+
+def save_characterization(path, analyzer: DelayNoiseAnalyzer) -> None:
+    """Write the analyzer's characterization caches to ``path``.
+
+    The write is atomic (temp file in the target directory, then
+    ``os.replace``): a crash mid-save leaves any existing database
+    intact instead of truncated.
+    """
+    payload = characterization_payload(analyzer)
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_characterization(path, analyzer: DelayNoiseAnalyzer) -> None:
+    """Populate an analyzer's caches from a saved database.
+
+    Existing entries with the same keys are overwritten; others are
+    preserved, so several databases can be layered.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    install_characterization(payload, analyzer)

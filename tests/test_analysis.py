@@ -65,6 +65,15 @@ class TestAlignmentMethods:
         with pytest.raises(ValueError, match="no aggressors"):
             analyzer.analyze(net)
 
+    def test_outer_iterations_validated(self, analyzer,
+                                        two_aggressor_net):
+        """Regression: outer_iterations=0 used to crash deep in the flow
+        with a NameError on the unbound loop variable ``pulses``."""
+        with pytest.raises(ValueError, match="outer_iterations"):
+            analyzer.analyze(two_aggressor_net, outer_iterations=0)
+        with pytest.raises(ValueError, match="outer_iterations"):
+            analyzer.analyze(two_aggressor_net, outer_iterations=-1)
+
     def test_exhaustive_at_least_table(self, analyzer, two_aggressor_net,
                                        report):
         best = analyzer.analyze(two_aggressor_net, alignment="exhaustive",
@@ -119,6 +128,34 @@ class TestTableCache:
         fetched = analyzer.alignment_table_for(
             two_aggressor_net.receiver.gate, True)
         assert fetched is table
+
+    def test_alignment_tables_accessor(self):
+        import numpy as np
+        from repro.core.precharacterize import AlignmentTable
+        analyzer = DelayNoiseAnalyzer()
+        assert analyzer.alignment_tables() == []
+        table = AlignmentTable(
+            gate_name="INV_X2", vdd=VDD, victim_rising=True,
+            c_load=2 * FF, slews=(0.1 * NS, 0.5 * NS),
+            widths=(0.1 * NS, 0.4 * NS), heights=(0.3, 0.8),
+            va=np.full((2, 2, 2), 1.2))
+        analyzer.register_table(table)
+        assert analyzer.alignment_tables() == [table]
+
+    def test_table_cache_counters(self):
+        import numpy as np
+        from repro.core.precharacterize import AlignmentTable
+        from repro.gates.library import inverter
+        analyzer = DelayNoiseAnalyzer()
+        table = AlignmentTable(
+            gate_name="INV_X2", vdd=VDD, victim_rising=True,
+            c_load=2 * FF, slews=(0.1 * NS, 0.5 * NS),
+            widths=(0.1 * NS, 0.4 * NS), heights=(0.3, 0.8),
+            va=np.full((2, 2, 2), 1.2))
+        analyzer.register_table(table)
+        assert (analyzer.table_hits, analyzer.table_misses) == (0, 0)
+        analyzer.alignment_table_for(inverter(2.0), True)
+        assert (analyzer.table_hits, analyzer.table_misses) == (1, 0)
 
 
 class TestCsmEngineOption:

@@ -28,6 +28,18 @@ class TestErrorStats:
         assert s.mean_abs_pct_error() == pytest.approx(100 * 25 / 300)
         assert s.worst_abs_pct_error() == pytest.approx(10.0)
 
+    def test_all_zero_golden(self):
+        """Regression: an all-zero golden vector used to emit a
+        RuntimeWarning (mean of empty slice) and return NaN."""
+        import warnings
+        s = ErrorStats([1.0, 2.0], [0.0, 0.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert s.mean_abs_pct_error() == 0.0
+            assert s.worst_abs_pct_error() == 0.0
+        # A floor restores a meaningful percentage.
+        assert s.mean_abs_pct_error(floor=1.0) == pytest.approx(150.0)
+
     def test_pct_error_floor(self):
         s = ErrorStats([1.0, 5.0], [0.0, 10.0])
         # Zero golden is masked out entirely without a floor...

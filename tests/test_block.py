@@ -69,6 +69,78 @@ class TestBlockAnalyzer:
         assert t50 > 0.2 * NS
 
 
+class TestGraphValidation:
+    """Regression: dangling node names used to surface mid-run as bare
+    KeyErrors; they are now rejected at construction with the net and
+    node named."""
+
+    def test_missing_launch_node(self, analyzer):
+        graph, nets = small_block()
+        nets[0].launch_node = "nope"
+        with pytest.raises(ValueError,
+                           match=r"'blknet'.*launch node 'nope'"):
+            BlockAnalyzer(graph, nets, analyzer)
+
+    def test_missing_receiver_node(self, analyzer):
+        graph, nets = small_block()
+        nets[0].receiver_node = "ghost"
+        with pytest.raises(ValueError,
+                           match=r"'blknet'.*receiver node 'ghost'"):
+            BlockAnalyzer(graph, nets, analyzer)
+
+    def test_missing_victim_edge(self, analyzer):
+        graph, nets = small_block()
+        # Both nodes exist, but no arc connects them directly.
+        nets[0].receiver_node = "capture"
+        with pytest.raises(ValueError, match="no timing arc"):
+            BlockAnalyzer(graph, nets, analyzer)
+
+    def test_missing_aggressor_node(self, analyzer):
+        graph, nets = small_block()
+        nets[0].aggressor_nodes = {"agg0": "phantom"}
+        with pytest.raises(ValueError,
+                           match=r"aggressor 'agg0'.*'phantom'"):
+            BlockAnalyzer(graph, nets, analyzer)
+
+
+class TestParallelRun:
+    @staticmethod
+    def two_net_block():
+        """Two independent victims fanning out of one launch node."""
+        graph = TimingGraph()
+        graph.add_input("launch", Window(0.1 * NS, 0.2 * NS))
+        graph.add_input("agg_in", Window(0.0, 0.6 * NS))
+        graph.add_edge("launch", "rcv_a", 0.3 * NS, 0.5 * NS)
+        graph.add_edge("launch", "rcv_b", 0.3 * NS, 0.5 * NS)
+        graph.add_edge("agg_in", "agg_out", 0.02 * NS, 0.05 * NS)
+        nets = [
+            BlockNet(net=canonical_net(name="neta"),
+                     launch_node="launch", receiver_node="rcv_a",
+                     aggressor_nodes={"agg0": "agg_out"}),
+            BlockNet(net=canonical_net(name="netb", coupling_ratio=0.8),
+                     launch_node="launch", receiver_node="rcv_b",
+                     aggressor_nodes={"agg0": "agg_out"}),
+        ]
+        return graph, nets
+
+    def test_parallel_run_matches_serial(self, analyzer):
+        """run(jobs=2) is bit-identical to the serial fixed point."""
+        # Fresh graphs each: run() mutates the victim edge delays.
+        graph_s, nets_s = self.two_net_block()
+        serial = BlockAnalyzer(graph_s, nets_s, analyzer).run(
+            max_iterations=2, jobs=1)
+        graph_p, nets_p = self.two_net_block()
+        parallel = BlockAnalyzer(graph_p, nets_p, analyzer).run(
+            max_iterations=2, jobs=2)
+        assert parallel.deltas == serial.deltas
+        assert parallel.stage_delays == serial.stage_delays
+        assert parallel.iterations == serial.iterations
+        assert len(parallel.exec_stats) == parallel.iterations
+        assert parallel.exec_stats[0].jobs == 2
+        # Workers never re-characterize.
+        assert all(s.cache_misses == 0 for s in parallel.exec_stats)
+
+
 class TestCascadedNets:
     """Two coupled nets in a chain: the first net's delta widens the
     second victim's launch window — the cross-net interaction the block

@@ -120,6 +120,32 @@ class TestCharacterize:
         assert payload["alignment_tables"] == []
 
 
+    def test_characterize_then_analyze(self, deck_path, tmp_path,
+                                       capsys):
+        """Full CLI round-trip: build a database with ``characterize``,
+        then consume it via ``analyze --chardb``."""
+        db = tmp_path / "db.json"
+        code = main(["characterize", "--cells", "INV_X1,INV_X4",
+                     "--slews", "200p,120p", "--out", str(db),
+                     "--skip-alignment"])
+        assert code == 0
+        payload = json.loads(db.read_text())
+        # 2 cells x 2 slews x 2 directions.
+        assert len(payload["thevenin_tables"]) == 8
+
+        code = main([
+            "analyze", str(deck_path),
+            "--victim-root", "v_root", "--victim-receiver", "v_rcv",
+            "--aggressor", "agg0:a_root:a_far:INV_X4:120p",
+            "--alignment", "input-objective", "--no-rtr",
+            "--chardb", str(db),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"loaded characterization from {db}" in out
+        assert "extra delay output" in out
+
+
 class TestScreen:
     def test_screen_runs(self, capsys):
         code = main(["screen", "--seed", "3", "--count", "1"])
@@ -127,3 +153,15 @@ class TestScreen:
         assert code == 0
         assert "Rtr/Rth" in out
         assert "net0" in out
+        assert "# 1 nets, 0 failed" in out
+
+    def test_screen_parallel(self, capsys):
+        code = main(["screen", "--seed", "3", "--count", "2",
+                     "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "net0" in out
+        assert "net1" in out
+        assert "# 2 nets, 0 failed" in out
+        assert "jobs=2" in out
+        assert "misses" in out

@@ -99,6 +99,47 @@ class TestDatabaseRoundtrip:
         with pytest.raises(ValueError, match="format"):
             load_characterization(path, DelayNoiseAnalyzer())
 
+    def test_atomic_save_preserves_existing_on_failure(self, tmp_path,
+                                                       monkeypatch):
+        """A crash mid-save must not corrupt an existing database."""
+        import json as json_module
+
+        import repro.storage as storage_module
+
+        path = tmp_path / "db.json"
+        a = DelayNoiseAnalyzer()
+        a.register_table(sample_alignment_table())
+        save_characterization(path, a)
+        original = path.read_text()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(storage_module.json, "dump", boom)
+        with pytest.raises(OSError, match="disk full"):
+            save_characterization(path, a)
+        monkeypatch.undo()
+
+        # Existing file intact, no temp litter, still loadable.
+        assert path.read_text() == original
+        assert list(tmp_path.glob("*.tmp")) == []
+        fresh = DelayNoiseAnalyzer()
+        load_characterization(path, fresh)
+        assert len(fresh.alignment_tables()) == 1
+        assert json_module.loads(original)["alignment_tables"]
+
+    def test_save_uses_public_accessor(self, tmp_path):
+        """save_characterization goes through alignment_tables(), not
+        the private table dict."""
+        path = tmp_path / "db.json"
+        a = DelayNoiseAnalyzer()
+        a.register_table(sample_alignment_table())
+        assert [t.gate_name for t in a.alignment_tables()] == ["INV_X2"]
+        save_characterization(path, a)
+        payload = json.loads(path.read_text())
+        assert [t["gate_name"] for t in payload["alignment_tables"]] == \
+            ["INV_X2"]
+
     def test_layering_preserves_existing(self, tmp_path):
         path = tmp_path / "db.json"
         a = DelayNoiseAnalyzer()
