@@ -7,8 +7,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import get_logger
+
 __all__ = ["ErrorStats", "format_table", "run_population",
            "extra_delay_arrays"]
+
+log = get_logger("bench.runner")
 
 
 @dataclass
@@ -79,11 +83,21 @@ def run_population(nets, *, jobs: int = 1, analyzer=None,
     per-net failures are recorded instead of aborting the sweep, and
     the returned :class:`~repro.exec.ExecResult` carries throughput
     stats alongside the input-ordered reports.
+
+    Telemetry rides along for free: with a tracer installed
+    (:func:`repro.obs.enable_tracing`) the sweep produces per-net spans
+    (merged in input order for ``jobs>1``) and the process-global
+    metrics registry accumulates the run's counters either way.
     """
     from repro.exec import analyze_nets
 
-    return analyze_nets(nets, jobs=jobs, analyzer=analyzer,
-                        timeout=timeout, **analyze_kwargs)
+    result = analyze_nets(nets, jobs=jobs, analyzer=analyzer,
+                          timeout=timeout, **analyze_kwargs)
+    stats = result.stats
+    log.debug("population sweep: %d nets in %.2f s (%.2f nets/s), "
+              "failures by type: %s", stats.nets, stats.wall_time,
+              stats.nets_per_second, stats.failures_by_type or "none")
+    return result
 
 
 def extra_delay_arrays(reports) -> tuple[np.ndarray, np.ndarray]:

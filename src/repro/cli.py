@@ -1,20 +1,25 @@
 """Command-line interface.
 
-Three entry points mirroring the production workflow:
+Four entry points mirroring the production workflow:
 
 * ``repro characterize`` — build Thevenin and alignment tables for a set
   of cells and save them as a characterization database (JSON).
 * ``repro analyze`` — run the delay-noise flow on a coupled net whose
   parasitics come from a SPICE-style netlist file.
 * ``repro screen`` — sweep a seeded synthetic population and print the
-  functional/delay-noise screening table.
+  functional/delay-noise screening table; ``--trace``/``--metrics``
+  export the run's telemetry.
+* ``repro trace summarize`` — per-stage time breakdown of a trace file.
 
-Run ``python -m repro <command> --help`` for the options of each.
+All output goes through the ``repro`` logger hierarchy: ``-v`` adds
+per-stage diagnostics, ``-q`` keeps only warnings.  Run ``python -m
+repro <command> --help`` for the options of each.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.circuit.parser import parse_netlist, parse_value
@@ -29,10 +34,24 @@ from repro.core.net import (
 from repro.core.precharacterize import build_alignment_table
 from repro.core.superposition import SuperpositionEngine
 from repro.gates.library import standard_cell
+from repro.obs import (
+    Tracer,
+    configure_cli_logging,
+    current_tracer,
+    format_summary,
+    get_logger,
+    metrics,
+    read_trace,
+    set_tracer,
+)
 from repro.units import PS
 from repro.waveform.render import render_waveforms
 
 __all__ = ["main", "build_parser"]
+
+#: CLI output channel: INFO records are the program's stdout output,
+#: DEBUG records appear with ``-v``, WARNING+ always.
+out = get_logger("cli")
 
 
 def _value(text: str) -> float:
@@ -58,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Crosstalk delay-noise analysis (DAC 2001 "
                     "reproduction)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="per-stage diagnostics (repeatable)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="only warnings and errors (repeatable)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_char = sub.add_parser(
@@ -117,6 +140,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-net wall-clock limit in seconds; an "
                             "overrunning net is reported as failed "
                             "instead of stalling the screen")
+    p_scr.add_argument("--trace", metavar="FILE",
+                       help="write a JSONL span trace of the run "
+                            "(inspect with 'repro trace summarize')")
+    p_scr.add_argument("--metrics", metavar="FILE",
+                       help="write the run's metrics registry as JSON")
+
+    p_tr = sub.add_parser(
+        "trace", help="inspect trace files produced by --trace")
+    tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)
+    p_sum = tr_sub.add_parser(
+        "summarize",
+        help="per-stage time breakdown (count, total/self, p50/p95)")
+    p_sum.add_argument("file", help="JSONL trace file")
     return parser
 
 
@@ -148,16 +184,16 @@ def _cmd_characterize(args) -> int:
             for rising in (True, False):
                 driver = DriverSpec(gate, slew, output_rising=rising)
                 analyzer.cache.table_for(driver)
-                print(f"thevenin: {name} slew={slew / PS:.0f}ps "
-                      f"{'rising' if rising else 'falling'}")
+                out.info(f"thevenin: {name} slew={slew / PS:.0f}ps "
+                         f"{'rising' if rising else 'falling'}")
         if not args.skip_alignment:
             for rising in (True, False):
                 analyzer.register_table(
                     build_alignment_table(gate, victim_rising=rising))
-                print(f"alignment: {name} victim "
-                      f"{'rising' if rising else 'falling'}")
+                out.info(f"alignment: {name} victim "
+                         f"{'rising' if rising else 'falling'}")
     save_characterization(args.out, analyzer)
-    print(f"saved {args.out}")
+    out.info(f"saved {args.out}")
     return 0
 
 
@@ -196,44 +232,49 @@ def _cmd_analyze(args) -> int:
     analyzer = DelayNoiseAnalyzer()
     if args.chardb:
         load_characterization(args.chardb, analyzer)
-        print(f"loaded characterization from {args.chardb}")
+        out.info(f"loaded characterization from {args.chardb}")
 
     report = analyzer.analyze(net, alignment=args.alignment,
                               use_rtr=not args.no_rtr)
-    print(f"victim Ceff       : {report.ceff_victim * 1e15:8.1f} fF")
-    print(f"victim Rth / Rtr  : {report.rth_victim:8.0f} / "
-          f"{report.rtr:.0f} ohm")
-    print(f"composite pulse   : {report.pulse_height:8.3f} V x "
-          f"{report.pulse_width / PS:.0f} ps")
-    print(f"worst peak time   : {report.peak_time * 1e9:8.3f} ns "
-          f"({report.alignment_method})")
-    print(f"extra delay input : {report.extra_delay_input / PS:8.1f} ps")
-    print(f"extra delay output: {report.extra_delay_output / PS:8.1f} ps")
-    print(f"  [Thevenin-only  : {report.extra_delay_output_thevenin / PS:.1f}"
-          f" ps]")
+    out.info(f"victim Ceff       : {report.ceff_victim * 1e15:8.1f} fF")
+    out.info(f"victim Rth / Rtr  : {report.rth_victim:8.0f} / "
+             f"{report.rtr:.0f} ohm")
+    out.info(f"composite pulse   : {report.pulse_height:8.3f} V x "
+             f"{report.pulse_width / PS:.0f} ps")
+    out.info(f"worst peak time   : {report.peak_time * 1e9:8.3f} ns "
+             f"({report.alignment_method})")
+    out.info(f"extra delay input : {report.extra_delay_input / PS:8.1f} "
+             f"ps")
+    out.info(f"extra delay output: {report.extra_delay_output / PS:8.1f} "
+             f"ps")
+    out.info(f"  [Thevenin-only  : "
+             f"{report.extra_delay_output_thevenin / PS:.1f} ps]")
 
     if args.functional:
         func = functional_noise(net, cache=analyzer.cache)
         verdict = "FAIL" if func.fails else "ok"
-        print(f"functional noise  : {func.input_peak:8.3f} V in, "
-              f"{func.output_peak:.3f} V out -> {verdict}")
+        out.info(f"functional noise  : {func.input_peak:8.3f} V in, "
+                 f"{func.output_peak:.3f} V out -> {verdict}")
 
     if args.plot:
-        print()
-        print(render_waveforms(
+        out.info("")
+        out.info(render_waveforms(
             {"noiseless": report.noiseless_input,
              "noisy": report.noisy_input},
             width=70, height=15))
 
     if args.save_chardb:
         save_characterization(args.save_chardb, analyzer)
-        print(f"saved characterization to {args.save_chardb}")
+        out.info(f"saved characterization to {args.save_chardb}")
     return 0
 
 
 def _cmd_screen(args) -> int:
     from repro.bench.netgen import NetGenConfig, NetGenerator
     from repro.exec import analyze_nets
+
+    if args.trace:
+        set_tracer(Tracer(enabled=True))
 
     config = NetGenConfig.high_performance() if args.preset == "hp" \
         else None
@@ -252,16 +293,16 @@ def _cmd_screen(args) -> int:
               "delay in/out (ps)   Rtr/Rth")
     if args.hold:
         header += "   hold speedup (ps)"
-    print(header)
+    out.info(header)
     for net, report in zip(nets, result.reports):
         engine = SuperpositionEngine(net, cache=analyzer.cache)
         func = functional_noise(net, engine=engine)
         verdict = "FAIL" if func.fails else "ok"
         if report is None:
-            print(f"{net.name:6s}  {len(net.aggressors):4d}  "
-                  f"{func.input_peak:6.3f}/{func.output_peak:6.3f}  "
-                  f"{verdict:5s}  analysis failed: "
-                  f"{failures[net.name].error}")
+            out.info(f"{net.name:6s}  {len(net.aggressors):4d}  "
+                     f"{func.input_peak:6.3f}/{func.output_peak:6.3f}  "
+                     f"{verdict:5s}  analysis failed: "
+                     f"{failures[net.name].error}")
             continue
         line = (f"{net.name:6s}  {len(net.aggressors):4d}  "
                 f"{func.input_peak:6.3f}/{func.output_peak:6.3f}  "
@@ -273,25 +314,56 @@ def _cmd_screen(args) -> int:
             from repro.core.hold import hold_speedup
             hold = hold_speedup(net, cache=analyzer.cache)
             line += f"   {hold.speedup_output / PS:10.1f}"
-        print(line)
+        out.info(line)
 
     stats = result.stats
-    print(f"# {stats.nets} nets, {stats.failures} failed | "
-          f"jobs={stats.jobs} | analysis {stats.wall_time:.2f} s "
-          f"({stats.nets_per_second:.2f} nets/s) + "
-          f"characterization {stats.warm_time:.2f} s | "
-          f"table cache {stats.cache_hits} hits / "
-          f"{stats.cache_misses} misses")
+    summary = (f"# {stats.nets} nets, {stats.failures} failed | "
+               f"jobs={stats.jobs} | analysis {stats.wall_time:.2f} s "
+               f"({stats.nets_per_second:.2f} nets/s) + "
+               f"characterization {stats.warm_time:.2f} s | "
+               f"table cache {stats.cache_hits} hits / "
+               f"{stats.cache_misses} misses")
+    if stats.failures_by_type:
+        summary += " | failures: " + ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(stats.failures_by_type.items()))
+    out.info(summary)
+
+    if args.trace:
+        count = current_tracer().export_jsonl(args.trace)
+        out.info(f"# wrote {count} spans to {args.trace}")
+    if args.metrics:
+        with open(args.metrics, "w") as handle:
+            json.dump(metrics().snapshot(), handle, indent=2)
+        out.info(f"# wrote metrics to {args.metrics}")
     return 0 if not failures else 1
+
+
+def _cmd_trace(args) -> int:
+    records = read_trace(args.file)
+    if not records:
+        out.warning(f"{args.file}: no spans")
+        return 1
+    out.info(format_summary(records))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    if argv is None:
+        argv = sys.argv[1:]
+    if not argv:
+        # Bare `repro`: show the help text, exit like a usage error.
+        parser.print_help(sys.stderr)
+        return 2
+    args = parser.parse_args(argv)
+    configure_cli_logging(verbose=args.verbose, quiet=args.quiet)
     handlers = {
         "characterize": _cmd_characterize,
         "analyze": _cmd_analyze,
         "screen": _cmd_screen,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+from repro.obs import metrics
 from repro.waveform import Waveform
 from repro.waveform.pulses import pulse_peak
 
@@ -35,6 +36,7 @@ def composite_pulse(pulses: dict[str, Waveform],
     """Superposition of (optionally shifted) noise pulses."""
     if not pulses:
         raise ValueError("no pulses to compose")
+    metrics().counter("alignment.composites").inc()
     shifts = shifts or {}
     total: Waveform | None = None
     for name, pulse in pulses.items():

@@ -36,11 +36,14 @@ from repro.core.holding_resistance import RtrResult, compute_rtr
 from repro.core.net import CoupledNet
 from repro.core.precharacterize import AlignmentTable, build_alignment_table
 from repro.core.superposition import VICTIM, ModelCache, SuperpositionEngine
+from repro.obs import get_logger, metrics, span
 from repro.units import NS, PS
 from repro.waveform import Waveform, transition_slew
 from repro.waveform.pulses import pulse_peak, pulse_width
 
 __all__ = ["DelayNoiseAnalyzer", "NoiseReport"]
+
+log = get_logger("core.analysis")
 
 #: Alignment-method names accepted by :meth:`DelayNoiseAnalyzer.analyze`.
 ALIGNMENT_METHODS = ("table", "input-objective", "exhaustive")
@@ -122,11 +125,14 @@ class DelayNoiseAnalyzer:
         key = (receiver_gate.name, victim_rising)
         if key not in self._tables:
             self.table_misses += 1
+            metrics().counter("cache.alignment.misses").inc()
+            log.debug("alignment table miss: %s rising=%s", *key)
             self._tables[key] = build_alignment_table(
                 receiver_gate, victim_rising=victim_rising,
                 **self.table_kwargs)
         else:
             self.table_hits += 1
+            metrics().counter("cache.alignment.hits").inc()
         return self._tables[key]
 
     def register_table(self, table: AlignmentTable) -> None:
@@ -169,12 +175,38 @@ class DelayNoiseAnalyzer:
         if not net.aggressors:
             raise ValueError(f"{net.name} has no aggressors to analyze")
 
+        with span("net.analyze", net=net.name,
+                  aggressors=len(net.aggressors),
+                  alignment=alignment) as net_span:
+            report = self._analyze_traced(
+                net, net_span, use_rtr=use_rtr, alignment=alignment,
+                outer_iterations=outer_iterations,
+                exhaustive_steps=exhaustive_steps,
+                rtr_driver_load=rtr_driver_load,
+                rtr_driver_engine=rtr_driver_engine,
+                alignment_probes=alignment_probes)
+        metrics().counter("analysis.nets").inc()
+        metrics().histogram("analysis.outer_iterations").observe(
+            report.iterations)
+        log.debug("%s: extra delay %.1f ps out / %.1f ps in after %d "
+                  "iteration(s)", net.name,
+                  report.extra_delay_output / PS,
+                  report.extra_delay_input / PS, report.iterations)
+        return report
+
+    def _analyze_traced(self, net: CoupledNet, net_span, *, use_rtr: bool,
+                        alignment: str, outer_iterations: int,
+                        exhaustive_steps: int, rtr_driver_load: str,
+                        rtr_driver_engine: str,
+                        alignment_probes: int) -> NoiseReport:
+        """The :meth:`analyze` flow, one child span per pipeline stage."""
         vdd = net.vdd
         rising = net.victim_rising
-        engine = SuperpositionEngine(net, cache=self.cache, dt=self.dt)
+        with span("net.superposition"):
+            engine = SuperpositionEngine(net, cache=self.cache, dt=self.dt)
 
-        noiseless_input = (engine.victim_transition().at_receiver
-                           + net.victim_initial_level())
+            noiseless_input = (engine.victim_transition().at_receiver
+                               + net.victim_initial_level())
         victim_slew = transition_slew(noiseless_input, vdd, rising)
         t50 = noiseless_input.crossing_time(vdd / 2.0, rising=rising,
                                             which="first")
@@ -188,24 +220,29 @@ class DelayNoiseAnalyzer:
 
         for iterations in range(1, outer_iterations + 1):
             if use_rtr:
-                rtr_result = compute_rtr(engine, shifts,
-                                         driver_load=rtr_driver_load,
-                                         driver_engine=rtr_driver_engine)
+                with span("net.holding_resistance",
+                          iteration=iterations):
+                    rtr_result = compute_rtr(
+                        engine, shifts, driver_load=rtr_driver_load,
+                        driver_engine=rtr_driver_engine)
                 r_hold = rtr_result.rtr
 
-            pulses = {
-                a.name: engine.aggressor_noise(
-                    a.name, victim_r=r_hold).at_receiver
-                for a in net.aggressors
-            }
+            with span("net.noise_pulses", iteration=iterations):
+                pulses = {
+                    a.name: engine.aggressor_noise(
+                        a.name, victim_r=r_hold).at_receiver
+                    for a in net.aggressors
+                }
             aligned = peak_align_shifts(pulses, target)
             shape = composite_pulse(pulses, aligned)
             _t_peak, height = pulse_peak(shape)
             width = pulse_width(shape)
 
-            new_target = self._alignment_target(
-                alignment, net, noiseless_input, shape, height, width,
-                victim_slew, engine, exhaustive_steps)
+            with span("net.alignment", iteration=iterations,
+                      method=alignment):
+                new_target = self._alignment_target(
+                    alignment, net, noiseless_input, shape, height,
+                    width, victim_slew, engine, exhaustive_steps)
 
             new_shifts = {
                 a.name: a.clamp_shift(aligned[a.name]
@@ -225,51 +262,68 @@ class DelayNoiseAnalyzer:
         noisy_input = noiseless_input + composite
         t_stop = max(engine.t_stop,
                      peak_time + 3.0 * max(width, 10 * PS) + 0.3 * NS)
-        clean_output = receiver_output_waveform(
-            net.receiver, noiseless_input, t_stop, self.dt)
-        extra_in, extra_out, noisy_output = combined_extra_delays(
-            net.receiver, noiseless_input, noisy_input, vdd, rising,
-            t_stop, self.dt, clean_output=clean_output)
+        with span("net.receiver_eval", probes=0) as eval_span:
+            clean_output = receiver_output_waveform(
+                net.receiver, noiseless_input, t_stop, self.dt)
+            extra_in, extra_out, noisy_output = combined_extra_delays(
+                net.receiver, noiseless_input, noisy_input, vdd, rising,
+                t_stop, self.dt, clean_output=clean_output)
 
-        if alignment == "table" and alignment_probes > 0:
-            # Measure a few earlier candidates; the guard-banded table
-            # prediction only ever errs early or (rarely) off the cliff,
-            # so probing earlier is the useful direction.
-            step = 0.15 * max(width, 20 * PS)
-            for k in range(1, alignment_probes + 1):
-                delta = -k * step
-                probe_shifts = {
-                    a.name: a.clamp_shift(shifts[a.name] + delta)
-                    for a in net.aggressors
-                }
-                probe_comp = composite_pulse(pulses, probe_shifts)
-                probe_in, probe_out, probe_wave = combined_extra_delays(
-                    net.receiver, noiseless_input,
-                    noiseless_input + probe_comp, vdd, rising, t_stop,
-                    self.dt, clean_output=clean_output)
-                if probe_out > extra_out:
-                    extra_in, extra_out = probe_in, probe_out
-                    noisy_output = probe_wave
-                    shifts = probe_shifts
-                    composite = probe_comp
-                    noisy_input = noiseless_input + composite
-            peak_time, height = pulse_peak(composite)
-            width = pulse_width(composite)
-            target = peak_time
+            if alignment == "table" and alignment_probes > 0:
+                # Measure a few earlier candidates; the guard-banded
+                # table prediction only ever errs early or (rarely) off
+                # the cliff, so probing earlier is the useful direction.
+                probe_counter = metrics().counter("alignment.probes")
+                probe_wins = metrics().counter(
+                    "alignment.probe_improvements")
+                eval_span.set(probes=alignment_probes)
+                step = 0.15 * max(width, 20 * PS)
+                for k in range(1, alignment_probes + 1):
+                    delta = -k * step
+                    probe_shifts = {
+                        a.name: a.clamp_shift(shifts[a.name] + delta)
+                        for a in net.aggressors
+                    }
+                    probe_comp = composite_pulse(pulses, probe_shifts)
+                    probe_in, probe_out, probe_wave = \
+                        combined_extra_delays(
+                            net.receiver, noiseless_input,
+                            noiseless_input + probe_comp, vdd, rising,
+                            t_stop, self.dt, clean_output=clean_output)
+                    probe_counter.inc()
+                    if probe_out > extra_out:
+                        probe_wins.inc()
+                        log.debug(
+                            "%s: probe %d beats table prediction "
+                            "(%.1f ps > %.1f ps)", net.name, k,
+                            probe_out / PS, extra_out / PS)
+                        extra_in, extra_out = probe_in, probe_out
+                        noisy_output = probe_wave
+                        shifts = probe_shifts
+                        composite = probe_comp
+                        noisy_input = noiseless_input + composite
+                peak_time, height = pulse_peak(composite)
+                width = pulse_width(composite)
+                target = peak_time
 
         # Thevenin-holding reference at the same alignment target.
-        pulses_th = {
-            a.name: engine.aggressor_noise(a.name, victim_r=rth).at_receiver
-            for a in net.aggressors
-        }
-        aligned_th = peak_align_shifts(pulses_th, target)
-        shifts_th = {a.name: a.clamp_shift(aligned_th[a.name])
-                     for a in net.aggressors}
-        composite_th = composite_pulse(pulses_th, shifts_th)
-        extra_in_th, extra_out_th, _ = combined_extra_delays(
-            net.receiver, noiseless_input, noiseless_input + composite_th,
-            vdd, rising, t_stop, self.dt, clean_output=clean_output)
+        with span("net.thevenin_reference"):
+            pulses_th = {
+                a.name: engine.aggressor_noise(
+                    a.name, victim_r=rth).at_receiver
+                for a in net.aggressors
+            }
+            aligned_th = peak_align_shifts(pulses_th, target)
+            shifts_th = {a.name: a.clamp_shift(aligned_th[a.name])
+                         for a in net.aggressors}
+            composite_th = composite_pulse(pulses_th, shifts_th)
+            extra_in_th, extra_out_th, _ = combined_extra_delays(
+                net.receiver, noiseless_input,
+                noiseless_input + composite_th,
+                vdd, rising, t_stop, self.dt, clean_output=clean_output)
 
+        net_span.set(iterations=iterations,
+                     extra_delay_output_ps=extra_out / PS)
         return NoiseReport(
             net_name=net.name,
             vdd=vdd,

@@ -28,11 +28,14 @@ from dataclasses import dataclass, field
 from repro.core.analysis import DelayNoiseAnalyzer, NoiseReport
 from repro.core.net import AggressorSpec, CoupledNet
 from repro.exec.pool import ExecStats, analyze_nets
+from repro.obs import get_logger, metrics, span
 from repro.sta.graph import TimingGraph
 from repro.sta.windows import Window
 from repro.units import PS
 
 __all__ = ["BlockNet", "BlockReport", "BlockAnalyzer"]
+
+log = get_logger("core.block")
 
 
 @dataclass
@@ -175,38 +178,53 @@ class BlockAnalyzer:
         iterations = 0
 
         for iterations in range(1, max_iterations + 1):
-            moved = 0.0
-            prepared_nets = [self._prepared_net(b, windows)
-                             for b in self.nets]
-            result = analyze_nets(prepared_nets, jobs=jobs,
-                                  analyzer=self.analyzer,
-                                  timeout=timeout, alignment=alignment)
-            exec_stats.append(result.stats)
-            result.raise_on_failure()
-            for block_net, prepared, report in zip(
-                    self.nets, prepared_nets, result.reports):
-                reports[prepared.name] = report
+            with span("block.iteration", iteration=iterations) as it_span:
+                moved = 0.0
+                prepared_nets = [self._prepared_net(b, windows)
+                                 for b in self.nets]
+                result = analyze_nets(prepared_nets, jobs=jobs,
+                                      analyzer=self.analyzer,
+                                      timeout=timeout,
+                                      alignment=alignment)
+                exec_stats.append(result.stats)
+                result.raise_on_failure()
+                for block_net, prepared, report in zip(
+                        self.nets, prepared_nets, result.reports):
+                    reports[prepared.name] = report
 
-                vdd = prepared.vdd
-                out_rising = (not prepared.victim_rising) \
-                    if prepared.receiver.gate.inverting \
-                    else prepared.victim_rising
-                t_out = report.noiseless_output.crossing_time(
-                    vdd / 2.0, rising=out_rising, which="first")
-                stage = t_out - prepared.victim_driver.input_start
-                delta = max(report.extra_delay_output, 0.0)
-                stage_delays[prepared.name] = stage
+                    vdd = prepared.vdd
+                    out_rising = (not prepared.victim_rising) \
+                        if prepared.receiver.gate.inverting \
+                        else prepared.victim_rising
+                    t_out = report.noiseless_output.crossing_time(
+                        vdd / 2.0, rising=out_rising, which="first")
+                    stage = t_out - prepared.victim_driver.input_start
+                    delta = max(report.extra_delay_output, 0.0)
+                    stage_delays[prepared.name] = stage
 
-                src, dst = block_net.victim_edge
-                self.graph.set_edge_delay(src, dst, 0.8 * stage,
-                                          stage + delta)
-                moved = max(moved, abs(delta - deltas[prepared.name]))
-                deltas[prepared.name] = delta
+                    src, dst = block_net.victim_edge
+                    self.graph.set_edge_delay(src, dst, 0.8 * stage,
+                                              stage + delta)
+                    moved = max(moved,
+                                abs(delta - deltas[prepared.name]))
+                    deltas[prepared.name] = delta
 
-            windows = self.graph.propagate_windows()
+                windows = self.graph.propagate_windows()
+                it_span.set(moved_ps=moved / PS)
+            log.debug("block iteration %d: worst delta movement "
+                      "%.2f ps (tolerance %.2f ps)", iterations,
+                      moved / PS, tolerance / PS)
             if moved <= tolerance:
                 converged = True
                 break
+
+        metrics().histogram("block.iterations").observe(iterations)
+        metrics().counter("block.converged" if converged
+                          else "block.nonconverged").inc()
+        if not converged:
+            log.warning("block did not converge after %d iterations "
+                        "(last movement %.2f ps)", iterations,
+                        moved / PS)
 
         return BlockReport(
             iterations=iterations,

@@ -46,6 +46,7 @@ standard pessimism guard band for a sign-off tool.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,8 +55,11 @@ from repro.core.exhaustive import exhaustive_worst_alignment
 from repro.core.net import ReceiverSpec
 from repro.gates.gate import Gate
 from repro.gates.thevenin import _normalized_response, ramp_rc_crossing
+from repro.obs import get_logger, metrics, span
 from repro.units import FF, NS, PS
 from repro.waveform import Waveform, noise_pulse
+
+log = get_logger("core.precharacterize")
 
 __all__ = ["AlignmentTable", "build_alignment_table",
            "characterization_victim"]
@@ -136,6 +140,7 @@ class AlignmentTable:
         *actual* victim waveform, and the time is interpolated in the
         victim slew dimension.
         """
+        metrics().counter("alignment.table_lookups").inc()
         half = self.vdd / 2.0
         t50 = victim_absolute.crossing_time(half, rising=self.victim_rising,
                                             which="first")
@@ -199,18 +204,30 @@ def build_alignment_table(
     receiver = ReceiverSpec(receiver_gate, c_load=c_load,
                             input_pin=input_pin)
 
+    t_begin = time.perf_counter()
     va = np.empty((2, 2, 2))
-    for i, slew in enumerate(slews):
-        victim = characterization_victim(slew, vdd, victim_rising)
-        for j, width in enumerate(widths):
-            for k, height in enumerate(heights):
-                signed = -height if victim_rising else height
-                pulse = noise_pulse(0.0, signed, width,
-                                    asymmetry=pulse_asymmetry)
-                sweep = exhaustive_worst_alignment(
-                    receiver, victim, pulse, vdd, victim_rising,
-                    steps=sweep_steps, refine=refine_steps, dt=dt)
-                va[i, j, k] = victim(sweep.best_peak_time)
+    with span("characterize.alignment_table",
+              cell=receiver_gate.name, rising=victim_rising):
+        for i, slew in enumerate(slews):
+            victim = characterization_victim(slew, vdd, victim_rising)
+            for j, width in enumerate(widths):
+                for k, height in enumerate(heights):
+                    signed = -height if victim_rising else height
+                    pulse = noise_pulse(0.0, signed, width,
+                                        asymmetry=pulse_asymmetry)
+                    with span("characterize.point", slew=slew,
+                              width=width, height=height):
+                        sweep = exhaustive_worst_alignment(
+                            receiver, victim, pulse, vdd, victim_rising,
+                            steps=sweep_steps, refine=refine_steps,
+                            dt=dt)
+                    va[i, j, k] = victim(sweep.best_peak_time)
+    metrics().timer("characterize.alignment.time").observe(
+        time.perf_counter() - t_begin)
+    log.debug("characterized alignment table for %s (victim %s) in "
+              "%.1f s", receiver_gate.name,
+              "rising" if victim_rising else "falling",
+              time.perf_counter() - t_begin)
 
     return AlignmentTable(
         gate_name=receiver_gate.name,

@@ -20,9 +20,12 @@ from repro.circuit.netlist import GROUND, Circuit
 from repro.core.net import CoupledNet, DriverSpec
 from repro.gates.ceff import effective_capacitance
 from repro.gates.thevenin import TheveninModel, TheveninTable
+from repro.obs import get_logger, metrics
 from repro.sim.linear import simulate_linear
 from repro.units import PS
 from repro.waveform import Waveform
+
+log = get_logger("core.superposition")
 
 __all__ = ["ModelCache", "SuperpositionEngine", "DriverSimOutput"]
 
@@ -53,11 +56,15 @@ class ModelCache:
                driver.output_rising)
         if key not in self._tables:
             self.misses += 1
+            metrics().counter("cache.thevenin.misses").inc()
+            log.debug("thevenin cache miss: %s slew=%.3g rising=%s",
+                      *key)
             self._tables[key] = TheveninTable.build(
                 driver.gate, driver.input_slew, driver.output_rising,
                 switching_pin=driver.switching_pin)
         else:
             self.hits += 1
+            metrics().counter("cache.thevenin.hits").inc()
         return self._tables[key]
 
     def __len__(self) -> int:

@@ -31,9 +31,12 @@ from dataclasses import dataclass, field
 from repro.core.analysis import DelayNoiseAnalyzer, NoiseReport
 from repro.core.net import CoupledNet
 from repro.exec.snapshot import build_snapshot, restore_analyzer, warm_analyzer
+from repro.obs import Tracer, current_tracer, get_logger, metrics, set_tracer
 
 __all__ = ["NetFailure", "NetTimeout", "ExecStats", "ExecResult",
            "analyze_nets"]
+
+log = get_logger("exec.pool")
 
 
 class NetTimeout(Exception):
@@ -47,6 +50,7 @@ class NetFailure:
     net_name: str
     error: str        #: ``"ExceptionType: message"``
     traceback: str    #: full formatted traceback from the failing process
+    error_type: str = ""  #: exception class name (``"NetTimeout"``, ...)
 
 
 @dataclass
@@ -66,6 +70,10 @@ class ExecStats:
     warm_time: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Exception class name -> count, so a summary can tell timeouts
+    #: (``NetTimeout``) from solver failures (``ConvergenceError``) at
+    #: a glance.
+    failures_by_type: dict[str, int] = field(default_factory=dict)
 
     @property
     def nets_per_second(self) -> float:
@@ -152,10 +160,13 @@ def _analyze_one(analyzer: DelayNoiseAnalyzer, net: CoupledNet,
         with _time_limit(timeout):
             return analyzer.analyze(net, **analyze_kwargs), None
     except Exception as exc:
+        log.debug("net %s failed: %s: %s", net.name,
+                  type(exc).__name__, exc)
         return None, NetFailure(
             net_name=net.name,
             error=f"{type(exc).__name__}: {exc}",
-            traceback=traceback.format_exc())
+            traceback=traceback.format_exc(),
+            error_type=type(exc).__name__)
 
 
 # ----------------------------------------------------------------------
@@ -167,20 +178,33 @@ _WORKER_STATE: dict = {}
 
 
 def _worker_init(snapshot: dict, analyze_kwargs: dict,
-                 timeout: float | None) -> None:
+                 timeout: float | None, trace: bool) -> None:
+    # Workers may be forked, inheriting the parent's tracer buffer and
+    # metric values — start both from scratch so per-net drains report
+    # only this worker's activity (the parent merges them back).
+    set_tracer(Tracer(enabled=trace))
     _WORKER_STATE["analyzer"] = restore_analyzer(snapshot)
+    metrics().reset()
     _WORKER_STATE["analyze_kwargs"] = analyze_kwargs
     _WORKER_STATE["timeout"] = timeout
 
 
 def _worker_run(net: CoupledNet):
+    """Analyze one net and ship its telemetry back with the result.
+
+    Alongside the report/failure the worker returns its cache-counter
+    deltas, a drained metrics snapshot and its drained span buffer, so
+    the parent can merge a ``jobs=N`` run's telemetry into the same
+    registry/trace a serial run would have produced.
+    """
     analyzer = _WORKER_STATE["analyzer"]
     hits0, misses0 = _cache_counters(analyzer)
     report, failure = _analyze_one(
         analyzer, net, _WORKER_STATE["timeout"],
         _WORKER_STATE["analyze_kwargs"])
     hits1, misses1 = _cache_counters(analyzer)
-    return report, failure, hits1 - hits0, misses1 - misses0
+    return (report, failure, hits1 - hits0, misses1 - misses0,
+            metrics().drain(), current_tracer().drain())
 
 
 # ----------------------------------------------------------------------
@@ -222,43 +246,61 @@ def analyze_nets(nets, *, jobs: int = 1,
     if analyzer is None:
         analyzer = DelayNoiseAnalyzer()
 
+    tracer = current_tracer()
     stats = ExecStats(jobs=jobs, nets=len(nets))
     if warm and nets:
         t_warm = time.perf_counter()
-        warm_analyzer(analyzer, nets,
-                      alignment=analyze_kwargs.get("alignment", "table"))
+        with tracer.span("exec.warm", nets=len(nets)):
+            warm_analyzer(analyzer, nets,
+                          alignment=analyze_kwargs.get("alignment",
+                                                       "table"))
         stats.warm_time = time.perf_counter() - t_warm
+        log.debug("warmed characterization caches in %.2f s",
+                  stats.warm_time)
 
     reports: list[NoiseReport | None] = [None] * len(nets)
     failures: list[NetFailure] = []
     t_start = time.perf_counter()
 
-    if jobs == 1 or len(nets) <= 1:
-        hits0, misses0 = _cache_counters(analyzer)
-        for i, net in enumerate(nets):
-            reports[i], failure = _analyze_one(
-                analyzer, net, timeout, analyze_kwargs)
-            if failure is not None:
-                failures.append(failure)
-        hits1, misses1 = _cache_counters(analyzer)
-        stats.cache_hits = hits1 - hits0
-        stats.cache_misses = misses1 - misses0
-    else:
-        snapshot = build_snapshot(analyzer)
-        workers = min(jobs, len(nets))
-        with ProcessPoolExecutor(
-                max_workers=workers, initializer=_worker_init,
-                initargs=(snapshot, analyze_kwargs, timeout)) as pool:
-            # Executor.map yields in submission order — deterministic
-            # result ordering independent of worker scheduling.
-            outcomes = pool.map(_worker_run, nets)
-            for i, (report, failure, hits, misses) in enumerate(outcomes):
-                reports[i] = report
+    with tracer.span("exec.analyze_nets", jobs=jobs, nets=len(nets)):
+        if jobs == 1 or len(nets) <= 1:
+            hits0, misses0 = _cache_counters(analyzer)
+            for i, net in enumerate(nets):
+                reports[i], failure = _analyze_one(
+                    analyzer, net, timeout, analyze_kwargs)
                 if failure is not None:
                     failures.append(failure)
-                stats.cache_hits += hits
-                stats.cache_misses += misses
+            hits1, misses1 = _cache_counters(analyzer)
+            stats.cache_hits = hits1 - hits0
+            stats.cache_misses = misses1 - misses0
+        else:
+            snapshot = build_snapshot(analyzer)
+            workers = min(jobs, len(nets))
+            with ProcessPoolExecutor(
+                    max_workers=workers, initializer=_worker_init,
+                    initargs=(snapshot, analyze_kwargs, timeout,
+                              tracer.enabled)) as pool:
+                # Executor.map yields in submission order —
+                # deterministic result ordering independent of worker
+                # scheduling, and the trace/metrics merge below happens
+                # in input-net order for the same reason.
+                outcomes = pool.map(_worker_run, nets)
+                for i, (report, failure, hits, misses, metric_payload,
+                        spans) in enumerate(outcomes):
+                    reports[i] = report
+                    if failure is not None:
+                        failures.append(failure)
+                    stats.cache_hits += hits
+                    stats.cache_misses += misses
+                    metrics().merge_snapshot(metric_payload)
+                    tracer.absorb(spans)
 
     stats.wall_time = time.perf_counter() - t_start
     stats.failures = len(failures)
+    for failure in failures:
+        name = failure.error_type or failure.error.split(":", 1)[0]
+        stats.failures_by_type[name] = \
+            stats.failures_by_type.get(name, 0) + 1
+    log.debug("analyzed %d nets in %.2f s (%d failed, jobs=%d)",
+              stats.nets, stats.wall_time, stats.failures, jobs)
     return ExecResult(reports=reports, failures=failures, stats=stats)

@@ -26,10 +26,13 @@ from typing import Any, Iterable
 
 from repro.core.analysis import DelayNoiseAnalyzer
 from repro.core.net import CoupledNet
+from repro.obs import get_logger, span
 from repro.storage import characterization_payload, install_characterization
 from repro.units import PS
 
 __all__ = ["warm_analyzer", "build_snapshot", "restore_analyzer"]
+
+log = get_logger("exec.snapshot")
 
 
 def warm_analyzer(analyzer: DelayNoiseAnalyzer,
@@ -58,19 +61,23 @@ def build_snapshot(analyzer: DelayNoiseAnalyzer) -> dict[str, Any]:
     analyzer's construction parameters, so a worker reconstructs an
     equivalent analyzer without touching the parent's objects.
     """
-    payload = characterization_payload(analyzer)
-    payload["analyzer"] = {
-        "dt": analyzer.dt,
-        "table_kwargs": dict(analyzer.table_kwargs),
-    }
+    with span("exec.snapshot.build"):
+        payload = characterization_payload(analyzer)
+        payload["analyzer"] = {
+            "dt": analyzer.dt,
+            "table_kwargs": dict(analyzer.table_kwargs),
+        }
+    log.debug("snapshot: %d thevenin tables, %d alignment tables",
+              len(analyzer.cache), len(analyzer.alignment_tables()))
     return payload
 
 
 def restore_analyzer(snapshot: dict[str, Any]) -> DelayNoiseAnalyzer:
     """Rehydrate a fully warm analyzer from :func:`build_snapshot`."""
-    params = snapshot.get("analyzer", {})
-    analyzer = DelayNoiseAnalyzer(
-        dt=params.get("dt", 1.0 * PS),
-        table_kwargs=params.get("table_kwargs"))
-    install_characterization(snapshot, analyzer)
+    with span("exec.snapshot.restore"):
+        params = snapshot.get("analyzer", {})
+        analyzer = DelayNoiseAnalyzer(
+            dt=params.get("dt", 1.0 * PS),
+            table_kwargs=params.get("table_kwargs"))
+        install_characterization(snapshot, analyzer)
     return analyzer

@@ -15,6 +15,7 @@ constant: ``Rth = tau / c_load``.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,6 +23,7 @@ from scipy.optimize import brentq, least_squares
 
 from repro.circuit.netlist import GROUND, Circuit
 from repro.gates.gate import Gate
+from repro.obs import metrics, span
 from repro.sim.nonlinear import simulate_nonlinear
 from repro.waveform import Waveform, ramp
 
@@ -227,11 +229,16 @@ class TheveninTable:
         c_max = c_max if c_max is not None else max(
             300.0 * gate.input_capacitance(), 10.0 * c_min)
         loads = np.geomspace(c_min, c_max, points)
-        models = [
-            characterize_thevenin(gate, input_slew, output_rising, c,
-                                  switching_pin=switching_pin)
-            for c in loads
-        ]
+        t0 = time.perf_counter()
+        with span("characterize.thevenin", cell=gate.name,
+                  slew=input_slew, rising=output_rising, points=points):
+            models = [
+                characterize_thevenin(gate, input_slew, output_rising, c,
+                                      switching_pin=switching_pin)
+                for c in loads
+            ]
+        metrics().timer("characterize.thevenin.time").observe(
+            time.perf_counter() - t0)
         return cls(gate, input_slew, output_rising, loads, models)
 
     def lookup(self, c_load: float) -> TheveninModel:

@@ -1,0 +1,77 @@
+"""Observability: tracing, metrics and structured logging.
+
+Three cooperating layers, all safe to leave in hot paths:
+
+* :mod:`repro.obs.trace` — nested spans with a thread-local stack,
+  a no-op disabled default, JSONL export and cross-process merging
+  (workers drain span buffers, the parent absorbs them in input order).
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  timers and fixed-bucket histograms; snapshots serialize to plain
+  dicts and merge across processes.
+* :mod:`repro.obs.log` — the ``repro.*`` logger hierarchy and the CLI
+  verbosity mapping (``-v``/``-q``).
+
+Typical instrumented code::
+
+    from repro.obs import get_logger, metrics, span
+
+    log = get_logger("core.analysis")
+    _SOLVES = metrics().counter("newton.solves")
+
+    with span("net.analyze", net=net.name):
+        _SOLVES.inc()
+        log.debug("converged after %d iterations", n)
+
+See ``docs/architecture.md`` ("Observability") for the span taxonomy,
+metric names and trace file schema.
+"""
+
+from repro.obs.log import configure_cli_logging, get_logger, verbosity_level
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    registry as metrics,
+)
+from repro.obs.summary import (
+    StageSummary,
+    format_summary,
+    summarize_records,
+    trace_total_time,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    read_trace,
+    set_tracer,
+    span,
+    write_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StageSummary",
+    "Timer",
+    "Tracer",
+    "configure_cli_logging",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "format_summary",
+    "get_logger",
+    "metrics",
+    "read_trace",
+    "set_tracer",
+    "span",
+    "summarize_records",
+    "trace_total_time",
+    "verbosity_level",
+    "write_trace",
+]

@@ -1,0 +1,85 @@
+"""The ``repro`` logger hierarchy and CLI log configuration.
+
+Every module logs through a child of the root ``repro`` logger
+(``get_logger("core.analysis")`` → ``repro.core.analysis``), so one
+level/handler configuration governs the whole library.  Library code
+only ever *emits* records; handlers are installed exclusively by
+entry points via :func:`configure_cli_logging` — imported as a library,
+repro stays silent below WARNING (stdlib last-resort behaviour).
+
+The CLI maps verbosity flags onto levels:
+
+========  =========  =============================================
+flags     level      what you see
+========  =========  =============================================
+``-q``    WARNING    problems only
+(none)    INFO       results + one-line progress
+``-v``    DEBUG      per-stage diagnostics (iterations, cache hits)
+========  =========  =============================================
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_cli_logging", "verbosity_level"]
+
+ROOT_NAME = "repro"
+
+#: Attribute marking handlers we installed (so reconfiguration swaps
+#: them instead of stacking duplicates).
+_MARK = "_repro_cli_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (the root if no name)."""
+    return logging.getLogger(f"{ROOT_NAME}.{name}" if name else ROOT_NAME)
+
+
+def verbosity_level(verbose: int = 0, quiet: int = 0) -> int:
+    """Map ``-v``/``-q`` counts onto a ``logging`` level."""
+    score = verbose - quiet
+    if score <= -2:
+        return logging.ERROR
+    if score == -1:
+        return logging.WARNING
+    if score == 0:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_cli_logging(verbose: int = 0, quiet: int = 0,
+                          stream=None) -> logging.Logger:
+    """Install a plain-message stdout handler on the ``repro`` logger.
+
+    Called once per CLI invocation; a previously installed CLI handler
+    is replaced (and the stream re-bound), never stacked.  DEBUG
+    records get a ``logger-name: `` prefix so ``-v`` output is
+    attributable; INFO records stay bare — they are the program's
+    output.
+    """
+    root = get_logger()
+    for handler in list(root.handlers):
+        if getattr(handler, _MARK, False):
+            root.removeHandler(handler)
+
+    handler = logging.StreamHandler(stream or sys.stdout)
+    handler.setFormatter(_CliFormatter())
+    setattr(handler, _MARK, True)
+    root.addHandler(handler)
+    root.setLevel(verbosity_level(verbose, quiet))
+    root.propagate = False
+    return root
+
+
+class _CliFormatter(logging.Formatter):
+    """Bare messages for user output, attributed ones for diagnostics."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        if record.levelno == logging.INFO:
+            return message
+        if record.levelno == logging.DEBUG:
+            return f"{record.name}: {message}"
+        return f"{record.levelname.lower()}: {message}"

@@ -1,0 +1,233 @@
+"""Process-global metrics: counters, timers and fixed-bucket histograms.
+
+The registry answers the questions the tracer is too heavyweight for —
+"how many Newton iterations does a solve take", "what is the cache hit
+ratio", "how often does the alignment probe beat the table" — with
+instruments cheap enough to live on the hot path unconditionally:
+
+* :class:`Counter` — a monotonically increasing integer;
+* :class:`Timer` — count / total / min / max of observed durations;
+* :class:`Histogram` — fixed upper-bound buckets (values above the last
+  bound land in an overflow bucket), plus count and sum.
+
+Instruments are created on first use and *identity-stable*: module-level
+code may cache ``metrics.histogram("newton.iterations")`` once —
+:meth:`MetricsRegistry.reset` zeroes values in place rather than
+replacing objects, so cached handles never go stale.
+
+Worker processes serialize their registry with :meth:`snapshot` and the
+parent folds the payloads back with :meth:`merge_snapshot`, so a
+``jobs=N`` run accumulates the same totals in the parent registry as
+the equivalent serial run.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = ["Counter", "Timer", "Histogram", "MetricsRegistry",
+           "registry", "DEFAULT_ITERATION_BUCKETS"]
+
+#: Default bucket upper bounds for iteration-count histograms.
+DEFAULT_ITERATION_BUCKETS = (1, 2, 3, 5, 8, 13, 21, 34, 55, 100)
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> int:
+        return self.value
+
+    def merge(self, payload: int) -> None:
+        self.value += int(payload)
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Timer:
+    """Duration accumulator: count, total and min/max seconds."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.reset()
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max}
+
+    def merge(self, payload: dict) -> None:
+        if not payload.get("count"):
+            return
+        self.count += payload["count"]
+        self.total += payload["total"]
+        self.min = min(self.min, payload["min"])
+        self.max = max(self.max, payload["max"])
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``bounds`` are inclusive upper bounds; an observation lands in the
+    first bucket whose bound is >= the value, or in the overflow bucket
+    (``counts[-1]``) past the last bound.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds=DEFAULT_ITERATION_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted, non-empty")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the q-th bucket.
+
+        Overflow observations report the last finite bound (there is no
+        upper edge to return); an empty histogram reports 0.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+    def to_dict(self) -> dict:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "total": self.total}
+
+    def merge(self, payload: dict) -> None:
+        if tuple(payload["bounds"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram with bounds {payload['bounds']} "
+                f"into bounds {list(self.bounds)}")
+        self.counts = [a + b for a, b in zip(self.counts,
+                                             payload["counts"])]
+        self.count += payload["count"]
+        self.total += payload["total"]
+
+    def reset(self) -> None:
+        self.counts = [0] * len(self.counts)
+        self.count = 0
+        self.total = 0.0
+
+
+_KINDS = {"counters": Counter, "timers": Timer, "histograms": Histogram}
+
+
+class MetricsRegistry:
+    """Named instruments, serializable to (and mergeable from) a dict."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, dict] = {
+            kind: {} for kind in _KINDS}
+
+    def _get(self, kind: str, name: str, factory):
+        table = self._instruments[kind]
+        instrument = table.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = table.setdefault(name, factory())
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get("counters", name, Counter)
+
+    def timer(self, name: str) -> Timer:
+        return self._get("timers", name, Timer)
+
+    def histogram(self, name: str,
+                  bounds=DEFAULT_ITERATION_BUCKETS) -> Histogram:
+        return self._get("histograms", name, lambda: Histogram(bounds))
+
+    def snapshot(self) -> dict:
+        """Serialize every instrument to a plain (picklable) dict."""
+        return {
+            kind: {name: inst.to_dict() for name, inst in table.items()}
+            for kind, table in self._instruments.items()
+        }
+
+    to_dict = snapshot
+
+    def merge_snapshot(self, payload: dict) -> None:
+        """Fold a :meth:`snapshot` payload into this registry.
+
+        Histograms are recreated with the payload's bounds when absent
+        locally, so a parent can merge metrics it never recorded itself.
+        """
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).merge(value)
+        for name, value in payload.get("timers", {}).items():
+            self.timer(name).merge(value)
+        for name, value in payload.get("histograms", {}).items():
+            self.histogram(name, value["bounds"]).merge(value)
+
+    def reset(self) -> None:
+        """Zero every instrument in place (cached handles stay valid)."""
+        with self._lock:
+            for table in self._instruments.values():
+                for instrument in table.values():
+                    instrument.reset()
+
+    def drain(self) -> dict:
+        """Snapshot then reset — the per-net worker reporting step."""
+        payload = self.snapshot()
+        self.reset()
+        return payload
+
+
+#: The process-global registry. Instrumented modules may cache handles
+#: (``_HIST = registry().histogram(...)``) because reset() preserves
+#: instrument identity.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY

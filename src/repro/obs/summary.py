@@ -1,0 +1,92 @@
+"""Offline trace analysis — ``repro trace summarize``.
+
+Answers "where did the 40 s go" from a JSONL trace file without a
+profiler: spans are grouped by name into stages, and each stage
+reports call count, **total** time (sum of span durations) and
+**self** time (total minus the time spent in direct child spans),
+plus p50/p95 per-span durations.
+
+Self time is the column to read first: a stage with large total but
+small self is just a container for its children; a stage with large
+self time is where the work actually happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StageSummary", "summarize_records", "format_summary",
+           "trace_total_time"]
+
+
+@dataclass
+class StageSummary:
+    """Aggregate timing of all spans sharing one name."""
+
+    name: str
+    count: int
+    total: float  #: sum of span durations [s]
+    self_time: float  #: total minus direct-children time [s]
+    p50: float  #: median span duration [s]
+    p95: float  #: 95th-percentile span duration [s]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def summarize_records(records: list[dict]) -> list[StageSummary]:
+    """Per-stage breakdown of a span-record list, largest self first."""
+    children_time: dict[int, float] = {}
+    for rec in records:
+        parent = rec.get("parent")
+        if parent is not None:
+            children_time[parent] = children_time.get(parent, 0.0) \
+                + rec["dur"]
+
+    durations: dict[str, list[float]] = {}
+    self_times: dict[str, float] = {}
+    for rec in records:
+        name = rec["name"]
+        durations.setdefault(name, []).append(rec["dur"])
+        self_times[name] = self_times.get(name, 0.0) \
+            + rec["dur"] - children_time.get(rec["id"], 0.0)
+
+    summaries = []
+    for name, durs in durations.items():
+        durs.sort()
+        summaries.append(StageSummary(
+            name=name,
+            count=len(durs),
+            total=sum(durs),
+            self_time=self_times[name],
+            p50=_percentile(durs, 0.50),
+            p95=_percentile(durs, 0.95),
+        ))
+    summaries.sort(key=lambda s: s.self_time, reverse=True)
+    return summaries
+
+
+def trace_total_time(records: list[dict]) -> float:
+    """Wall time covered by the trace: the sum of root-span durations."""
+    return sum(rec["dur"] for rec in records
+               if rec.get("parent") is None)
+
+
+def format_summary(records: list[dict]) -> str:
+    """Render the per-stage breakdown as a plain-text table."""
+    summaries = summarize_records(records)
+    header = (f"{'stage':<28} {'count':>6} {'total s':>9} "
+              f"{'self s':>9} {'p50 ms':>9} {'p95 ms':>9}")
+    lines = [header, "-" * len(header)]
+    for s in summaries:
+        lines.append(
+            f"{s.name:<28} {s.count:>6d} {s.total:>9.3f} "
+            f"{s.self_time:>9.3f} {s.p50 * 1e3:>9.2f} "
+            f"{s.p95 * 1e3:>9.2f}")
+    lines.append(f"# {len(records)} spans, "
+                 f"{trace_total_time(records):.3f} s total traced time")
+    return "\n".join(lines)

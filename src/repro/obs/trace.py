@@ -1,0 +1,233 @@
+"""Nested-span tracing for the analysis pipeline.
+
+A :class:`Tracer` records **spans** — named, attributed, timed regions
+of execution that nest via a thread-local current-span stack.  Finished
+spans become plain dict records (``id``, ``parent``, ``name``,
+``attrs``, ``start``, ``dur``) suitable for JSONL export and offline
+analysis (``repro trace summarize``).
+
+Design constraints, in order:
+
+1. **The hot path pays ~nothing when tracing is off.**  The process
+   default is a disabled tracer whose :meth:`Tracer.span` returns a
+   shared no-op context manager — one attribute check per call, no
+   allocation, no clock read.
+2. **Parallel traces merge into one file.**  Worker processes run their
+   own tracer, :meth:`Tracer.drain` their buffers per net, and the
+   parent :meth:`Tracer.absorb`\\ s them (re-identified, re-parented
+   under the parent's active span) in input-net order — so a
+   ``jobs=N`` run produces the same trace topology as a serial run.
+3. **Cross-process timestamps stay comparable.**  ``start`` is
+   wall-clock (``time.time``) while ``dur`` comes from the monotonic
+   ``perf_counter``, so merged records line up on a shared axis without
+   sharing a clock origin.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "current_tracer", "set_tracer",
+           "enable_tracing", "disable_tracing", "span",
+           "read_trace", "write_trace"]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One active (entered, not yet exited) traced region."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "_start", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self._start = 0.0
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes mid-span (e.g. an iteration count)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id()
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        self._start = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._record({
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self._start,
+            "dur": duration,
+            "attrs": self.attrs,
+        })
+        return False
+
+
+class Tracer:
+    """Span recorder with a thread-local span stack and a dict buffer.
+
+    ``enabled=False`` makes :meth:`span` return a shared no-op context
+    manager; instrumented code never needs to check the flag itself.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._records: list[dict] = []
+        self._ids = itertools.count(1)
+
+    # -- internals used by Span ---------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _record(self, record: dict) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # -- public API ----------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Context manager tracing one region (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs)
+
+    def current_span(self) -> Span | None:
+        """The innermost active span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def records(self) -> list[dict]:
+        """Finished span records so far (children precede parents)."""
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> list[dict]:
+        """Return and clear the finished-span buffer."""
+        with self._lock:
+            records, self._records = self._records, []
+        return records
+
+    def absorb(self, records: list[dict]) -> None:
+        """Merge drained records from another tracer (e.g. a worker).
+
+        Span ids are reallocated from this tracer's sequence and
+        top-level records are re-parented under this thread's active
+        span, so absorbed sub-traces nest exactly where the call sits.
+        """
+        if not records:
+            return
+        current = self.current_span()
+        root_parent = current.span_id if current is not None else None
+        remap = {rec["id"]: self._next_id() for rec in records}
+        merged = []
+        for rec in records:
+            parent = rec.get("parent")
+            merged.append({**rec,
+                           "id": remap[rec["id"]],
+                           "parent": remap.get(parent, root_parent)})
+        with self._lock:
+            self._records.extend(merged)
+
+    def export_jsonl(self, path) -> int:
+        """Write the finished spans as JSON Lines; returns the count."""
+        records = self.records()
+        write_trace(path, records)
+        return len(records)
+
+
+# ----------------------------------------------------------------------
+# Process-global tracer
+# ----------------------------------------------------------------------
+_TRACER = Tracer(enabled=False)
+
+
+def current_tracer() -> Tracer:
+    """The process-global tracer (a disabled no-op by default)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-global tracer."""
+    global _TRACER
+    _TRACER = tracer
+    return tracer
+
+
+def enable_tracing() -> Tracer:
+    """Install and return a fresh enabled tracer."""
+    return set_tracer(Tracer(enabled=True))
+
+
+def disable_tracing() -> Tracer:
+    """Restore the disabled no-op default."""
+    return set_tracer(Tracer(enabled=False))
+
+
+def span(name: str, **attrs):
+    """Open a span on the process-global tracer (no-op when disabled)."""
+    return _TRACER.span(name, **attrs)
+
+
+# ----------------------------------------------------------------------
+# Trace files
+# ----------------------------------------------------------------------
+def write_trace(path, records: list[dict]) -> None:
+    """Write span records as JSON Lines (one span object per line)."""
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+def read_trace(path) -> list[dict]:
+    """Read a JSONL trace file back into span records."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

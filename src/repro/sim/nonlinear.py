@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import GROUND, Circuit
+from repro.obs import metrics
 from repro.sim.result import SimulationResult, time_grid
 
 __all__ = ["simulate_nonlinear", "ConvergenceError"]
@@ -31,6 +32,13 @@ __all__ = ["simulate_nonlinear", "ConvergenceError"]
 _DAMP_LIMIT = 0.5
 _MAX_ITERATIONS = 100
 _VTOL = 1e-6
+
+# Cached instrument handles (registry.reset() zeroes them in place, so
+# module-level caching is safe and keeps the per-solve cost to one
+# bisect + two adds).
+_ITERATIONS = metrics().histogram("newton.iterations")
+_NONCONVERGED = metrics().counter("newton.nonconverged")
+_SINGULAR = metrics().counter("newton.singular")
 
 
 class ConvergenceError(RuntimeError):
@@ -65,7 +73,7 @@ def _newton_solve(base_jacobian: np.ndarray, base_residual_of,
     ``base_residual_of(x)`` returns the linear part of F(x).
     """
     x = x.copy()
-    for _ in range(_MAX_ITERATIONS):
+    for iteration in range(1, _MAX_ITERATIONS + 1):
         F = base_residual_of(x)
         J = base_jacobian.copy()
         for ds in devices:
@@ -90,6 +98,7 @@ def _newton_solve(base_jacobian: np.ndarray, base_residual_of,
         try:
             delta = np.linalg.solve(J, -F)
         except np.linalg.LinAlgError as exc:
+            _SINGULAR.inc()
             raise ConvergenceError(
                 f"singular Jacobian during {context}") from exc
         step = np.abs(delta).max(initial=0.0)
@@ -97,10 +106,15 @@ def _newton_solve(base_jacobian: np.ndarray, base_residual_of,
             delta *= _DAMP_LIMIT / step
         x += delta
         if step < _VTOL:
+            _ITERATIONS.observe(iteration)
             return x
+    _NONCONVERGED.inc()
+    residuals = np.abs(F)
+    worst = int(residuals.argmax()) if residuals.size else 0
     raise ConvergenceError(
         f"Newton did not converge within {_MAX_ITERATIONS} iterations "
-        f"during {context} (last step {step:.3e} V)")
+        f"during {context} (last step {step:.3e} V, worst residual "
+        f"{residuals.max(initial=0.0):.3e} at node index {worst})")
 
 
 def simulate_nonlinear(circuit: Circuit, t_stop: float, dt: float, *,

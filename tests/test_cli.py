@@ -6,6 +6,7 @@ import pathlib
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import disable_tracing, metrics, read_trace
 
 DECK = """
 Rv1 v_root v1 400
@@ -165,3 +166,78 @@ class TestScreen:
         assert "# 2 nets, 0 failed" in out
         assert "jobs=2" in out
         assert "misses" in out
+
+
+class TestObservability:
+    SUMMARY_COLUMNS = ("stage", "count", "total s", "self s",
+                       "p50 ms", "p95 ms")
+
+    def test_bare_invocation_prints_help_exit_2(self, capsys):
+        assert main([]) == 2
+        captured = capsys.readouterr()
+        assert "usage:" in captured.err
+        assert captured.out == ""
+
+    def test_screen_trace_metrics_and_summarize(self, tmp_path,
+                                                capsys):
+        """End-to-end: ``screen --trace/--metrics`` writes artifacts
+        that ``trace summarize`` and plain JSON tooling can consume."""
+        trace_file = tmp_path / "run.jsonl"
+        metrics_file = tmp_path / "run.json"
+        # The registry is process-global and cumulative; zero it so the
+        # written metrics describe this run alone.
+        metrics().reset()
+        try:
+            code = main(["screen", "--seed", "3", "--count", "1",
+                         "--trace", str(trace_file),
+                         "--metrics", str(metrics_file)])
+        finally:
+            disable_tracing()
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"spans to {trace_file}" in out
+        assert f"metrics to {metrics_file}" in out
+
+        records = read_trace(trace_file)
+        names = {r["name"] for r in records}
+        assert {"net.analyze", "net.superposition", "net.alignment",
+                "net.receiver_eval", "exec.analyze_nets"} <= names
+        net_spans = [r for r in records if r["name"] == "net.analyze"]
+        assert [r["attrs"]["net"] for r in net_spans] == ["net0"]
+
+        payload = json.loads(metrics_file.read_text())
+        assert payload["counters"]["analysis.nets"] == 1
+        assert payload["histograms"]["newton.iterations"]["count"] > 0
+
+        code = main(["trace", "summarize", str(trace_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        for column in self.SUMMARY_COLUMNS:
+            assert column in out
+        assert "net.analyze" in out
+        assert "total traced time" in out
+
+    def test_trace_summarize_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 1
+        captured = capsys.readouterr()
+        assert "no spans" in captured.out
+
+    def test_quiet_suppresses_program_output(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        trace_file.write_text(json.dumps(
+            {"id": 1, "parent": None, "name": "net.analyze",
+             "start": 0.0, "dur": 0.5, "attrs": {}}) + "\n")
+        assert main(["-q", "trace", "summarize",
+                     str(trace_file)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_verbose_flag_parses(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        trace_file.write_text(json.dumps(
+            {"id": 1, "parent": None, "name": "net.analyze",
+             "start": 0.0, "dur": 0.5, "attrs": {}}) + "\n")
+        assert main(["-v", "trace", "summarize",
+                     str(trace_file)]) == 0
+        assert "net.analyze" in capsys.readouterr().out
