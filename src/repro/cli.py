@@ -8,7 +8,9 @@ Four entry points mirroring the production workflow:
   parasitics come from a SPICE-style netlist file.
 * ``repro screen`` — sweep a seeded synthetic population and print the
   functional/delay-noise screening table; ``--trace``/``--metrics``
-  export the run's telemetry.
+  export the run's telemetry, ``--checkpoint``/``--resume`` make long
+  screens crash-safe, and ``--retries``/``--max-failures`` tune the
+  worker-crash and circuit-breaker policies.
 * ``repro trace summarize`` — per-stage time breakdown of a trace file.
 
 All output goes through the ``repro`` logger hierarchy: ``-v`` adds
@@ -140,6 +142,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-net wall-clock limit in seconds; an "
                             "overrunning net is reported as failed "
                             "instead of stalling the screen")
+    p_scr.add_argument("--retries", type=int, default=2,
+                       help="isolated re-attempts for a net that "
+                            "crashes its worker process before it is "
+                            "recorded as a WorkerCrash failure")
+    p_scr.add_argument("--max-failures", type=float, default=None,
+                       metavar="N",
+                       help="circuit breaker: abort once more than N "
+                            "nets fail (N >= 1 is a count, 0 < N < 1 "
+                            "a fraction of the population)")
+    p_scr.add_argument("--checkpoint", metavar="FILE",
+                       help="stream every completed net to an atomic "
+                            "JSONL checkpoint file")
+    p_scr.add_argument("--resume", action="store_true",
+                       help="with --checkpoint: skip nets already in "
+                            "the checkpoint and analyze the remainder")
+    p_scr.add_argument("--inject", metavar="FILE",
+                       help="fault-injection plan (JSON) for chaos "
+                            "testing; see repro.resilience.faults")
     p_scr.add_argument("--trace", metavar="FILE",
                        help="write a JSONL span trace of the run "
                             "(inspect with 'repro trace summarize')")
@@ -271,10 +291,17 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_screen(args) -> int:
     from repro.bench.netgen import NetGenConfig, NetGenerator
-    from repro.exec import analyze_nets
+    from repro.exec import TooManyFailures, analyze_nets
+    from repro.resilience import FaultPlan, install_faults
 
     if args.trace:
         set_tracer(Tracer(enabled=True))
+    if args.resume and not args.checkpoint:
+        out.error("--resume requires --checkpoint")
+        return 2
+    if args.inject:
+        install_faults(FaultPlan.from_file(args.inject))
+        out.info(f"# fault injection active from {args.inject}")
 
     config = NetGenConfig.high_performance() if args.preset == "hp" \
         else None
@@ -285,8 +312,19 @@ def _cmd_screen(args) -> int:
     # Delay-noise analysis fans out over worker processes (warm-started
     # from the parent's tables); the functional screen below reuses the
     # same warmed caches serially.
-    result = analyze_nets(nets, jobs=args.jobs, analyzer=analyzer,
-                          timeout=args.timeout, alignment="table")
+    try:
+        result = analyze_nets(nets, jobs=args.jobs, analyzer=analyzer,
+                              timeout=args.timeout, alignment="table",
+                              retries=args.retries,
+                              max_failures=args.max_failures,
+                              checkpoint=args.checkpoint,
+                              resume=args.resume)
+    except TooManyFailures as exc:
+        out.error(f"screen aborted: {exc}")
+        if args.checkpoint:
+            out.error(f"completed nets are in {args.checkpoint}; rerun "
+                      f"with --resume after fixing the cause")
+        return 1
     failures = {f.net_name: f for f in result.failures}
 
     header = ("net     aggr  func in/out (V)  func?   "
@@ -314,6 +352,10 @@ def _cmd_screen(args) -> int:
             from repro.core.hold import hold_speedup
             hold = hold_speedup(net, cache=analyzer.cache)
             line += f"   {hold.speedup_output / PS:10.1f}"
+        if report.quality != "exact":
+            stages = ",".join(sorted({d.stage
+                                      for d in report.degradations}))
+            line += f"   DEGRADED({stages})"
         out.info(line)
 
     stats = result.stats
@@ -327,6 +369,14 @@ def _cmd_screen(args) -> int:
         summary += " | failures: " + ", ".join(
             f"{name} x{count}"
             for name, count in sorted(stats.failures_by_type.items()))
+    if stats.degraded:
+        summary += (f" | {stats.degraded} degraded (conservative "
+                    f"fallbacks in effect)")
+    if stats.resumed:
+        summary += f" | {stats.resumed} resumed from checkpoint"
+    if stats.worker_crashes:
+        summary += (f" | {stats.worker_crashes} worker crash(es), "
+                    f"{stats.retries} retried")
     out.info(summary)
 
     if args.trace:

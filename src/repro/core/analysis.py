@@ -37,11 +37,17 @@ from repro.core.net import CoupledNet
 from repro.core.precharacterize import AlignmentTable, build_alignment_table
 from repro.core.superposition import VICTIM, ModelCache, SuperpositionEngine
 from repro.obs import get_logger, metrics, span
+from repro.resilience.degradation import (
+    QUALITY_DEGRADED,
+    QUALITY_EXACT,
+    Degradation,
+)
+from repro.resilience.faults import fire as _fire_fault
 from repro.units import NS, PS
 from repro.waveform import Waveform, transition_slew
 from repro.waveform.pulses import pulse_peak, pulse_width
 
-__all__ = ["DelayNoiseAnalyzer", "NoiseReport"]
+__all__ = ["DelayNoiseAnalyzer", "Degradation", "NoiseReport"]
 
 log = get_logger("core.analysis")
 
@@ -88,6 +94,13 @@ class NoiseReport:
     extra_delay_input_thevenin: float
     extra_delay_output_thevenin: float
     composite_thevenin: Waveform
+
+    # Result provenance: "exact" when every refinement stage ran, or
+    # "degraded" when a stage failed and its conservative baseline
+    # (plain Thevenin holding, nominal alignment) substituted — the
+    # per-stage records say what fell back and why.
+    quality: str = QUALITY_EXACT
+    degradations: list[Degradation] = field(default_factory=list)
 
 
 class DelayNoiseAnalyzer:
@@ -172,8 +185,17 @@ class DelayNoiseAnalyzer:
             raise ValueError(
                 f"outer_iterations must be >= 1 (the flow needs at least "
                 f"one model/alignment pass), got {outer_iterations}")
+        # Validate the Rtr knobs eagerly: once inside the flow, an Rtr
+        # failure degrades to the Thevenin baseline instead of raising,
+        # and a typo'd parameter must stay a loud error.
+        if rtr_driver_load not in ("pi", "ceff"):
+            raise ValueError("rtr_driver_load must be 'pi' or 'ceff'")
+        if rtr_driver_engine not in ("transistor", "csm"):
+            raise ValueError(
+                "rtr_driver_engine must be 'transistor' or 'csm'")
         if not net.aggressors:
             raise ValueError(f"{net.name} has no aggressors to analyze")
+        _fire_fault("analysis.net", net.name)
 
         with span("net.analyze", net=net.name,
                   aggressors=len(net.aggressors),
@@ -217,15 +239,36 @@ class DelayNoiseAnalyzer:
         rtr_result: RtrResult | None = None
         r_hold = rth
         iterations = 0
+        degradations: list[Degradation] = []
+        failed_stages: set[str] = set()
 
         for iterations in range(1, outer_iterations + 1):
-            if use_rtr:
+            if use_rtr and "rtr" not in failed_stages:
                 with span("net.holding_resistance",
                           iteration=iterations):
-                    rtr_result = compute_rtr(
-                        engine, shifts, driver_load=rtr_driver_load,
-                        driver_engine=rtr_driver_engine)
-                r_hold = rtr_result.rtr
+                    try:
+                        _fire_fault("analysis.rtr", net.name)
+                        rtr_result = compute_rtr(
+                            engine, shifts, driver_load=rtr_driver_load,
+                            driver_engine=rtr_driver_engine)
+                        r_hold = rtr_result.rtr
+                    except Exception as exc:
+                        # The transient holding resistance is a
+                        # refinement; its conservative baseline is the
+                        # plain Thevenin holding resistance the
+                        # superposition engine already carries.
+                        failed_stages.add("rtr")
+                        degradations.append(Degradation(
+                            stage="rtr",
+                            error=f"{type(exc).__name__}: {exc}",
+                            fallback="thevenin-rth"))
+                        rtr_result = None
+                        r_hold = rth
+                        metrics().counter("analysis.degraded.rtr").inc()
+                        log.warning(
+                            "%s: Rtr characterization failed (%s: %s); "
+                            "holding with the Thevenin resistance",
+                            net.name, type(exc).__name__, exc)
 
             with span("net.noise_pulses", iteration=iterations):
                 pulses = {
@@ -240,9 +283,10 @@ class DelayNoiseAnalyzer:
 
             with span("net.alignment", iteration=iterations,
                       method=alignment):
-                new_target = self._alignment_target(
+                new_target = self._aligned_target_or_fallback(
                     alignment, net, noiseless_input, shape, height,
-                    width, victim_slew, engine, exhaustive_steps)
+                    width, victim_slew, engine, exhaustive_steps,
+                    target, degradations, failed_stages)
 
             new_shifts = {
                 a.name: a.clamp_shift(aligned[a.name]
@@ -349,7 +393,54 @@ class DelayNoiseAnalyzer:
             extra_delay_input_thevenin=extra_in_th,
             extra_delay_output_thevenin=extra_out_th,
             composite_thevenin=composite_th,
+            quality=QUALITY_DEGRADED if degradations else QUALITY_EXACT,
+            degradations=degradations,
         )
+
+    def _aligned_target_or_fallback(self, method: str, net: CoupledNet,
+                                    noiseless_input: Waveform,
+                                    shape: Waveform, height: float,
+                                    width: float, victim_slew: float,
+                                    engine: SuperpositionEngine,
+                                    exhaustive_steps: int, target: float,
+                                    degradations: list[Degradation],
+                                    failed_stages: set[str]) -> float:
+        """Alignment target with graceful degradation.
+
+        When the pre-characterized table (or the exhaustive sweep)
+        fails, fall back to the receiver-input objective — the prior
+        art's alignment, needing only the noiseless waveform — and as
+        a last resort keep the current peak-aligned target.  The
+        fallback is sticky across outer iterations and recorded once.
+        """
+        vdd = net.vdd
+        rising = net.victim_rising
+        if "alignment" not in failed_stages:
+            try:
+                _fire_fault("analysis.alignment", net.name)
+                return self._alignment_target(
+                    method, net, noiseless_input, shape, height, width,
+                    victim_slew, engine, exhaustive_steps)
+            except Exception as exc:
+                failed_stages.add("alignment")
+                error = f"{type(exc).__name__}: {exc}"
+                metrics().counter("analysis.degraded.alignment").inc()
+        else:
+            error = "(previous iteration)"
+        try:
+            fallback_target = input_objective_peak_time(
+                noiseless_input, height, vdd, rising)
+            fallback = "input-objective"
+        except Exception:
+            fallback_target = target
+            fallback = "peak-alignment"
+        if error != "(previous iteration)":
+            degradations.append(Degradation(
+                stage="alignment", error=error, fallback=fallback))
+            log.warning(
+                "%s: %s alignment failed (%s); falling back to %s",
+                net.name, method, error, fallback)
+        return fallback_target
 
     # ------------------------------------------------------------------
     def _alignment_target(self, method: str, net: CoupledNet,

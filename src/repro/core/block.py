@@ -24,11 +24,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.analysis import DelayNoiseAnalyzer, NoiseReport
 from repro.core.net import AggressorSpec, CoupledNet
-from repro.exec.pool import ExecStats, analyze_nets
 from repro.obs import get_logger, metrics, span
+
+if TYPE_CHECKING:
+    from repro.exec.pool import ExecStats
 from repro.sta.graph import TimingGraph
 from repro.sta.windows import Window
 from repro.units import PS
@@ -74,6 +77,9 @@ class BlockReport:
     deltas: dict[str, float]
     stage_delays: dict[str, float]
     exec_stats: list[ExecStats] = field(default_factory=list)
+    #: Net name -> last error string, for nets held at their previous
+    #: delta under ``on_failure="hold"`` (empty when everything ran).
+    failures: dict[str, str] = field(default_factory=dict)
 
 
 class BlockAnalyzer:
@@ -158,21 +164,39 @@ class BlockAnalyzer:
             tolerance: float = 1.0 * PS,
             alignment: str = "table",
             jobs: int = 1,
-            timeout: float | None = None) -> BlockReport:
+            timeout: float | None = None,
+            on_failure: str = "raise") -> BlockReport:
         """Iterate windows and delay noise to convergence.
 
         ``jobs`` parallelizes the per-net re-analysis inside each
         fixed-point iteration across worker processes (the window
         propagation between iterations stays in the parent).  Results
         are bit-identical to ``jobs=1``.  ``timeout`` bounds each net's
-        analysis wall-clock time in seconds; the fixed point needs every
-        net's delta, so any per-net failure or timeout aborts the run
-        with a ``RuntimeError`` naming the nets.
+        analysis wall-clock time in seconds.
+
+        ``on_failure`` picks what a per-net failure (exception or
+        timeout) does to the fixed point.  ``"raise"`` (default) aborts
+        the run with a ``RuntimeError`` naming the nets — the exact
+        behavior a signoff flow wants.  ``"hold"`` keeps the failing
+        net's previous delta and stage delay on its timing arc (its
+        edge and delta simply don't move this iteration), records the
+        error in :attr:`BlockReport.failures`, and lets the rest of the
+        block converge — an exploration-friendly degradation.
         """
+        # Imported here, not at module top: repro.exec.pool itself
+        # imports repro.core, and an exec-first import order would hit
+        # the half-initialized module (a real, observed failure mode).
+        from repro.exec.pool import analyze_nets
+
+        if on_failure not in ("raise", "hold"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'hold', "
+                f"got {on_failure!r}")
         deltas: dict[str, float] = {b.net.name: 0.0 for b in self.nets}
         reports: dict[str, NoiseReport] = {}
         stage_delays: dict[str, float] = {}
         exec_stats: list[ExecStats] = []
+        failures: dict[str, str] = {}
         windows = self.graph.propagate_windows()
         converged = False
         iterations = 0
@@ -187,10 +211,23 @@ class BlockAnalyzer:
                                       timeout=timeout,
                                       alignment=alignment)
                 exec_stats.append(result.stats)
-                result.raise_on_failure()
+                if on_failure == "raise":
+                    result.raise_on_failure()
+                elif result.failures:
+                    for f in result.failures:
+                        failures[f.net_name] = f.error
+                        metrics().counter("block.net_held").inc()
+                        log.warning(
+                            "net %s failed (%s); holding its previous "
+                            "delta", f.net_name, f.error)
                 for block_net, prepared, report in zip(
                         self.nets, prepared_nets, result.reports):
+                    if report is None:
+                        # on_failure="hold": the edge keeps whatever
+                        # delay the last successful iteration wrote.
+                        continue
                     reports[prepared.name] = report
+                    failures.pop(prepared.name, None)
 
                     vdd = prepared.vdd
                     out_rising = (not prepared.victim_rising) \
@@ -234,4 +271,5 @@ class BlockAnalyzer:
             deltas=deltas,
             stage_delays=stage_delays,
             exec_stats=exec_stats,
+            failures=failures,
         )

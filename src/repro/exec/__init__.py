@@ -11,8 +11,10 @@ throughput:
   ever re-runs a non-linear characterization simulation.
 * :mod:`repro.exec.pool` — :func:`analyze_nets`, a deterministic
   process-pool map over coupled nets with a serial ``jobs=1`` fallback,
-  structured per-net failure capture, an optional per-net timeout, and
-  throughput/cache statistics.
+  structured per-net failure capture, an optional per-net timeout,
+  crash-safe worker recovery with bounded retries, a ``max_failures``
+  circuit breaker, JSONL checkpoint/resume, and throughput/cache
+  statistics.
 
 Consumers: ``BlockAnalyzer.run(jobs=N)`` re-analyzes nets in parallel
 inside each fixed-point iteration, ``python -m repro screen --jobs N``
@@ -26,6 +28,7 @@ from repro.exec.pool import (
     ExecStats,
     NetFailure,
     NetTimeout,
+    TooManyFailures,
     analyze_nets,
 )
 from repro.exec.snapshot import build_snapshot, restore_analyzer, warm_analyzer
@@ -35,6 +38,7 @@ __all__ = [
     "ExecStats",
     "NetFailure",
     "NetTimeout",
+    "TooManyFailures",
     "analyze_nets",
     "build_snapshot",
     "restore_analyzer",

@@ -1,4 +1,4 @@
-"""Parallel per-net analysis: a process-pool map over coupled nets.
+"""Parallel per-net analysis: a crash-safe process-pool map over nets.
 
 The paper's flow is embarrassingly parallel across nets — every
 :meth:`DelayNoiseAnalyzer.analyze` call is independent once the shared
@@ -12,10 +12,25 @@ characterization tables exist.  :func:`analyze_nets` exploits that:
   non-linear characterization simulation.
 
 Results come back in input order regardless of completion order, and
-serial/parallel runs produce bit-identical reports.  A net that fails
-(or exceeds the optional per-net wall-clock ``timeout``) becomes a
-structured :class:`NetFailure` record instead of killing the run, and
-:class:`ExecStats` reports throughput, cache traffic and wall time.
+serial/parallel runs produce bit-identical reports.  The run degrades
+instead of dying:
+
+* a net that raises (or exceeds the optional per-net wall-clock
+  ``timeout``) becomes a structured :class:`NetFailure` record;
+* a worker-process death (``BrokenProcessPool``) rebuilds the pool and
+  re-probes the in-flight nets one at a time to identify the culprit,
+  which — after ``retries`` isolated re-attempts with exponential
+  backoff — becomes a ``NetFailure(error_type="WorkerCrash")`` while
+  every other net still completes;
+* a ``max_failures`` circuit breaker aborts a run whose failure count
+  (or fraction) shows something systemic rather than per-net;
+* ``checkpoint=`` streams every completed net to an atomic JSONL file
+  (:mod:`repro.resilience.checkpoint`) and ``resume=True`` skips the
+  nets already recorded there — a killed run picks up where it
+  stopped, bit-identically.
+
+:class:`ExecStats` reports throughput, cache traffic, wall time, and
+the resilience traffic (crashes, retries, resumed nets).
 """
 
 from __future__ import annotations
@@ -24,7 +39,9 @@ import signal
 import threading
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -32,15 +49,36 @@ from repro.core.analysis import DelayNoiseAnalyzer, NoiseReport
 from repro.core.net import CoupledNet
 from repro.exec.snapshot import build_snapshot, restore_analyzer, warm_analyzer
 from repro.obs import Tracer, current_tracer, get_logger, metrics, set_tracer
+from repro.resilience import (
+    CheckpointWriter,
+    FaultPlan,
+    active_plan,
+    fire,
+    install_faults,
+    load_checkpoint,
+    mark_worker_process,
+)
+from repro.storage import noise_report_from_dict, noise_report_to_dict
 
-__all__ = ["NetFailure", "NetTimeout", "ExecStats", "ExecResult",
-           "analyze_nets"]
+__all__ = ["NetFailure", "NetTimeout", "TooManyFailures", "ExecStats",
+           "ExecResult", "analyze_nets"]
 
 log = get_logger("exec.pool")
 
 
 class NetTimeout(Exception):
     """One net's analysis exceeded the per-net wall-clock budget."""
+
+
+class TooManyFailures(RuntimeError):
+    """The ``max_failures`` circuit breaker tripped.
+
+    Raised when the failure count/fraction shows the run is sick as a
+    whole (bad snapshot, broken library, wrong deck) — finishing the
+    remaining nets would only produce more failures.  Completed nets
+    are already in the checkpoint (when one is configured), so a fixed
+    run can ``resume`` from them.
+    """
 
 
 @dataclass(frozen=True)
@@ -51,6 +89,17 @@ class NetFailure:
     error: str        #: ``"ExceptionType: message"``
     traceback: str    #: full formatted traceback from the failing process
     error_type: str = ""  #: exception class name (``"NetTimeout"``, ...)
+
+    def to_dict(self) -> dict:
+        return {"net_name": self.net_name, "error": self.error,
+                "traceback": self.traceback,
+                "error_type": self.error_type}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetFailure":
+        return cls(net_name=data["net_name"], error=data["error"],
+                   traceback=data.get("traceback", ""),
+                   error_type=data.get("error_type", ""))
 
 
 @dataclass
@@ -74,6 +123,14 @@ class ExecStats:
     #: (``NetTimeout``) from solver failures (``ConvergenceError``) at
     #: a glance.
     failures_by_type: dict[str, int] = field(default_factory=dict)
+    #: Nets answered from the resume checkpoint instead of analyzed.
+    resumed: int = 0
+    #: Worker-pool rebuilds after a worker process died.
+    worker_crashes: int = 0
+    #: Isolated re-submissions of nets suspected in a crash.
+    retries: int = 0
+    #: Nets whose reports carry ``quality="degraded"``.
+    degraded: int = 0
 
     @property
     def nets_per_second(self) -> float:
@@ -99,15 +156,26 @@ class ExecResult:
     def ok(self) -> bool:
         return not self.failures
 
+    def _index(self) -> tuple[dict, dict]:
+        """O(1) name lookup tables, built once on first use."""
+        cached = self.__dict__.get("_by_name")
+        if cached is None:
+            reports = {r.net_name: r for r in self.reports
+                       if r is not None}
+            failures = {f.net_name: f for f in self.failures}
+            cached = (reports, failures)
+            self.__dict__["_by_name"] = cached
+        return cached
+
     def report(self, net_name: str) -> NoiseReport:
-        """The report for one net, by name."""
-        for report in self.reports:
-            if report is not None and report.net_name == net_name:
-                return report
-        for failure in self.failures:
-            if failure.net_name == net_name:
-                raise KeyError(
-                    f"net {net_name!r} failed: {failure.error}")
+        """The report for one net, by name (constant-time)."""
+        reports, failures = self._index()
+        found = reports.get(net_name)
+        if found is not None:
+            return found
+        failure = failures.get(net_name)
+        if failure is not None:
+            raise KeyError(f"net {net_name!r} failed: {failure.error}")
         raise KeyError(f"no net named {net_name!r} in this run")
 
     def raise_on_failure(self) -> None:
@@ -129,7 +197,10 @@ def _time_limit(seconds: float | None):
 
     Implemented with ``SIGALRM``/``setitimer``, which only works in a
     main thread (process-pool workers and the serial path both qualify);
-    elsewhere the limit is skipped rather than mis-armed.
+    elsewhere the limit is skipped rather than mis-armed.  A pending
+    outer ``ITIMER_REAL`` is captured from ``setitimer``'s return value
+    and re-armed with its remaining time on exit, so nested limits
+    leave the outer deadline ticking instead of silently disarming it.
     """
     if not seconds or seconds <= 0 or \
             threading.current_thread() is not threading.main_thread():
@@ -140,12 +211,19 @@ def _time_limit(seconds: float | None):
         raise NetTimeout(f"net analysis exceeded {seconds:g} s")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    old_delay, old_interval = signal.setitimer(signal.ITIMER_REAL, seconds)
+    armed_at = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if old_delay > 0.0:
+            remaining = old_delay - (time.monotonic() - armed_at)
+            # The outer deadline may already have lapsed while we held
+            # the timer; re-arm minimally so it still fires.
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6),
+                             old_interval)
 
 
 def _cache_counters(analyzer: DelayNoiseAnalyzer) -> tuple[int, int]:
@@ -158,6 +236,10 @@ def _analyze_one(analyzer: DelayNoiseAnalyzer, net: CoupledNet,
                  ) -> tuple[NoiseReport | None, NetFailure | None]:
     try:
         with _time_limit(timeout):
+            # In a worker a "crash" fault kills the process here; in
+            # the serial path it raises WorkerCrash into the except
+            # below, so jobs=1 classifies the net identically.
+            fire("exec.worker", net.name)
             return analyzer.analyze(net, **analyze_kwargs), None
     except Exception as exc:
         log.debug("net %s failed: %s: %s", net.name,
@@ -178,11 +260,16 @@ _WORKER_STATE: dict = {}
 
 
 def _worker_init(snapshot: dict, analyze_kwargs: dict,
-                 timeout: float | None, trace: bool) -> None:
+                 timeout: float | None, trace: bool,
+                 fault_plan: FaultPlan | None) -> None:
     # Workers may be forked, inheriting the parent's tracer buffer and
     # metric values — start both from scratch so per-net drains report
     # only this worker's activity (the parent merges them back).
     set_tracer(Tracer(enabled=trace))
+    mark_worker_process()
+    if fault_plan is not None:
+        # A fresh copy per worker: fire counters are per-process.
+        install_faults(fault_plan)
     _WORKER_STATE["analyzer"] = restore_analyzer(snapshot)
     metrics().reset()
     _WORKER_STATE["analyze_kwargs"] = analyze_kwargs
@@ -208,12 +295,59 @@ def _worker_run(net: CoupledNet):
 
 
 # ----------------------------------------------------------------------
+# Checkpoint codecs (NetFailure lives here, NoiseReport in repro.storage)
+# ----------------------------------------------------------------------
+def _decode_checkpoint_record(record: dict
+                              ) -> tuple[NoiseReport | None,
+                                         NetFailure | None]:
+    if record["kind"] == "report":
+        return noise_report_from_dict(record["data"]), None
+    return None, NetFailure.from_dict(record["data"])
+
+
+class _Breaker:
+    """The ``max_failures`` circuit breaker.
+
+    ``max_failures`` is an absolute count when >= 1 and a fraction of
+    the net population when in (0, 1); ``None`` disables the breaker.
+    The breaker trips when the failure tally *exceeds* the threshold.
+    """
+
+    def __init__(self, max_failures: int | float | None, total: int):
+        self.total = total
+        self.threshold: float | None = None
+        if max_failures is not None:
+            if max_failures < 0:
+                raise ValueError(
+                    f"max_failures must be >= 0, got {max_failures}")
+            if 0 < max_failures < 1:
+                self.threshold = max_failures * total
+            else:
+                self.threshold = float(max_failures)
+        self.failures = 0
+
+    def record(self, failure: NetFailure) -> None:
+        self.failures += 1
+        if self.threshold is not None and self.failures > self.threshold:
+            metrics().counter("exec.breaker_tripped").inc()
+            raise TooManyFailures(
+                f"aborting after {self.failures} of {self.total} nets "
+                f"failed (max_failures={self.threshold:g}); last: "
+                f"{failure.net_name}: {failure.error}")
+
+
+# ----------------------------------------------------------------------
 # The map
 # ----------------------------------------------------------------------
 def analyze_nets(nets, *, jobs: int = 1,
                  analyzer: DelayNoiseAnalyzer | None = None,
                  timeout: float | None = None,
                  warm: bool = True,
+                 retries: int = 2,
+                 retry_backoff: float = 0.1,
+                 max_failures: int | float | None = None,
+                 checkpoint=None,
+                 resume: bool = False,
                  **analyze_kwargs) -> ExecResult:
     """Analyze every net, optionally across ``jobs`` worker processes.
 
@@ -221,7 +355,8 @@ def analyze_nets(nets, *, jobs: int = 1,
     ----------
     nets:
         The coupled nets to analyze (any iterable; order is preserved in
-        the result).
+        the result).  Net names must be unique — duplicates would make
+        per-name lookups, checkpoints and resume ambiguous.
     jobs:
         Worker processes.  1 (the default) runs serially in-process with
         no subprocess overhead.
@@ -236,6 +371,23 @@ def analyze_nets(nets, *, jobs: int = 1,
         Pre-build all needed characterization tables in the parent
         before mapping (recommended; disable only when the caller
         guarantees the analyzer is already hot).
+    retries:
+        Isolated re-attempts granted to a net suspected of crashing its
+        worker before it is recorded as a ``WorkerCrash`` failure.
+    retry_backoff:
+        Base of the exponential backoff between crash re-attempts
+        (seconds; attempt *k* sleeps ``retry_backoff * 2**(k-1)``).
+    max_failures:
+        Circuit breaker: abort with :class:`TooManyFailures` when the
+        failure tally exceeds this count (>= 1) or fraction of the
+        population ((0, 1)).  ``None`` (default) disables the breaker.
+    checkpoint:
+        Path of an atomic JSONL checkpoint streaming every completed
+        net (report or failure) as it finishes.
+    resume:
+        With ``checkpoint``, load the nets already recorded there and
+        analyze only the remainder; the combined result is bit-identical
+        to an uninterrupted run.
     **analyze_kwargs:
         Forwarded to :meth:`DelayNoiseAnalyzer.analyze` (``alignment``,
         ``use_rtr``, ...).
@@ -243,64 +395,239 @@ def analyze_nets(nets, *, jobs: int = 1,
     nets = list(nets)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    names = [net.name for net in nets]
+    if len(set(names)) != len(names):
+        seen: set[str] = set()
+        dupes = sorted({n for n in names if n in seen or seen.add(n)})
+        raise ValueError(
+            f"net names must be unique (duplicated: {', '.join(dupes)})")
     if analyzer is None:
         analyzer = DelayNoiseAnalyzer()
 
-    tracer = current_tracer()
     stats = ExecStats(jobs=jobs, nets=len(nets))
-    if warm and nets:
+    reports: list[NoiseReport | None] = [None] * len(nets)
+    failures_at: list[NetFailure | None] = [None] * len(nets)
+    breaker = _Breaker(max_failures, len(nets))
+
+    # Resume: answer already-checkpointed nets from disk.
+    writer: CheckpointWriter | None = None
+    todo = list(range(len(nets)))
+    if checkpoint is not None:
+        if resume:
+            recorded = load_checkpoint(checkpoint)
+            remaining = []
+            for i, name in enumerate(names):
+                record = recorded.get(name)
+                if record is None:
+                    remaining.append(i)
+                    continue
+                reports[i], failures_at[i] = \
+                    _decode_checkpoint_record(record)
+                stats.resumed += 1
+            todo = remaining
+            metrics().counter("exec.resumed").inc(stats.resumed)
+            log.debug("resumed %d net(s) from %s; %d remaining",
+                      stats.resumed, checkpoint, len(todo))
+        writer = CheckpointWriter(checkpoint, resume=resume)
+
+    def record_outcome(i: int, report: NoiseReport | None,
+                       failure: NetFailure | None) -> None:
+        reports[i], failures_at[i] = report, failure
+        if writer is not None:
+            if failure is None:
+                writer.append(names[i], "report",
+                              noise_report_to_dict(report))
+            else:
+                writer.append(names[i], "failure", failure.to_dict())
+        if failure is not None:
+            breaker.record(failure)
+
+    tracer = current_tracer()
+    todo_nets = [nets[i] for i in todo]
+    if warm and todo_nets:
         t_warm = time.perf_counter()
-        with tracer.span("exec.warm", nets=len(nets)):
-            warm_analyzer(analyzer, nets,
+        with tracer.span("exec.warm", nets=len(todo_nets)):
+            warm_analyzer(analyzer, todo_nets,
                           alignment=analyze_kwargs.get("alignment",
                                                        "table"))
         stats.warm_time = time.perf_counter() - t_warm
         log.debug("warmed characterization caches in %.2f s",
                   stats.warm_time)
 
-    reports: list[NoiseReport | None] = [None] * len(nets)
-    failures: list[NetFailure] = []
     t_start = time.perf_counter()
-
     with tracer.span("exec.analyze_nets", jobs=jobs, nets=len(nets)):
-        if jobs == 1 or len(nets) <= 1:
+        if jobs == 1 or len(todo) <= 1:
             hits0, misses0 = _cache_counters(analyzer)
-            for i, net in enumerate(nets):
-                reports[i], failure = _analyze_one(
-                    analyzer, net, timeout, analyze_kwargs)
-                if failure is not None:
-                    failures.append(failure)
+            for i in todo:
+                report, failure = _analyze_one(
+                    analyzer, nets[i], timeout, analyze_kwargs)
+                record_outcome(i, report, failure)
             hits1, misses1 = _cache_counters(analyzer)
             stats.cache_hits = hits1 - hits0
             stats.cache_misses = misses1 - misses0
         else:
-            snapshot = build_snapshot(analyzer)
-            workers = min(jobs, len(nets))
-            with ProcessPoolExecutor(
-                    max_workers=workers, initializer=_worker_init,
-                    initargs=(snapshot, analyze_kwargs, timeout,
-                              tracer.enabled)) as pool:
-                # Executor.map yields in submission order —
-                # deterministic result ordering independent of worker
-                # scheduling, and the trace/metrics merge below happens
-                # in input-net order for the same reason.
-                outcomes = pool.map(_worker_run, nets)
-                for i, (report, failure, hits, misses, metric_payload,
-                        spans) in enumerate(outcomes):
-                    reports[i] = report
-                    if failure is not None:
-                        failures.append(failure)
-                    stats.cache_hits += hits
-                    stats.cache_misses += misses
-                    metrics().merge_snapshot(metric_payload)
-                    tracer.absorb(spans)
+            _run_pool(nets, todo, jobs, analyzer, timeout, retries,
+                      retry_backoff, analyze_kwargs, tracer, stats,
+                      record_outcome)
 
     stats.wall_time = time.perf_counter() - t_start
+    failures = [f for f in failures_at if f is not None]
     stats.failures = len(failures)
     for failure in failures:
         name = failure.error_type or failure.error.split(":", 1)[0]
         stats.failures_by_type[name] = \
             stats.failures_by_type.get(name, 0) + 1
-    log.debug("analyzed %d nets in %.2f s (%d failed, jobs=%d)",
-              stats.nets, stats.wall_time, stats.failures, jobs)
+    stats.degraded = sum(1 for r in reports
+                         if r is not None and r.quality != "exact")
+    log.debug("analyzed %d nets in %.2f s (%d failed, %d degraded, "
+              "%d resumed, jobs=%d)", stats.nets, stats.wall_time,
+              stats.failures, stats.degraded, stats.resumed, jobs)
     return ExecResult(reports=reports, failures=failures, stats=stats)
+
+
+def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
+              retry_backoff, analyze_kwargs, tracer, stats,
+              record_outcome) -> None:
+    """The ``jobs>1`` path: per-net futures over a rebuildable pool.
+
+    Submission is windowed to the worker count, so when the pool breaks
+    the suspect set (submitted-but-unresolved nets) is at most ``jobs``
+    nets.  Suspects are then re-probed one at a time in a fresh pool —
+    an isolated crash is unambiguously the probed net's — with
+    ``retries`` re-attempts and exponential backoff before the net is
+    recorded as a ``WorkerCrash``.  Everything else resumes in
+    parallel.
+    """
+    snapshot = build_snapshot(analyzer)
+    workers = min(jobs, len(todo))
+    initargs = (snapshot, analyze_kwargs, timeout, tracer.enabled,
+                active_plan())
+    crash_counter = metrics().counter("exec.worker_crashes")
+    retry_counter = metrics().counter("exec.retries")
+    # Per-index telemetry buffers, merged in input order at the end so
+    # jobs=N traces keep the serial topology regardless of completion
+    # (and crash/retry) order.
+    telemetry: dict[int, tuple] = {}
+    crash_attempts: dict[int, int] = {}
+
+    def new_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_worker_init,
+                                   initargs=initargs)
+
+    def accept(i: int, outcome) -> None:
+        report, failure, hits, misses, metric_payload, spans = outcome
+        telemetry[i] = (hits, misses, metric_payload, spans)
+        record_outcome(i, report, failure)
+
+    pool = new_pool()
+    pending = deque(todo)
+    inflight: dict = {}
+    try:
+        while pending or inflight:
+            while pending and len(inflight) < workers:
+                i = pending.popleft()
+                inflight[pool.submit(_worker_run, nets[i])] = i
+            done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+            suspects: list[int] = []
+            for future in done:
+                i = inflight.pop(future)
+                try:
+                    accept(i, future.result())
+                except BrokenProcessPool:
+                    suspects.append(i)
+                except TooManyFailures:
+                    raise
+                except Exception as exc:
+                    # Result-transport failure (e.g. unpicklable state):
+                    # per-net, not systemic — record and move on.
+                    record_outcome(i, None, NetFailure(
+                        net_name=nets[i].name,
+                        error=f"{type(exc).__name__}: {exc}",
+                        traceback=traceback.format_exc(),
+                        error_type=type(exc).__name__))
+            if not suspects:
+                continue
+            # The pool is broken; every in-flight future is doomed with
+            # it.  Anything submitted-but-unresolved is a suspect (the
+            # window bounds this set to <= workers nets).
+            stats.worker_crashes += 1
+            crash_counter.inc()
+            suspects.extend(inflight.values())
+            inflight.clear()
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = new_pool()
+            log.warning("worker pool broke; probing %d suspect net(s) "
+                        "in isolation", len(suspects))
+            for i in sorted(suspects):
+                pool = _probe(pool, new_pool, nets, i, accept,
+                              record_outcome, crash_attempts, retries,
+                              retry_backoff, stats, crash_counter,
+                              retry_counter)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # Merge telemetry in input order, independent of completion order.
+    for i in todo:
+        if i in telemetry:
+            hits, misses, metric_payload, spans = telemetry[i]
+            stats.cache_hits += hits
+            stats.cache_misses += misses
+            metrics().merge_snapshot(metric_payload)
+            tracer.absorb(spans)
+
+
+def _probe(pool, new_pool, nets, i, accept, record_outcome,
+           crash_attempts, retries, retry_backoff, stats,
+           crash_counter, retry_counter) -> ProcessPoolExecutor:
+    """Run one suspect net alone in the pool, attributing crashes to it.
+
+    With a single in-flight net, a ``BrokenProcessPool`` is
+    unambiguously this net's doing: count the attempt, rebuild the
+    pool, back off exponentially and retry until ``retries`` isolated
+    attempts are exhausted, at which point the net is recorded as a
+    ``WorkerCrash`` :class:`NetFailure`.  Returns the (possibly
+    rebuilt) pool for the caller to keep using.
+    """
+    while True:
+        future = pool.submit(_worker_run, nets[i])
+        try:
+            accept(i, future.result())
+            return pool
+        except BrokenProcessPool:
+            stats.worker_crashes += 1
+            crash_counter.inc()
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = new_pool()
+            attempts = crash_attempts.get(i, 0) + 1
+            crash_attempts[i] = attempts
+            if attempts > retries:
+                log.warning("net %s crashed its worker %d time(s); "
+                            "recording WorkerCrash", nets[i].name,
+                            attempts)
+                record_outcome(i, None, NetFailure(
+                    net_name=nets[i].name,
+                    error=f"WorkerCrash: worker process died while "
+                          f"analyzing net {nets[i].name} "
+                          f"({attempts} isolated attempts)",
+                    traceback="",
+                    error_type="WorkerCrash"))
+                return pool
+            stats.retries += 1
+            retry_counter.inc()
+            delay = retry_backoff * 2 ** (attempts - 1)
+            log.warning("net %s crashed its worker (attempt %d/%d); "
+                        "retrying in %.2f s", nets[i].name, attempts,
+                        retries, delay)
+            time.sleep(delay)
+        except TooManyFailures:
+            raise
+        except Exception as exc:
+            record_outcome(i, None, NetFailure(
+                net_name=nets[i].name,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback.format_exc(),
+                error_type=type(exc).__name__))
+            return pool

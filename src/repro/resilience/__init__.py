@@ -1,0 +1,65 @@
+"""Resilience: every run degrades instead of dying.
+
+The paper's flow ran full-chip over many-thousand-net designs, where
+individual nets failing characterization or simulation is routine and
+must never kill the run.  This package holds the cross-cutting pieces
+of that posture:
+
+* :mod:`repro.resilience.faults` — deterministic fault injection:
+  registerable fault points (``newton.step``, ``analysis.rtr``,
+  ``exec.worker``, ...) that tests and the CI chaos job use to force
+  convergence failures, timeouts and worker crashes at chosen nets.
+* :mod:`repro.resilience.degradation` — the :class:`Degradation`
+  provenance record and the ``quality`` vocabulary carried by
+  :class:`~repro.core.analysis.NoiseReport`.
+* :mod:`repro.resilience.checkpoint` — atomic JSONL checkpoints so a
+  killed run resumes with bit-identical results.
+
+The recovery paths themselves live where the failures happen: the
+solver recovery ladder in :mod:`repro.sim.nonlinear`, the graceful
+degradation fallbacks in :class:`~repro.core.analysis
+.DelayNoiseAnalyzer`, and the crash-safe retrying pool in
+:mod:`repro.exec.pool`.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointWriter,
+    load_checkpoint,
+)
+from repro.resilience.degradation import (
+    QUALITY_DEGRADED,
+    QUALITY_EXACT,
+    Degradation,
+)
+from repro.resilience.faults import (
+    FAULT_POINTS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    WorkerCrash,
+    active_plan,
+    clear_faults,
+    fire,
+    install_faults,
+    mark_worker_process,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointWriter",
+    "Degradation",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "QUALITY_DEGRADED",
+    "QUALITY_EXACT",
+    "WorkerCrash",
+    "active_plan",
+    "clear_faults",
+    "fire",
+    "install_faults",
+    "load_checkpoint",
+    "mark_worker_process",
+]

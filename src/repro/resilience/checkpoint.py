@@ -1,0 +1,114 @@
+"""Crash-safe JSONL checkpoints for long per-net runs.
+
+A full-chip screen over thousands of nets must survive its own death:
+every completed net is streamed to a checkpoint file so a killed run
+resumes where it stopped instead of starting over.  The format is one
+self-contained JSON record per line::
+
+    {"format_version": 1, "net": "net3", "kind": "report", "data": {...}}
+    {"format_version": 1, "net": "net7", "kind": "failure", "data": {...}}
+
+Every append rewrites the file atomically (temp file in the target
+directory, then ``os.replace`` — the same discipline as
+``repro.storage.save_characterization``), so the checkpoint on disk is
+always a complete, parseable prefix of the run: a crash mid-append
+leaves the previous state intact, never a truncated line.
+
+The record payloads are produced by the :mod:`repro.storage` dict
+codecs, which round-trip floats exactly — a resumed run's final report
+set is bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+from repro.obs import get_logger
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointWriter", "load_checkpoint"]
+
+log = get_logger("resilience.checkpoint")
+
+#: Schema version stamped into every record.
+CHECKPOINT_VERSION = 1
+
+
+def load_checkpoint(path) -> dict[str, dict[str, Any]]:
+    """Read a checkpoint into ``{net_name: record}`` (file order kept).
+
+    A missing file is an empty checkpoint.  Records with an unknown
+    ``format_version`` raise; later records for the same net override
+    earlier ones (a retried net keeps its final outcome).
+    """
+    entries: dict[str, dict[str, Any]] = {}
+    if not os.path.exists(path):
+        return entries
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            version = record.get("format_version")
+            if version != CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"{path}:{line_no}: unsupported checkpoint format "
+                    f"{version!r} (expected {CHECKPOINT_VERSION})")
+            entries[record["net"]] = record
+    log.debug("loaded %d checkpointed net(s) from %s", len(entries), path)
+    return entries
+
+
+class CheckpointWriter:
+    """Append-only checkpoint with atomic whole-file rewrites.
+
+    ``resume=True`` preserves the records already on disk (a resumed
+    run keeps streaming into the same file); otherwise an existing file
+    is replaced by the first append.
+    """
+
+    def __init__(self, path, *, resume: bool = False):
+        self.path = os.fspath(path)
+        self._lines: list[str] = []
+        self.names: set[str] = set()
+        if resume:
+            for name, record in load_checkpoint(self.path).items():
+                self._lines.append(json.dumps(record))
+                self.names.add(name)
+        elif os.path.exists(self.path):
+            # A fresh run must not leave a stale previous checkpoint
+            # around for a later --resume to trust.
+            os.unlink(self.path)
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def append(self, net_name: str, kind: str, data: dict[str, Any]) -> None:
+        """Record one completed net and persist the file atomically."""
+        if kind not in ("report", "failure"):
+            raise ValueError(f"kind must be 'report' or 'failure', "
+                             f"got {kind!r}")
+        record = {"format_version": CHECKPOINT_VERSION, "net": net_name,
+                  "kind": kind, "data": data}
+        self._lines.append(json.dumps(record))
+        self.names.add(net_name)
+        self._flush()
+
+    def _flush(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(self.path) + ".",
+            suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write("\n".join(self._lines) + "\n")
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise

@@ -15,6 +15,24 @@ Method: backward Euler in time (L-stable, no trapezoidal ringing on the
 stiff gate nodes) with a damped Newton solve per step.  Voltage updates
 are clamped to ±0.5 V per iteration — the standard SPICE-style limiting
 that keeps the square-law device from overshooting across regions.
+
+Recovery ladder
+---------------
+Newton non-convergence does not immediately kill a simulation:
+
+* a failed *transient* step is re-integrated by bisecting the step —
+  recursively halving ``dt`` down to ``dt / 2**_MAX_SUBSTEP_DEPTH`` —
+  before giving up (a shorter backward-Euler step both shrinks the
+  initial-guess error and stiffens the Jacobian diagonal);
+* a failed *DC operating point* first retries with gmin stepping
+  (a shrinking shunt conductance on every node, each solve
+  warm-starting the next) and then with source-ramp homotopy (solving
+  at increasing source amplitude fractions).
+
+Each successful recovery bumps a ``newton.recovered.*`` counter so the
+telemetry shows how often the ladder fires; the happy path is
+untouched (and allocation-free) — the ladder lives entirely in the
+exception branch.
 """
 
 from __future__ import annotations
@@ -24,6 +42,7 @@ import numpy as np
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import GROUND, Circuit
 from repro.obs import metrics
+from repro.resilience.faults import fire as _fire_fault
 from repro.sim.result import SimulationResult, time_grid
 
 __all__ = ["simulate_nonlinear", "ConvergenceError"]
@@ -33,12 +52,22 @@ _DAMP_LIMIT = 0.5
 _MAX_ITERATIONS = 100
 _VTOL = 1e-6
 
+#: Transient recovery: maximum halvings of dt for one failed step.
+_MAX_SUBSTEP_DEPTH = 4
+#: DC recovery: gmin ladder [S]; ends at 0.0 = the original system.
+_GMIN_LADDER = (1e-3, 1e-5, 1e-7, 0.0)
+#: DC recovery: source-ramp homotopy amplitude fractions.
+_RAMP_LEVELS = (0.25, 0.5, 0.75, 1.0)
+
 # Cached instrument handles (registry.reset() zeroes them in place, so
 # module-level caching is safe and keeps the per-solve cost to one
 # bisect + two adds).
 _ITERATIONS = metrics().histogram("newton.iterations")
 _NONCONVERGED = metrics().counter("newton.nonconverged")
 _SINGULAR = metrics().counter("newton.singular")
+_RECOVERED_SUBSTEP = metrics().counter("newton.recovered.substep")
+_RECOVERED_GMIN = metrics().counter("newton.recovered.gmin")
+_RECOVERED_RAMP = metrics().counter("newton.recovered.source_ramp")
 
 
 class ConvergenceError(RuntimeError):
@@ -64,6 +93,25 @@ def _voltage_at(x: np.ndarray, index: int) -> float:
     return x[index] if index >= 0 else 0.0
 
 
+def _residual_at(base_residual_of, devices: list[_DeviceStamps],
+                 x: np.ndarray) -> np.ndarray:
+    """Full residual ``F(x)`` (linear part + device currents).
+
+    Used only by the non-convergence diagnostic: the iteration loop
+    assembles F and J together inline for speed.
+    """
+    F = base_residual_of(x)
+    for ds in devices:
+        i, _, _, _ = ds.device.evaluate(_voltage_at(x, ds.ig),
+                                        _voltage_at(x, ds.id_),
+                                        _voltage_at(x, ds.is_))
+        if ds.id_ >= 0:
+            F[ds.id_] += i
+        if ds.is_ >= 0:
+            F[ds.is_] -= i
+    return F
+
+
 def _newton_solve(base_jacobian: np.ndarray, base_residual_of,
                   devices: list[_DeviceStamps], x: np.ndarray,
                   context: str) -> np.ndarray:
@@ -72,6 +120,7 @@ def _newton_solve(base_jacobian: np.ndarray, base_residual_of,
     ``base_jacobian`` is the (constant) linear part of dF/dx;
     ``base_residual_of(x)`` returns the linear part of F(x).
     """
+    _fire_fault("newton.step", context)
     x = x.copy()
     for iteration in range(1, _MAX_ITERATIONS + 1):
         F = base_residual_of(x)
@@ -109,12 +158,77 @@ def _newton_solve(base_jacobian: np.ndarray, base_residual_of,
             _ITERATIONS.observe(iteration)
             return x
     _NONCONVERGED.inc()
-    residuals = np.abs(F)
+    # Diagnose the iterate we actually stopped at: the loop's F was
+    # assembled *before* the final `x += delta`, so re-evaluate.
+    residuals = np.abs(_residual_at(base_residual_of, devices, x))
     worst = int(residuals.argmax()) if residuals.size else 0
     raise ConvergenceError(
         f"Newton did not converge within {_MAX_ITERATIONS} iterations "
         f"during {context} (last step {step:.3e} V, worst residual "
         f"{residuals.max(initial=0.0):.3e} at node index {worst})")
+
+
+def _recover_dc(mna: MnaSystem, G: np.ndarray,
+                devices: list[_DeviceStamps], rhs0: np.ndarray,
+                name: str) -> np.ndarray:
+    """DC operating-point recovery: gmin stepping, then source ramping.
+
+    Gmin stepping shunts every node with a conductance ``g`` that walks
+    down the ladder to zero, each solve warm-starting the next — the
+    shunt keeps the Jacobian diagonally dominant while the estimate
+    approaches the true operating point.  If that still fails, the
+    source-ramp homotopy solves at increasing source amplitudes from a
+    quarter strength up to full, again warm-starting each stage.
+    """
+    n = mna.n_nodes
+    diag = np.arange(n)
+    x = np.zeros(mna.dim)
+    try:
+        for g in _GMIN_LADDER:
+            Gg = G.copy()
+            Gg[diag, diag] += g
+            x = _newton_solve(
+                Gg, lambda y, A=Gg: A @ y - rhs0, devices, x,
+                f"gmin={g:g} DC recovery of {name}")
+        _RECOVERED_GMIN.inc()
+        return x
+    except ConvergenceError:
+        pass
+    x = np.zeros(mna.dim)
+    for alpha in _RAMP_LEVELS:
+        b = rhs0 * alpha
+        x = _newton_solve(
+            G, lambda y, b=b: G @ y - b, devices, x,
+            f"source-ramp {alpha:g} DC recovery of {name}")
+    _RECOVERED_RAMP.inc()
+    return x
+
+
+def _integrate_bisect(mna: MnaSystem, G: np.ndarray, C: np.ndarray,
+                      devices: list[_DeviceStamps], x: np.ndarray,
+                      t0: float, t1: float, name: str,
+                      depth: int) -> np.ndarray:
+    """One backward-Euler step ``t0 -> t1``, bisecting on failure.
+
+    Each level halves the step; ``depth`` bounds the recursion, so the
+    finest sub-step is ``(t1 - t0) / 2**depth`` of the original grid.
+    """
+    h = t1 - t0
+    Ch = C / h
+    A = Ch + G
+    b = Ch @ x + mna.rhs_matrix(np.array([t1]))[:, 0]
+    try:
+        return _newton_solve(
+            A, lambda y, b=b: A @ y - b, devices, x,
+            f"t={t1:.3e}s (sub-step dt={h:.3e}s) of {name}")
+    except ConvergenceError:
+        if depth <= 0:
+            raise
+        t_mid = 0.5 * (t0 + t1)
+        x_mid = _integrate_bisect(mna, G, C, devices, x, t0, t_mid,
+                                  name, depth - 1)
+        return _integrate_bisect(mna, G, C, devices, x_mid, t_mid, t1,
+                                 name, depth - 1)
 
 
 def simulate_nonlinear(circuit: Circuit, t_stop: float, dt: float, *,
@@ -136,9 +250,12 @@ def simulate_nonlinear(circuit: Circuit, t_stop: float, dt: float, *,
     # DC operating point: F(x) = G x + i_dev(x) - rhs0.
     if x0 is None:
         rhs0 = rhs[:, 0]
-        x0 = _newton_solve(
-            G, lambda x: G @ x - rhs0, devices,
-            np.zeros(mna.dim), f"DC operating point of {circuit.name}")
+        try:
+            x0 = _newton_solve(
+                G, lambda x: G @ x - rhs0, devices,
+                np.zeros(mna.dim), f"DC operating point of {circuit.name}")
+        except ConvergenceError:
+            x0 = _recover_dc(mna, G, devices, rhs0, circuit.name)
     else:
         x0 = np.asarray(x0, dtype=float).copy()
         if x0.shape != (mna.dim,):
@@ -152,10 +269,22 @@ def simulate_nonlinear(circuit: Circuit, t_stop: float, dt: float, *,
     x = x0
     for k in range(1, times.size):
         b_k = Ch @ x + rhs[:, k]
-        x = _newton_solve(
-            A,
-            lambda y, b=b_k: A @ y - b,
-            devices, x, f"t={times[k]:.3e}s of {circuit.name}")
+        try:
+            x = _newton_solve(
+                A,
+                lambda y, b=b_k: A @ y - b,
+                devices, x, f"t={times[k]:.3e}s of {circuit.name}")
+        except ConvergenceError:
+            # Recovery ladder: re-integrate the step with bisected dt
+            # (bounded depth) before giving up on the simulation.
+            t_mid = 0.5 * (times[k - 1] + times[k])
+            x_mid = _integrate_bisect(
+                mna, G, C, devices, x, times[k - 1], t_mid,
+                circuit.name, _MAX_SUBSTEP_DEPTH - 1)
+            x = _integrate_bisect(
+                mna, G, C, devices, x_mid, t_mid, times[k],
+                circuit.name, _MAX_SUBSTEP_DEPTH - 1)
+            _RECOVERED_SUBSTEP.inc()
         states[:, k] = x
 
     return SimulationResult(mna, times, states)

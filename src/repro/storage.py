@@ -26,15 +26,21 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.analysis import DelayNoiseAnalyzer
+from repro.core.analysis import DelayNoiseAnalyzer, NoiseReport
+from repro.core.holding_resistance import RtrResult
 from repro.core.precharacterize import AlignmentTable
 from repro.gates.library import standard_cell
 from repro.gates.thevenin import TheveninModel, TheveninTable
+from repro.resilience.degradation import Degradation
+from repro.waveform import Waveform
 
 __all__ = [
     "thevenin_model_to_dict", "thevenin_model_from_dict",
     "thevenin_table_to_dict", "thevenin_table_from_dict",
     "alignment_table_to_dict", "alignment_table_from_dict",
+    "waveform_to_dict", "waveform_from_dict",
+    "rtr_result_to_dict", "rtr_result_from_dict",
+    "noise_report_to_dict", "noise_report_from_dict",
     "characterization_payload", "install_characterization",
     "save_characterization", "load_characterization",
 ]
@@ -101,6 +107,96 @@ def alignment_table_from_dict(data: dict[str, Any]) -> AlignmentTable:
         va=np.asarray(data["va"], dtype=float),
         cliff_guard=float(data.get("cliff_guard", 0.08)),
     )
+
+
+def waveform_to_dict(wave: Waveform) -> dict[str, list[float]]:
+    """Sample-exact dict form (JSON floats round-trip bit-identically)."""
+    return {"times": wave.times.tolist(), "values": wave.values.tolist()}
+
+
+def waveform_from_dict(data: dict[str, Any]) -> Waveform:
+    return Waveform(data["times"], data["values"])
+
+
+def rtr_result_to_dict(result: RtrResult) -> dict[str, Any]:
+    return {
+        "rtr": result.rtr,
+        "rth": result.rth,
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "driver_load": result.driver_load,
+        "noise_current": waveform_to_dict(result.noise_current),
+        "noise_linear": waveform_to_dict(result.noise_linear),
+        "noise_nonlinear": waveform_to_dict(result.noise_nonlinear),
+    }
+
+
+def rtr_result_from_dict(data: dict[str, Any]) -> RtrResult:
+    return RtrResult(
+        rtr=float(data["rtr"]),
+        rth=float(data["rth"]),
+        iterations=int(data["iterations"]),
+        converged=bool(data["converged"]),
+        driver_load=data["driver_load"],
+        noise_current=waveform_from_dict(data["noise_current"]),
+        noise_linear=waveform_from_dict(data["noise_linear"]),
+        noise_nonlinear=waveform_from_dict(data["noise_nonlinear"]),
+    )
+
+
+#: NoiseReport fields that serialize as plain JSON scalars/dicts.
+_REPORT_PLAIN_FIELDS = (
+    "net_name", "vdd", "victim_rising", "alignment_method",
+    "ceff_victim", "rth_victim", "rtr", "victim_slew", "pulse_height",
+    "pulse_width", "peak_time", "aggressor_shifts", "iterations",
+    "extra_delay_input", "extra_delay_output",
+    "extra_delay_input_thevenin", "extra_delay_output_thevenin",
+    "quality",
+)
+#: NoiseReport fields holding waveforms.
+_REPORT_WAVE_FIELDS = (
+    "noiseless_input", "composite", "noisy_input", "noiseless_output",
+    "noisy_output", "composite_thevenin",
+)
+
+
+def noise_report_to_dict(report: NoiseReport) -> dict[str, Any]:
+    """A :class:`NoiseReport` as a JSON-serializable payload.
+
+    Floats survive JSON exactly (``repr`` round-trip), so a report
+    reloaded from a checkpoint is bit-identical to the original — the
+    property the resume path relies on.
+    """
+    payload: dict[str, Any] = {
+        name: getattr(report, name) for name in _REPORT_PLAIN_FIELDS
+    }
+    for name in _REPORT_WAVE_FIELDS:
+        payload[name] = waveform_to_dict(getattr(report, name))
+    payload["rtr_result"] = (
+        rtr_result_to_dict(report.rtr_result)
+        if report.rtr_result is not None else None)
+    payload["degradations"] = [
+        {"stage": d.stage, "error": d.error, "fallback": d.fallback}
+        for d in report.degradations
+    ]
+    return payload
+
+
+def noise_report_from_dict(data: dict[str, Any]) -> NoiseReport:
+    kwargs: dict[str, Any] = {
+        name: data[name] for name in _REPORT_PLAIN_FIELDS
+    }
+    for name in _REPORT_WAVE_FIELDS:
+        kwargs[name] = waveform_from_dict(data[name])
+    kwargs["rtr_result"] = (
+        rtr_result_from_dict(data["rtr_result"])
+        if data.get("rtr_result") is not None else None)
+    kwargs["degradations"] = [
+        Degradation(stage=d["stage"], error=d["error"],
+                    fallback=d["fallback"])
+        for d in data.get("degradations", [])
+    ]
+    return NoiseReport(**kwargs)
 
 
 def characterization_payload(analyzer: DelayNoiseAnalyzer

@@ -167,6 +167,36 @@ class TestScreen:
         assert "jobs=2" in out
         assert "misses" in out
 
+    def test_resume_requires_checkpoint(self, capsys):
+        code = main(["screen", "--count", "1", "--resume"])
+        assert code == 2
+
+    def test_screen_checkpoint_and_inject(self, tmp_path, capsys):
+        """--inject labels injected failures; --checkpoint records
+        every net; --resume answers from the checkpoint."""
+        from repro.resilience import clear_faults, load_checkpoint
+
+        plan = tmp_path / "plan.json"
+        plan.write_text('[{"point": "analysis.net", "match": "net0",'
+                        ' "action": "convergence"}]')
+        ckpt = tmp_path / "run.jsonl"
+        try:
+            code = main(["screen", "--seed", "3", "--count", "2",
+                         "--inject", str(plan),
+                         "--checkpoint", str(ckpt)])
+        finally:
+            clear_faults()
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ConvergenceError x1" in out
+        assert len(load_checkpoint(ckpt)) == 2
+
+        code = main(["screen", "--seed", "3", "--count", "2",
+                     "--checkpoint", str(ckpt), "--resume"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "2 resumed from checkpoint" in out
+
 
 class TestObservability:
     SUMMARY_COLUMNS = ("stage", "count", "total s", "self s",

@@ -120,6 +120,20 @@ class TestFailures:
         assert (f.net_name, f.error, f.traceback) == \
             ("n", "ValueError: x", "tb")
 
+    def test_failure_record_round_trips(self):
+        f = NetFailure(net_name="n", error="ValueError: x",
+                       traceback="tb", error_type="ValueError")
+        assert NetFailure.from_dict(f.to_dict()) == f
+
+    def test_report_lookup_uses_cached_index(self, serial_result):
+        """Name lookups build the index once and reuse it (O(1) per
+        call), instead of scanning the report list every time."""
+        serial_result.report("net0")
+        index = serial_result.__dict__.get("_by_name")
+        assert index is not None
+        serial_result.report("net2")
+        assert serial_result.__dict__.get("_by_name") is index
+
 
 class TestSnapshot:
     def test_roundtrip_preserves_caches(self, analyzer, population,
