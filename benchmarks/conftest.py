@@ -1,9 +1,10 @@
 """Shared fixtures and helpers for the figure-reproduction benchmarks.
 
 Each benchmark file regenerates one figure of the paper's evaluation.
-Results (the rows/series the paper plots) are printed and appended to
-``results/figXX.txt`` next to this directory, and the paper's
-qualitative claims are asserted.
+Results (the rows/series the paper plots) are printed and written to
+``results/figXX.txt`` next to this directory — each run *replaces* the
+file, so it always holds exactly the latest run's rows — and the
+paper's qualitative claims are asserted.
 
 Environment:
 
@@ -39,10 +40,15 @@ def results_dir():
 
 @pytest.fixture(scope="session")
 def record(results_dir):
-    """Write an experiment's text output to results/<name>.txt."""
+    """Replace results/<name>.txt with an experiment's text output.
+
+    Delegates to :func:`repro.bench.record_result`, which overwrites the
+    file so it always reflects the latest run.
+    """
+    from repro.bench import record_result
+
     def _record(name: str, text: str) -> None:
-        path = results_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        path = record_result(results_dir, name, text)
         print(f"\n{text}\n[saved to {path}]")
     return _record
 

@@ -6,15 +6,20 @@
   the figure benches.
 * :mod:`repro.bench.runner` — error statistics and result-table helpers
   shared by the benchmark harnesses.
+* :mod:`repro.bench.perf` — Newton-kernel performance benchmark behind
+  ``repro bench --perf`` (fast vs. legacy timings + equivalence check).
 """
 
 from repro.bench.netgen import NetGenerator, canonical_net
+from repro.bench.perf import format_perf, run_perf
 from repro.bench.runner import (
     ErrorStats,
     extra_delay_arrays,
     format_table,
+    record_result,
     run_population,
 )
 
 __all__ = ["NetGenerator", "canonical_net", "ErrorStats", "format_table",
-           "run_population", "extra_delay_arrays"]
+           "run_population", "extra_delay_arrays", "record_result",
+           "run_perf", "format_perf"]

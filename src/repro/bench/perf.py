@@ -1,0 +1,213 @@
+"""Kernel performance benchmark (``repro bench --perf``).
+
+Times the solver hot paths on a seeded net population, once per Newton
+kernel (``legacy`` = pre-rework dense solver, ``fast`` = factorization
+reuse + vectorized stamping), and cross-checks that both kernels produce
+the same transient states.  Four phases are timed per kernel:
+
+* **dc_solve** — :func:`repro.sim.dc_operating_point` on every golden
+  circuit (repeated for stable timing);
+* **transient** — full :func:`repro.sim.simulate_nonlinear` golden runs,
+  from which the Newton-step throughput is derived;
+* **rtr_extraction** — :func:`repro.core.holding_resistance.compute_rtr`
+  per net (driver-model fitting: non-linear driver pair runs);
+* **alignment_search** — a small exhaustive worst-case alignment sweep
+  on each net's first aggressor pulse.
+
+The result dictionary (see ``docs/architecture.md`` for the JSON schema)
+is what the CLI writes to ``BENCH_perf.json``; ``equivalence`` carries
+the maximum state delta between the kernels against the documented
+1e-9 V tolerance, and the CLI exits non-zero when it is exceeded.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.netgen import NetGenerator
+from repro.circuit.mna import build_mna
+from repro.core.exhaustive import exhaustive_worst_alignment
+from repro.core.golden import golden_circuit
+from repro.core.holding_resistance import compute_rtr
+from repro.core.superposition import ModelCache, SuperpositionEngine
+from repro.obs import metrics
+from repro.sim import (
+    dc_operating_point,
+    kernel_mode,
+    simulate_nonlinear,
+)
+from repro.units import PS
+
+__all__ = ["run_perf", "format_perf", "EQUIVALENCE_TOLERANCE", "SCHEMA"]
+
+#: Maximum per-state voltage difference between the fast and legacy
+#: kernels on fault-free runs.  Both kernels drive the damped Newton
+#: update to the same 1e-6 V acceptance tolerance; quadratic convergence
+#: squashes the remaining error far below this bound (measured ~1e-13 V
+#: on the seeded population), so a breach means a real solver change.
+EQUIVALENCE_TOLERANCE = 1e-9
+
+#: Schema identifier written into BENCH_perf.json.
+SCHEMA = "repro.bench.perf/v1"
+
+_KERNELS = ("legacy", "fast")
+
+
+def _newton_counters(snapshot: dict) -> dict:
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+    iterations = histograms.get("newton.iterations", {})
+    return {
+        "iterations": iterations.get("total", 0.0),
+        "solves": iterations.get("count", 0),
+        "woodbury": counters.get("newton.woodbury", 0),
+        "jacobian_refresh": counters.get("newton.jacobian_refresh", 0),
+        "nonconverged": counters.get("newton.nonconverged", 0),
+    }
+
+
+def _alignment_inputs(engine: SuperpositionEngine):
+    net = engine.net
+    victim = (engine.victim_transition().at_receiver
+              + net.victim_initial_level())
+    pulse = engine.aggressor_noise(net.aggressors[0].name).at_receiver
+    return net, victim, pulse
+
+
+def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
+             dt: float = 1e-12, dc_repeats: int = 5,
+             skip_analysis: bool = False) -> dict:
+    """Benchmark both Newton kernels on a seeded population.
+
+    ``skip_analysis`` drops the Rtr / alignment phases (used by quick
+    tests; the transient equivalence check always runs).  Returns the
+    BENCH_perf.json payload.
+    """
+    nets = [net for net in NetGenerator(seed=seed).population(count)]
+    circuits = [golden_circuit(net) for net in nets]
+    # Pre-built MNA systems: the amortized dc_operating_point usage
+    # (stamping is not part of the solve being measured).
+    mnas = [build_mna(c, allow_devices=True) for c in circuits]
+
+    timings: dict[str, dict] = {}
+    states: dict[str, list[np.ndarray]] = {}
+    observables: dict[str, dict] = {}
+    for kernel in _KERNELS:
+        with kernel_mode(kernel):
+            phase: dict[str, float] = {}
+
+            t0 = time.perf_counter()
+            for _ in range(dc_repeats):
+                for circuit, mna in zip(circuits, mnas):
+                    dc_operating_point(circuit, mna=mna)
+            phase["dc_solve_s"] = (time.perf_counter() - t0) / dc_repeats
+
+            metrics().reset()
+            t0 = time.perf_counter()
+            runs = [simulate_nonlinear(c, t_stop, dt) for c in circuits]
+            phase["transient_s"] = time.perf_counter() - t0
+            snapshot = metrics().snapshot()
+            states[kernel] = [r.states for r in runs]
+
+            newton = _newton_counters(snapshot)
+            steps = sum(r.states.shape[1] - 1 for r in runs)
+            phase["transient_steps"] = steps
+            phase["steps_per_second"] = steps / phase["transient_s"]
+            phase["newton"] = newton
+
+            obs: dict[str, list[float]] = {"rtr": [], "peak_time": []}
+            if not skip_analysis:
+                cache = ModelCache()
+                engines = [SuperpositionEngine(net, cache=cache)
+                           for net in nets]
+                t0 = time.perf_counter()
+                for engine in engines:
+                    obs["rtr"].append(compute_rtr(engine).rtr)
+                phase["rtr_extraction_s"] = time.perf_counter() - t0
+
+                t0 = time.perf_counter()
+                for engine in engines:
+                    net, victim, pulse = _alignment_inputs(engine)
+                    sweep = exhaustive_worst_alignment(
+                        net.receiver, victim, pulse, net.vdd, True,
+                        steps=9, refine=4, dt=2 * PS)
+                    obs["peak_time"].append(sweep.best_peak_time)
+                phase["alignment_search_s"] = time.perf_counter() - t0
+            observables[kernel] = obs
+            timings[kernel] = phase
+
+    max_delta = max(
+        float(np.abs(sf - sl).max())
+        for sf, sl in zip(states["fast"], states["legacy"]))
+    equivalence = {
+        "max_state_delta": max_delta,
+        "tolerance": EQUIVALENCE_TOLERANCE,
+        "within_tolerance": max_delta <= EQUIVALENCE_TOLERANCE,
+        "rtr_delta": [
+            abs(a - b) for a, b in zip(observables["fast"]["rtr"],
+                                       observables["legacy"]["rtr"])],
+        "peak_time_delta_s": [
+            abs(a - b) for a, b in zip(observables["fast"]["peak_time"],
+                                       observables["legacy"]["peak_time"])],
+    }
+
+    fast, legacy = timings["fast"], timings["legacy"]
+    speedup = {
+        "dc_solve": legacy["dc_solve_s"] / fast["dc_solve_s"],
+        "transient": legacy["transient_s"] / fast["transient_s"],
+        "newton_throughput": (fast["steps_per_second"]
+                              / legacy["steps_per_second"]),
+    }
+    for key in ("rtr_extraction_s", "alignment_search_s"):
+        if key in fast and fast[key] > 0.0:
+            speedup[key[:-2]] = legacy[key] / fast[key]
+
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "seed": seed,
+            "count": count,
+            "t_stop": t_stop,
+            "dt": dt,
+            "dc_repeats": dc_repeats,
+            "nets": [net.name for net in nets],
+            "devices": [len(c.mosfets) for c in circuits],
+            "dims": [int(s.shape[0]) for s in states["fast"]],
+        },
+        "kernels": timings,
+        "speedup": speedup,
+        "equivalence": equivalence,
+    }
+
+
+def format_perf(payload: dict) -> str:
+    """Human-readable summary of a :func:`run_perf` payload."""
+    lines = []
+    config = payload["config"]
+    lines.append(f"perf bench: seed={config['seed']} "
+                 f"count={config['count']} dims={config['dims']} "
+                 f"devices={config['devices']}")
+    header = f"{'phase':<18}{'legacy':>12}{'fast':>12}{'speedup':>10}"
+    lines.append(header)
+    legacy, fast = payload["kernels"]["legacy"], payload["kernels"]["fast"]
+    rows = [("dc_solve_s", "dc_solve"), ("transient_s", "transient"),
+            ("rtr_extraction_s", "rtr_extraction"),
+            ("alignment_search_s", "alignment_search")]
+    for key, label in rows:
+        if key not in legacy:
+            continue
+        ratio = payload["speedup"].get(label)
+        ratio_text = f"{ratio:8.2f}x" if ratio else " " * 9
+        lines.append(f"{label:<18}{legacy[key]:>11.3f}s{fast[key]:>11.3f}s"
+                     f"{ratio_text:>10}")
+    lines.append(
+        f"{'newton steps/s':<18}{legacy['steps_per_second']:>12.0f}"
+        f"{fast['steps_per_second']:>12.0f}"
+        f"{payload['speedup']['newton_throughput']:8.2f}x")
+    eq = payload["equivalence"]
+    verdict = "ok" if eq["within_tolerance"] else "DRIFT"
+    lines.append(f"equivalence: max state delta {eq['max_state_delta']:.3e}"
+                 f" V (tolerance {eq['tolerance']:.0e}) -> {verdict}")
+    return "\n".join(lines)

@@ -3,6 +3,7 @@ benchmark harnesses."""
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -10,7 +11,7 @@ import numpy as np
 from repro.obs import get_logger
 
 __all__ = ["ErrorStats", "format_table", "run_population",
-           "extra_delay_arrays"]
+           "extra_delay_arrays", "record_result"]
 
 log = get_logger("bench.runner")
 
@@ -109,6 +110,20 @@ def extra_delay_arrays(reports) -> tuple[np.ndarray, np.ndarray]:
     good = [r for r in reports if r is not None]
     return (np.array([r.extra_delay_input for r in good]),
             np.array([r.extra_delay_output for r in good]))
+
+
+def record_result(directory, name: str, text: str) -> pathlib.Path:
+    """Write an experiment's text output to ``directory/<name>.txt``.
+
+    The file is **replaced** on every call: each benchmark run records
+    the latest results only, so stale rows from earlier runs can never
+    mix into a figure.  Returns the written path.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
 
 
 def format_table(headers: list[str], rows: list[list],

@@ -62,6 +62,17 @@ class MnaSystem:
             raise KeyError("ground has no MNA index")
         return self.node_index[node]
 
+    def row_of(self, node: str) -> int:
+        """Row index of a node, with ground mapped to -1.
+
+        The device-stamping paths of the non-linear simulator use -1 as
+        the "no row" sentinel for grounded terminals, so they can keep
+        node lookups out of the Newton iteration entirely.
+        """
+        if node == GROUND:
+            return -1
+        return self.node_index.get(node, -1)
+
     # ------------------------------------------------------------------
     # Right-hand side
     # ------------------------------------------------------------------

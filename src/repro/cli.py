@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four entry points mirroring the production workflow:
+Entry points mirroring the production workflow:
 
 * ``repro characterize`` — build Thevenin and alignment tables for a set
   of cells and save them as a characterization database (JSON).
@@ -11,6 +11,9 @@ Four entry points mirroring the production workflow:
   export the run's telemetry, ``--checkpoint``/``--resume`` make long
   screens crash-safe, and ``--retries``/``--max-failures`` tune the
   worker-crash and circuit-breaker policies.
+* ``repro bench --perf`` — time the Newton kernels (fast vs. legacy
+  reference) on a seeded population, write ``BENCH_perf.json`` and fail
+  on solver-equivalence drift.
 * ``repro trace summarize`` — per-stage time breakdown of a trace file.
 
 All output goes through the ``repro`` logger hierarchy: ``-v`` adds
@@ -165,6 +168,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "(inspect with 'repro trace summarize')")
     p_scr.add_argument("--metrics", metavar="FILE",
                        help="write the run's metrics registry as JSON")
+
+    p_bench = sub.add_parser(
+        "bench", help="performance benchmarks of the analysis kernels")
+    p_bench.add_argument("--perf", action="store_true",
+                         help="time the Newton kernels (fast vs legacy) "
+                              "on a seeded population and check their "
+                              "solver equivalence")
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--count", type=int, default=2,
+                         help="population size (default 2)")
+    p_bench.add_argument("--t-stop", type=_value, default="2n",
+                         help="transient horizon per net (default 2n)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="skip the Rtr / alignment phases")
+    p_bench.add_argument("--out", default="BENCH_perf.json",
+                         metavar="FILE",
+                         help="result JSON (default BENCH_perf.json)")
 
     p_tr = sub.add_parser(
         "trace", help="inspect trace files produced by --trace")
@@ -389,6 +409,25 @@ def _cmd_screen(args) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench.perf import format_perf, run_perf
+
+    if not args.perf:
+        out.error("nothing to do: pass --perf")
+        return 2
+    payload = run_perf(seed=args.seed, count=args.count,
+                       t_stop=args.t_stop, skip_analysis=args.quick)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    out.info(format_perf(payload))
+    out.info(f"# wrote {args.out}")
+    if not payload["equivalence"]["within_tolerance"]:
+        out.error("solver equivalence drift: fast kernel deviates from "
+                  "the legacy reference beyond tolerance")
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     records = read_trace(args.file)
     if not records:
@@ -413,6 +452,7 @@ def main(argv: list[str] | None = None) -> int:
         "characterize": _cmd_characterize,
         "analyze": _cmd_analyze,
         "screen": _cmd_screen,
+        "bench": _cmd_bench,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

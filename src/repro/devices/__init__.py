@@ -10,13 +10,26 @@ Newton iteration.
 """
 
 from repro.devices.technology import Technology, default_technology
-from repro.devices.mosfet import Mosfet, MosfetParams, nmos_params, pmos_params
+from repro.devices.mosfet import (
+    Mosfet,
+    MosfetBatchParams,
+    MosfetParams,
+    batch_params,
+    evaluate_batch,
+    evaluate_one,
+    nmos_params,
+    pmos_params,
+)
 
 __all__ = [
     "Technology",
     "default_technology",
     "Mosfet",
     "MosfetParams",
+    "MosfetBatchParams",
+    "batch_params",
+    "evaluate_batch",
+    "evaluate_one",
     "nmos_params",
     "pmos_params",
 ]

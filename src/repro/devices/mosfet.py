@@ -13,9 +13,15 @@ Newton iteration in :mod:`repro.sim.nonlinear`:
   saturation.
 
 The device is symmetric: ``Vds < 0`` is handled by exchanging drain and
-source.  PMOS devices are evaluated as mirrored NMOS devices.  Evaluation
-is scalar float math (no numpy) because the non-linear simulator calls it
-once per device per Newton iteration.
+source.  PMOS devices are evaluated as mirrored NMOS devices.  Two
+evaluation entry points share the same math:
+
+* :meth:`Mosfet.evaluate` — scalar float path (no numpy), kept for
+  single-device callers and as the reference semantics;
+* :func:`evaluate_batch` — vectorized evaluation of a whole device
+  population at once, which is what the non-linear simulator's fast
+  kernel calls per Newton iteration (one numpy expression tree instead
+  of a Python loop over devices).
 """
 
 from __future__ import annotations
@@ -23,9 +29,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.devices.technology import Technology
 
-__all__ = ["MosfetParams", "Mosfet", "nmos_params", "pmos_params"]
+__all__ = ["MosfetParams", "Mosfet", "nmos_params", "pmos_params",
+           "MosfetBatchParams", "batch_params", "evaluate_batch",
+           "evaluate_one"]
 
 #: Cutoff smoothing width in volts. Small enough not to distort the on-state
 #: I–V, large enough to keep Newton derivatives well-scaled near cutoff.
@@ -162,3 +172,126 @@ class Mosfet:
         dd += p.gmin
         ds -= p.gmin
         return i, dg, dd, ds
+
+
+def evaluate_one(sign: float, beta: float, vt: float, lam: float,
+                 gmin: float, vg: float, vd: float,
+                 vs: float) -> tuple[float, float, float, float]:
+    """:meth:`Mosfet.evaluate` on unpacked float parameters.
+
+    Bit-identical to the method, but with the parameter dataclass
+    flattened into plain floats — the form the non-linear kernel's
+    small-population hot loop keeps precomputed per device (attribute
+    and property lookups would otherwise dominate the evaluation cost).
+    ``sign`` is +1 for NMOS, -1 for PMOS.
+    """
+    if sign < 0.0:
+        mvg, mvd, mvs = -vg, -vd, -vs
+    else:
+        mvg, mvd, mvs = vg, vd, vs
+    if mvd >= mvs:
+        i, f1, f2 = _forward(beta, vt, lam, mvg - mvs, mvd - mvs)
+        dg, dd, ds = f1, f2, -f1 - f2
+    else:
+        i, f1, f2 = _forward(beta, vt, lam, mvg - mvd, mvs - mvd)
+        i, dg, dd, ds = -i, -f1, f1 + f2, -f2
+    if sign < 0.0:
+        i = -i
+    return i + gmin * (vd - vs), dg, dd + gmin, ds - gmin
+
+
+# ----------------------------------------------------------------------
+# Vectorized population evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MosfetBatchParams:
+    """Parameter arrays of a device population, one entry per device.
+
+    ``sign`` is +1 for NMOS and -1 for PMOS: a PMOS is evaluated as an
+    N-channel device at mirrored terminal voltages with the channel
+    current negated, exactly like the scalar path.
+    """
+
+    sign: np.ndarray
+    beta: np.ndarray
+    vt: np.ndarray
+    lam: np.ndarray
+    gmin: np.ndarray
+    beta_lam: np.ndarray  # beta * lam, precomputed for the hot loop
+
+    @property
+    def n(self) -> int:
+        return self.sign.size
+
+
+def batch_params(mosfets) -> MosfetBatchParams:
+    """Pack a sequence of :class:`Mosfet` instances into arrays."""
+    params = [m.params for m in mosfets]
+    beta = np.array([p.beta for p in params])
+    lam = np.array([p.lam for p in params])
+    return MosfetBatchParams(
+        sign=np.array([1.0 if p.polarity == "n" else -1.0 for p in params]),
+        beta=beta,
+        vt=np.array([p.vt for p in params]),
+        lam=lam,
+        gmin=np.array([p.gmin for p in params]),
+        beta_lam=beta * lam,
+    )
+
+
+def evaluate_batch(batch: MosfetBatchParams, vg: np.ndarray, vd: np.ndarray,
+                   vs: np.ndarray):
+    """Vectorized :meth:`Mosfet.evaluate` over a device population.
+
+    Returns ``(i, di/dvg, di/dvd, di/dvs)`` arrays with one entry per
+    device; semantics (polarity mirroring, drain/source exchange for
+    ``Vds < 0``, the gmin shunt) match the scalar path to floating-point
+    rounding of the underlying transcendentals.
+    """
+    sign = batch.sign
+    # Polarity mirror, then channel orientation: the N-channel math runs
+    # on (vgs, vds >= 0) measured from the effective source terminal.
+    mvg, mvd, mvs = sign * vg, sign * vd, sign * vs
+    swap = mvd < mvs
+    v_src = np.where(swap, mvd, mvs)
+    vgs = mvg - v_src
+    vds = np.abs(mvd - mvs)
+
+    vgst = vgs - batch.vt
+    root = np.sqrt(vgst * vgst + _DELTA * _DELTA)
+    a = 0.5 * (vgst + root)
+    da_dvgs = a / root  # == 0.5 * (1 + vgst / root)
+
+    x = vds / a
+    # np.tanh saturates to exactly 1.0 well before the scalar path's
+    # x >= 20 guard kicks in, so no explicit clamp is needed here.
+    u = np.tanh(x)
+    one_mu = 1.0 - u
+    sech2 = one_mu * (1.0 + u)
+    uq = u * (1.0 - 0.5 * u)
+
+    f = (a * a) * uq
+    t1 = one_mu * sech2
+    df_dvds = a * t1
+    df_da = a * (2.0 * uq - x * t1)
+
+    clm = 1.0 + batch.lam * vds
+    bc = batch.beta * clm
+    i_f = bc * f
+    f1 = bc * da_dvgs * df_da
+    f2 = bc * df_dvds + batch.beta_lam * f
+
+    # Undo the drain/source exchange (see _nchannel), then the polarity
+    # mirror: I_p(v) = -I_n(-v), derivatives unchanged by the double
+    # negation.  The terminal derivatives always sum to zero (the channel
+    # current depends only on voltage differences), so ds = -(dg + dd).
+    swap_sign = np.where(swap, -1.0, 1.0)
+    i = (sign * swap_sign) * i_f
+    dg = swap_sign * f1
+    dd = np.where(swap, f1 + f2, f2)
+    ds = -(dg + dd)
+
+    i += batch.gmin * (vd - vs)
+    dd += batch.gmin
+    ds -= batch.gmin
+    return i, dg, dd, ds

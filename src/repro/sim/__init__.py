@@ -12,13 +12,25 @@
 """
 
 from repro.sim.result import SimulationResult, time_grid
+from repro.sim.factor import Factorization, factorize
 from repro.sim.linear import simulate_linear
-from repro.sim.nonlinear import simulate_nonlinear, ConvergenceError
+from repro.sim.nonlinear import (
+    ConvergenceError,
+    dc_operating_point,
+    kernel_mode,
+    set_kernel_mode,
+    simulate_nonlinear,
+)
 
 __all__ = [
     "SimulationResult",
     "time_grid",
+    "Factorization",
+    "factorize",
     "simulate_linear",
     "simulate_nonlinear",
+    "dc_operating_point",
     "ConvergenceError",
+    "kernel_mode",
+    "set_kernel_mode",
 ]

@@ -1,0 +1,86 @@
+"""Shared dense-matrix factorization for the transient solvers.
+
+Both simulators repeatedly solve against a *constant* left-hand matrix —
+the trapezoidal ``C/h + G/2`` in :mod:`repro.sim.linear` and the
+backward-Euler ``C/h + G`` (plus device corrections) in
+:mod:`repro.sim.nonlinear`.  Factoring that matrix once and reusing the
+factors per step is what turns the per-step cost from ``O(n^3)`` into
+``O(n^2)``.
+
+:class:`Factorization` hides the backend choice behind one ``solve()``:
+
+* small systems (``n <= _INVERSE_MAX``, which covers every circuit this
+  library builds) store the explicit inverse — ``solve`` is then a
+  single BLAS mat-vec, which beats the per-call overhead of an LU
+  triangular solve by a wide margin at these sizes and needs no scipy;
+* larger systems use scipy's ``lu_factor``/``lu_solve`` when available
+  (numerically safer than inverting at scale) and fall back to the
+  inverse otherwise.
+
+A singular matrix raises :class:`numpy.linalg.LinAlgError` from the
+constructor — the same exception ``np.linalg.solve`` would raise — so
+callers keep one error path regardless of backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised implicitly by the chosen backend
+    from scipy.linalg import lu_factor as _lu_factor
+    from scipy.linalg import lu_solve as _lu_solve
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _lu_factor = _lu_solve = None
+    HAVE_SCIPY = False
+
+__all__ = ["Factorization", "factorize", "HAVE_SCIPY"]
+
+#: Largest system solved through a cached explicit inverse.  The MNA
+#: systems here are tens to a few hundred unknowns and well-conditioned
+#: (the same regime where sim/linear.py historically used an inverse).
+_INVERSE_MAX = 192
+
+
+class Factorization:
+    """One-time factorization of a dense square matrix.
+
+    ``solve(b)`` accepts a vector or a matrix of stacked right-hand
+    sides.  The input matrix is not modified and not referenced after
+    construction.
+    """
+
+    __slots__ = ("_lu", "_inv", "shape")
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got {matrix.shape}")
+        self.shape = matrix.shape
+        self._lu = None
+        self._inv = None
+        if HAVE_SCIPY and matrix.shape[0] > _INVERSE_MAX:
+            # lu_factor does not raise on an exactly singular pivot (it
+            # only warns); detect it here so callers see the same
+            # LinAlgError contract as np.linalg.solve / np.linalg.inv.
+            import warnings
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                lu, piv = _lu_factor(matrix, check_finite=False)
+            diag = np.diagonal(lu)
+            if (diag == 0.0).any() or not np.isfinite(diag).all():
+                raise np.linalg.LinAlgError("singular matrix")
+            self._lu = (lu, piv)
+        else:
+            self._inv = np.linalg.inv(matrix)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` against the stored factors."""
+        if self._inv is not None:
+            return self._inv @ b
+        return _lu_solve(self._lu, b, check_finite=False)
+
+
+def factorize(matrix: np.ndarray) -> Factorization:
+    """Factor ``matrix`` once for repeated :meth:`Factorization.solve`."""
+    return Factorization(matrix)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import Circuit
+from repro.sim.factor import factorize
 from repro.sim.result import SimulationResult, time_grid
 
 __all__ = ["simulate_linear"]
@@ -67,12 +68,13 @@ def simulate_linear(circuit_or_mna: Circuit | MnaSystem, t_stop: float,
 
     A = mna.C / h + mna.G / 2.0
     Bmat = mna.C / h - mna.G / 2.0
-    # The systems handled here are small (tens to a few hundred unknowns)
-    # and well-conditioned, so one explicit inverse turns the time loop
-    # into two mat-vecs per step — far cheaper than a per-step LU solve.
-    A_inv = np.linalg.inv(A)
-    step_matrix = A_inv @ Bmat
-    rhs_avg = A_inv @ (0.5 * (rhs[:, :-1] + rhs[:, 1:]))
+    # The left-hand matrix is constant on the uniform grid: factor it
+    # once (repro.sim.factor, shared with the non-linear kernel) and
+    # pre-apply it to the step matrix and every averaged source column,
+    # turning the time loop into one mat-vec plus an add per step.
+    fact = factorize(A)
+    step_matrix = fact.solve(Bmat)
+    rhs_avg = fact.solve(0.5 * (rhs[:, :-1] + rhs[:, 1:]))
 
     states = np.empty((mna.dim, times.size))
     states[:, 0] = x0

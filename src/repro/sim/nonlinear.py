@@ -16,6 +16,39 @@ stiff gate nodes) with a damped Newton solve per step.  Voltage updates
 are clamped to ±0.5 V per iteration — the standard SPICE-style limiting
 that keeps the square-law device from overshooting across regions.
 
+Fast kernel
+-----------
+On a uniform grid the backward-Euler matrix ``A = C/h + G`` is constant
+for the *whole* simulation; only the device contribution to the Jacobian
+``J = A + ΔJ(x)`` moves between Newton iterations, and ``ΔJ`` touches
+only the rows of device drain/source nodes.  The default kernel exploits
+both facts:
+
+* ``A`` is factored once per grid (:mod:`repro.sim.factor`, shared with
+  the linear solver) and every Newton iteration is solved through the
+  Sherman–Morrison–Woodbury identity: with ``ΔJ = E_R M`` (``E_R``
+  selecting the ``k`` device-touched rows),
+
+      J⁻¹ = A⁻¹ − A⁻¹ E_R (I_k + M A⁻¹ E_R)⁻¹ M A⁻¹,
+
+  where ``W = A⁻¹ E_R`` is also precomputed once per grid — so an
+  iteration costs two triangular solves plus a ``k×k`` solve instead of
+  a dense ``O(n³)`` factorization (``newton.woodbury`` counts these);
+* when ``k`` is large relative to the system (or ``A`` itself is
+  singular, e.g. nodes held only by devices at DC), a modified-Newton
+  scheme factors the *full* Jacobian, reuses the stale factors while the
+  step norm keeps contracting, and re-factors on stalls and for the
+  final accepted step (``newton.jacobian_refresh`` counts the
+  factorizations);
+* device currents and derivatives are evaluated for the whole
+  population at once through :func:`repro.devices.evaluate_batch`, with
+  precomputed index arrays and ``np.add.at`` scatter instead of a
+  per-device Python stamping loop.
+
+The pre-rework dense kernel (re-stamp + ``np.linalg.solve`` per
+iteration) is retained behind :func:`kernel_mode` — it is the reference
+the equivalence tests and the perf benchmark compare against.
+
 Recovery ladder
 ---------------
 Newton non-convergence does not immediately kill a simulation:
@@ -31,26 +64,51 @@ Newton non-convergence does not immediately kill a simulation:
 
 Each successful recovery bumps a ``newton.recovered.*`` counter so the
 telemetry shows how often the ladder fires; the happy path is
-untouched (and allocation-free) — the ladder lives entirely in the
-exception branch.
+untouched — the ladder lives entirely in the exception branch.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import GROUND, Circuit
+from repro.devices.mosfet import batch_params, evaluate_batch, evaluate_one
 from repro.obs import metrics
 from repro.resilience.faults import fire as _fire_fault
+from repro.sim.factor import factorize
 from repro.sim.result import SimulationResult, time_grid
 
-__all__ = ["simulate_nonlinear", "ConvergenceError"]
+__all__ = ["simulate_nonlinear", "dc_operating_point", "ConvergenceError",
+           "kernel_mode", "set_kernel_mode"]
 
 #: Maximum Newton voltage update per iteration [V].
 _DAMP_LIMIT = 0.5
 _MAX_ITERATIONS = 100
 _VTOL = 1e-6
+
+#: Modified Newton: refresh the stale Jacobian factors when an iteration
+#: fails to contract the step norm below this fraction of the previous.
+_STALL_RATIO = 0.5
+
+#: Modified Newton: system size below which every iteration refreshes
+#: (plain Newton with vectorized stamping).  Reusing stale factors
+#: trades extra (linearly converging) iterations for cheaper solves —
+#: a win only when applying cached factors is much cheaper than a dense
+#: solve, which needs the O(n^3)/O(n^2) gap of a big system.  At small
+#: dims rebuild+solve costs the same as a stale solve, so stale reuse
+#: would only add iterations.
+_MODIFIED_STALE_MIN = 96
+
+#: Population size below which device evaluation goes through the scalar
+#: reference path instead of :func:`evaluate_batch`.  numpy dispatch
+#: costs a couple of microseconds per array op regardless of length, so
+#: for a handful of devices ~45 vector ops lose to a plain Python loop
+#: over the (cheap, math-library) scalar model; the crossover sits
+#: around a dozen devices.  Scatter/stamping is vectorized either way.
+_BATCH_EVAL_MIN = 16
 
 #: Transient recovery: maximum halvings of dt for one failed step.
 _MAX_SUBSTEP_DEPTH = 4
@@ -68,12 +126,53 @@ _SINGULAR = metrics().counter("newton.singular")
 _RECOVERED_SUBSTEP = metrics().counter("newton.recovered.substep")
 _RECOVERED_GMIN = metrics().counter("newton.recovered.gmin")
 _RECOVERED_RAMP = metrics().counter("newton.recovered.source_ramp")
+#: Newton iterations solved through the factored base + Woodbury update.
+_WOODBURY = metrics().counter("newton.woodbury")
+#: Full-Jacobian factorizations performed by the modified-Newton path.
+_REFRESH = metrics().counter("newton.jacobian_refresh")
 
 
 class ConvergenceError(RuntimeError):
     """Newton iteration failed to converge."""
 
 
+# ----------------------------------------------------------------------
+# Kernel selection
+# ----------------------------------------------------------------------
+_KERNEL_MODES = ("fast", "legacy")
+_KERNEL_MODE = "fast"
+
+
+def set_kernel_mode(mode: str) -> str:
+    """Select the Newton kernel (``"fast"`` or ``"legacy"``).
+
+    Returns the previous mode.  The legacy kernel is the pre-rework
+    dense solver (full re-stamp and ``np.linalg.solve`` per iteration);
+    it exists for equivalence testing and benchmarking, not production
+    use.
+    """
+    global _KERNEL_MODE
+    if mode not in _KERNEL_MODES:
+        raise ValueError(f"kernel mode must be one of {_KERNEL_MODES}, "
+                         f"got {mode!r}")
+    previous = _KERNEL_MODE
+    _KERNEL_MODE = mode
+    return previous
+
+
+@contextmanager
+def kernel_mode(mode: str):
+    """Context manager pinning the Newton kernel for a code block."""
+    previous = set_kernel_mode(mode)
+    try:
+        yield
+    finally:
+        set_kernel_mode(previous)
+
+
+# ----------------------------------------------------------------------
+# Device access: legacy per-device stamps and vectorized batch
+# ----------------------------------------------------------------------
 class _DeviceStamps:
     """Pre-resolved node indices for fast per-iteration device stamping."""
 
@@ -89,10 +188,171 @@ class _DeviceStamps:
             if device.source != GROUND else -1
 
 
+class _DeviceBatch:
+    """Vectorized device population with precomputed scatter maps.
+
+    Built once per circuit: terminal row indices (``-1`` = ground),
+    packed device parameters, and flattened scatter indices for both the
+    residual currents and the six Jacobian stamps of every device — so
+    one Newton iteration is one device-population evaluation plus two
+    ``np.add.at`` scatters, with no Python-level per-device stamping.
+    """
+
+    __slots__ = ("n", "dim", "params", "ig", "id_", "is_", "rows", "k",
+                 "f_idx", "f_dev", "f_sign", "f_sign_neg", "m_flat",
+                 "m_src", "m_dev", "m_sign", "gather", "scalar_devs",
+                 "_mbuf")
+
+    def __init__(self, mosfets, mna: MnaSystem):
+        self.n = len(mosfets)
+        self.dim = mna.dim
+        self.params = batch_params(mosfets)
+        self.ig = np.array([mna.row_of(m.gate) for m in mosfets],
+                           dtype=np.intp)
+        self.id_ = np.array([mna.row_of(m.drain) for m in mosfets],
+                            dtype=np.intp)
+        self.is_ = np.array([mna.row_of(m.source) for m in mosfets],
+                            dtype=np.intp)
+
+        # Gather maps with ground redirected to a zero slot appended at
+        # index `dim` of an extended state vector: one fancy index pulls
+        # all terminal voltages with no masking.  The scalar crossover
+        # path keeps everything pre-unpacked as Python floats/ints.
+        terminals = np.stack((self.ig, self.id_, self.is_))
+        self.gather = np.where(terminals >= 0, terminals, self.dim)
+        p = self.params
+        self.scalar_devs = [
+            (float(p.sign[j]), float(p.beta[j]), float(p.vt[j]),
+             float(p.lam[j]), float(p.gmin[j]), int(self.gather[0, j]),
+             int(self.gather[1, j]), int(self.gather[2, j]))
+            for j in range(self.n)
+        ]
+
+        mask_d = self.id_ >= 0
+        mask_s = self.is_ >= 0
+        touched = np.concatenate([self.id_[mask_d], self.is_[mask_s]])
+        self.rows = np.unique(touched)  # sorted device-touched rows
+        self.k = int(self.rows.size)
+
+        # Residual scatter: +i into drain rows, -i into source rows
+        # (f_sign_neg is the precomputed flip for negated-residual form).
+        self.f_idx = np.concatenate([self.id_[mask_d], self.is_[mask_s]])
+        self.f_dev = np.concatenate([np.nonzero(mask_d)[0],
+                                     np.nonzero(mask_s)[0]])
+        self.f_sign = np.concatenate([np.ones(int(mask_d.sum())),
+                                      -np.ones(int(mask_s.sum()))])
+        self.f_sign_neg = -self.f_sign
+
+        # Jacobian scatter into the k x dim correction block M: flat
+        # index, derivative source (0=dg, 1=dd, 2=ds), device index and
+        # sign for each of the up-to-six stamps per device.
+        flat, src, dev, sgn = [], [], [], []
+        for r_arr, r_mask, row_sign in ((self.id_, mask_d, 1.0),
+                                        (self.is_, mask_s, -1.0)):
+            for source, c_arr in enumerate((self.ig, self.id_, self.is_)):
+                mask = r_mask & (c_arr >= 0)
+                devices = np.nonzero(mask)[0]
+                if not devices.size:
+                    continue
+                pos = np.searchsorted(self.rows, r_arr[mask])
+                flat.append(pos * self.dim + c_arr[mask])
+                src.append(np.full(devices.size, source, dtype=np.intp))
+                dev.append(devices)
+                sgn.append(np.full(devices.size, row_sign))
+        empty_i = np.empty(0, dtype=np.intp)
+        self.m_flat = np.concatenate(flat) if flat else empty_i
+        self.m_src = np.concatenate(src) if src else empty_i
+        self.m_dev = np.concatenate(dev) if dev else empty_i
+        self.m_sign = np.concatenate(sgn) if sgn else np.empty(0)
+        self._mbuf = np.empty((self.k, self.dim))
+
+    def evaluate(self, x: np.ndarray):
+        """Currents ``i`` and derivative block ``D = [dg; dd; ds]``.
+
+        ``i`` has one entry per device; ``D`` is ``(3, n)``.
+        """
+        if self.n < _BATCH_EVAL_MIN:
+            # Tiny population: the scalar reference model through a
+            # Python loop beats numpy dispatch overhead (see
+            # _BATCH_EVAL_MIN).  Same math, same outputs.
+            xl = x.tolist()
+            xl.append(0.0)  # ground slot
+            out = np.array([evaluate_one(sg, be, vt, lm, gm,
+                                         xl[g], xl[d], xl[s])
+                            for sg, be, vt, lm, gm, g, d, s
+                            in self.scalar_devs])
+            return out[:, 0], out.T[1:]
+        x_ext = np.empty(x.size + 1)
+        x_ext[:-1] = x
+        x_ext[-1] = 0.0
+        vg, vd, vs = x_ext[self.gather]
+        i, dg, dd, ds = evaluate_batch(self.params, vg, vd, vs)
+        return i, np.stack((dg, dd, ds))
+
+    def sub_currents(self, R: np.ndarray, i: np.ndarray) -> None:
+        """Scatter-subtract device currents from the negated residual."""
+        if self.f_idx.size:
+            np.add.at(R, self.f_idx, self.f_sign_neg * i[self.f_dev])
+
+    def correction(self, D: np.ndarray) -> np.ndarray:
+        """Device Jacobian contribution as a ``k x dim`` row block.
+
+        The returned array is a per-batch scratch buffer, overwritten by
+        the next call — consume it before evaluating again.
+        """
+        M = self._mbuf
+        M.fill(0.0)
+        if self.m_flat.size:
+            np.add.at(M.ravel(), self.m_flat,
+                      self.m_sign * D[self.m_src, self.m_dev])
+        return M
+
+
 def _voltage_at(x: np.ndarray, index: int) -> float:
     return x[index] if index >= 0 else 0.0
 
 
+try:  # Low-overhead LAPACK entry for the tiny k x k Woodbury system:
+    # the np.linalg.solve wrapper costs several times the actual solve
+    # at these sizes.
+    from scipy.linalg.lapack import dgesv as _dgesv
+except ImportError:  # pragma: no cover - scipy-less fallback
+    _dgesv = None
+
+
+def _solve_small(S: np.ndarray, rhs: np.ndarray):
+    """Solve a small dense system; returns ``(solution, singular)``.
+
+    Both inputs may be overwritten — callers pass freshly computed
+    scratch arrays.
+    """
+    if _dgesv is not None:
+        _, _, sol, info = _dgesv(S, rhs, 1, 1)
+        return sol, info != 0
+    try:
+        return np.linalg.solve(S, rhs), False
+    except np.linalg.LinAlgError:
+        return rhs, True
+
+
+def _applied_step(step: float) -> float:
+    """Magnitude of the update actually applied after damping."""
+    return min(step, _DAMP_LIMIT)
+
+
+def _raise_nonconverged(residuals: np.ndarray, applied: float,
+                        context: str):
+    _NONCONVERGED.inc()
+    worst = int(residuals.argmax()) if residuals.size else 0
+    raise ConvergenceError(
+        f"Newton did not converge within {_MAX_ITERATIONS} iterations "
+        f"during {context} (last applied step {applied:.3e} V, worst "
+        f"residual {residuals.max(initial=0.0):.3e} at node index {worst})")
+
+
+# ----------------------------------------------------------------------
+# Legacy dense kernel (pre-rework reference)
+# ----------------------------------------------------------------------
 def _residual_at(base_residual_of, devices: list[_DeviceStamps],
                  x: np.ndarray) -> np.ndarray:
     """Full residual ``F(x)`` (linear part + device currents).
@@ -118,7 +378,9 @@ def _newton_solve(base_jacobian: np.ndarray, base_residual_of,
     """Damped Newton on ``F(x) = base_residual(x) + device_currents(x)``.
 
     ``base_jacobian`` is the (constant) linear part of dF/dx;
-    ``base_residual_of(x)`` returns the linear part of F(x).
+    ``base_residual_of(x)`` returns the linear part of F(x).  This is
+    the pre-rework dense kernel: devices are stamped one at a time and
+    the full Jacobian is factored from scratch every iteration.
     """
     _fire_fault("newton.step", context)
     x = x.copy()
@@ -157,19 +419,229 @@ def _newton_solve(base_jacobian: np.ndarray, base_residual_of,
         if step < _VTOL:
             _ITERATIONS.observe(iteration)
             return x
-    _NONCONVERGED.inc()
     # Diagnose the iterate we actually stopped at: the loop's F was
     # assembled *before* the final `x += delta`, so re-evaluate.
     residuals = np.abs(_residual_at(base_residual_of, devices, x))
-    worst = int(residuals.argmax()) if residuals.size else 0
-    raise ConvergenceError(
-        f"Newton did not converge within {_MAX_ITERATIONS} iterations "
-        f"during {context} (last step {step:.3e} V, worst residual "
-        f"{residuals.max(initial=0.0):.3e} at node index {worst})")
+    _raise_nonconverged(residuals, _applied_step(step), context)
 
 
-def _recover_dc(mna: MnaSystem, G: np.ndarray,
-                devices: list[_DeviceStamps], rhs0: np.ndarray,
+# ----------------------------------------------------------------------
+# Fast kernel: factorization reuse + vectorized stamping
+# ----------------------------------------------------------------------
+class _NewtonKernel:
+    """Newton solver for ``F(x) = A x + i_dev(x) - b`` with ``A`` fixed.
+
+    Construction factors ``A`` once and precomputes ``W = A⁻¹ E_R``;
+    every subsequent :meth:`solve` (one per time step, in the transient
+    loop) reuses both.  Falls back to modified Newton when ``A`` is
+    singular or the device-touched row count ``k`` approaches the
+    system size.
+    """
+
+    __slots__ = ("A", "batch", "base_fact", "W", "_mn_J", "_mn_fact",
+                 "_mn_x", "_mn_uses")
+
+    def __init__(self, A: np.ndarray, batch: _DeviceBatch):
+        self.A = A
+        self.batch = batch
+        self.base_fact = None
+        self.W = None
+        self._mn_J = None     # modified Newton: last built Jacobian,
+        self._mn_fact = None  # its (lazily built) factorization,
+        self._mn_x = None     # the iterate it was built at,
+        self._mn_uses = 0     # and how many solves reused it
+        if 2 * batch.k <= A.shape[0]:
+            try:
+                fact = factorize(A)
+            except np.linalg.LinAlgError:
+                fact = None  # e.g. nodes held only by devices at DC
+            if fact is not None:
+                self.base_fact = fact
+                if batch.k:
+                    selector = np.zeros((A.shape[0], batch.k))
+                    selector[batch.rows, np.arange(batch.k)] = 1.0
+                    self.W = fact.solve(selector)
+
+    def solve(self, b: np.ndarray, x0: np.ndarray,
+              context: str) -> np.ndarray:
+        _fire_fault("newton.step", context)
+        if self.base_fact is not None:
+            return self._solve_woodbury(b, x0, context)
+        return self._solve_modified(b, x0, context)
+
+    # -- residual assembly --------------------------------------------
+    def _residual_neg(self, x: np.ndarray, b: np.ndarray):
+        """Negated residual ``-F(x) = b - A x - i_dev(x)`` plus the
+        device derivative block at ``x`` (``None`` with no devices).
+
+        Working with ``-F`` lets both Newton paths feed it straight into
+        their solves (``delta = J⁻¹ (-F)``) without an extra negation.
+        """
+        R = b - self.A @ x
+        batch = self.batch
+        if batch.n:
+            i, D = batch.evaluate(x)
+            batch.sub_currents(R, i)
+            return R, D
+        return R, None
+
+    # -- Woodbury path -------------------------------------------------
+    def _solve_woodbury(self, b: np.ndarray, x0: np.ndarray,
+                        context: str) -> np.ndarray:
+        batch, W = self.batch, self.W
+        solve_base = self.base_fact.solve
+        k = batch.k
+        x = x0.copy()
+        step = 0.0
+        for iteration in range(1, _MAX_ITERATIONS + 1):
+            R, D = self._residual_neg(x, b)
+            y = solve_base(R)
+            if k:
+                M = batch.correction(D)
+                S = M @ W
+                S.ravel()[::k + 1] += 1.0
+                z, singular = _solve_small(S, M @ y)
+                if singular:
+                    # det J = det A * det S: S singular means the full
+                    # Jacobian is singular, same failure as the dense
+                    # kernel's np.linalg.solve.
+                    _SINGULAR.inc()
+                    raise ConvergenceError(
+                        f"singular Jacobian during {context}")
+                delta = y - W @ z
+            else:
+                delta = y
+            _WOODBURY.inc()
+            step = np.abs(delta).max(initial=0.0)
+            if step > _DAMP_LIMIT:
+                delta *= _DAMP_LIMIT / step
+            x += delta
+            if step < _VTOL:
+                _ITERATIONS.observe(iteration)
+                return x
+        residuals = np.abs(self._residual_neg(x, b)[0])
+        _raise_nonconverged(residuals, _applied_step(step), context)
+
+    # -- modified-Newton path -----------------------------------------
+    def _fresh_delta(self, D, R: np.ndarray, context: str):
+        """Rebuild the full Jacobian at the current iterate and solve.
+
+        Returns ``(J, delta)``.  A fresh direction is one dense solve —
+        the factorization is only built (lazily, in the caller) if a
+        later stale iteration actually reuses ``J``.
+        """
+        J = self.A.copy()
+        if self.batch.k:
+            J[self.batch.rows] += self.batch.correction(D)
+        _REFRESH.inc()
+        try:
+            return J, np.linalg.solve(J, R)
+        except np.linalg.LinAlgError as exc:
+            _SINGULAR.inc()
+            raise ConvergenceError(
+                f"singular Jacobian during {context}") from exc
+
+    def _solve_modified(self, b: np.ndarray, x0: np.ndarray,
+                        context: str) -> np.ndarray:
+        """Modified Newton: reuse a stale factored Jacobian.
+
+        The matrix persists on the kernel between :meth:`solve` calls,
+        so consecutive transient steps share factors — on systems of at
+        least ``_MODIFIED_STALE_MIN`` unknowns; below that every
+        iteration is plain Newton with vectorized stamping.  A fresh
+        Jacobian is rebuilt (``newton.jacobian_refresh`` counts these):
+
+        * *before* solving, whenever the previous update was clamped by
+          the damping limit — in that walk-in regime step norms do not
+          contract, so the stall test below would refresh every
+          iteration anyway, after wasting a stale solve each time;
+        * when a stale step fails to contract below ``_STALL_RATIO``
+          times the previous step norm;
+        * before accepting convergence — the final applied update always
+          comes from a Jacobian evaluated at the current iterate, so the
+          accepted state matches exact Newton's.
+        """
+        x = x0.copy()
+        J, fact, uses = self._mn_J, self._mn_fact, self._mn_uses
+        x_built = self._mn_x
+        reuse = self.A.shape[0] >= _MODIFIED_STALE_MIN
+        # Stale factors are only trusted on big systems (see
+        # _MODIFIED_STALE_MIN) and near their linearization point: a
+        # cold restart (e.g. repeated DC solves from zeros) refreshes
+        # immediately instead of wandering on far-field directions.
+        stale = (reuse and J is not None
+                 and np.abs(x - x_built).max(initial=0.0) <= _DAMP_LIMIT)
+        prev_step = None
+        step = 0.0
+        for iteration in range(1, _MAX_ITERATIONS + 1):
+            R, D = self._residual_neg(x, b)
+            if not stale or (prev_step is not None
+                             and prev_step > _DAMP_LIMIT):
+                J, delta = self._fresh_delta(D, R, context)
+                fact, uses, x_built = None, 1, x.copy()
+                stale = False
+            else:
+                try:
+                    if fact is None and uses >= 2:
+                        # Third solve against the same matrix: from here
+                        # on the factored form amortizes.
+                        fact = factorize(J)
+                    delta = (fact.solve(R) if fact is not None
+                             else np.linalg.solve(J, R))
+                except np.linalg.LinAlgError as exc:
+                    _SINGULAR.inc()
+                    raise ConvergenceError(
+                        f"singular Jacobian during {context}") from exc
+                uses += 1
+            step = np.abs(delta).max(initial=0.0)
+            if stale and (step < _VTOL
+                          or (prev_step is not None
+                              and step >= _STALL_RATIO * prev_step)):
+                # Stalled — or about to accept a stale direction: redo
+                # the step against a Jacobian built at this iterate.
+                J, delta = self._fresh_delta(D, R, context)
+                fact, uses, x_built = None, 1, x.copy()
+                stale = False
+                step = np.abs(delta).max(initial=0.0)
+            if step > _DAMP_LIMIT:
+                delta *= _DAMP_LIMIT / step
+            x += delta
+            if step < _VTOL:
+                _ITERATIONS.observe(iteration)
+                self._mn_J, self._mn_fact = J, fact
+                self._mn_x, self._mn_uses = x_built, uses
+                return x
+            prev_step = step
+            stale = reuse
+        residuals = np.abs(self._residual_neg(x, b)[0])
+        _raise_nonconverged(residuals, _applied_step(step), context)
+
+
+def _solver_factory(mode: str, stamps: list[_DeviceStamps],
+                    batch: _DeviceBatch | None):
+    """``make(A) -> solve(b, x0, context)`` for the selected kernel.
+
+    Both kernels solve ``F(x) = A x + i_dev(x) - b = 0``; the factory
+    hides which machinery does it so the DC / transient / recovery flows
+    below are kernel-agnostic.
+    """
+    if mode == "legacy":
+        def make(A: np.ndarray):
+            def solve(b, x0, context):
+                return _newton_solve(A, lambda y, A=A, b=b: A @ y - b,
+                                     stamps, x0, context)
+            return solve
+        return make
+
+    def make(A: np.ndarray):
+        return _NewtonKernel(A, batch).solve
+    return make
+
+
+# ----------------------------------------------------------------------
+# Recovery ladder
+# ----------------------------------------------------------------------
+def _recover_dc(mna: MnaSystem, G: np.ndarray, make, rhs0: np.ndarray,
                 name: str) -> np.ndarray:
     """DC operating-point recovery: gmin stepping, then source ramping.
 
@@ -187,48 +659,98 @@ def _recover_dc(mna: MnaSystem, G: np.ndarray,
         for g in _GMIN_LADDER:
             Gg = G.copy()
             Gg[diag, diag] += g
-            x = _newton_solve(
-                Gg, lambda y, A=Gg: A @ y - rhs0, devices, x,
-                f"gmin={g:g} DC recovery of {name}")
+            x = make(Gg)(rhs0, x, f"gmin={g:g} DC recovery of {name}")
         _RECOVERED_GMIN.inc()
         return x
     except ConvergenceError:
         pass
     x = np.zeros(mna.dim)
+    solve = make(G)
     for alpha in _RAMP_LEVELS:
-        b = rhs0 * alpha
-        x = _newton_solve(
-            G, lambda y, b=b: G @ y - b, devices, x,
-            f"source-ramp {alpha:g} DC recovery of {name}")
+        x = solve(rhs0 * alpha, x,
+                  f"source-ramp {alpha:g} DC recovery of {name}")
     _RECOVERED_RAMP.inc()
     return x
 
 
 def _integrate_bisect(mna: MnaSystem, G: np.ndarray, C: np.ndarray,
-                      devices: list[_DeviceStamps], x: np.ndarray,
+                      make, solvers: dict, x: np.ndarray,
                       t0: float, t1: float, name: str,
                       depth: int) -> np.ndarray:
     """One backward-Euler step ``t0 -> t1``, bisecting on failure.
 
     Each level halves the step; ``depth`` bounds the recursion, so the
     finest sub-step is ``(t1 - t0) / 2**depth`` of the original grid.
+    ``solvers`` caches one kernel per sub-step size: both halves of a
+    bisection level (and every recursion into it) share the factors.
     """
     h = t1 - t0
-    Ch = C / h
-    A = Ch + G
+    cached = solvers.get(h)
+    if cached is None:
+        Ch = C / h
+        cached = (make(Ch + G), Ch)
+        solvers[h] = cached
+    solve, Ch = cached
     b = Ch @ x + mna.rhs_matrix(np.array([t1]))[:, 0]
     try:
-        return _newton_solve(
-            A, lambda y, b=b: A @ y - b, devices, x,
-            f"t={t1:.3e}s (sub-step dt={h:.3e}s) of {name}")
+        return solve(b, x, f"t={t1:.3e}s (sub-step dt={h:.3e}s) of {name}")
     except ConvergenceError:
         if depth <= 0:
             raise
         t_mid = 0.5 * (t0 + t1)
-        x_mid = _integrate_bisect(mna, G, C, devices, x, t0, t_mid,
+        x_mid = _integrate_bisect(mna, G, C, make, solvers, x, t0, t_mid,
                                   name, depth - 1)
-        return _integrate_bisect(mna, G, C, devices, x_mid, t_mid, t1,
-                                 name, depth - 1)
+        return _integrate_bisect(mna, G, C, make, solvers, x_mid, t_mid,
+                                 t1, name, depth - 1)
+
+
+# ----------------------------------------------------------------------
+# Top-level transient flow
+# ----------------------------------------------------------------------
+def _kernel_factory(circuit: Circuit, mna: MnaSystem):
+    """Solver factory for ``circuit`` under the current kernel mode.
+
+    Factories are memoized per-mode on the ``mna`` object: the scatter
+    maps of :class:`_DeviceBatch` depend only on the circuit the system
+    was stamped from, so callers that hold on to an ``mna`` (e.g.
+    repeated :func:`dc_operating_point` calls) skip rebuilding them.
+    """
+    mode = _KERNEL_MODE
+    cache = mna.__dict__.setdefault("_kernel_factories", {})
+    make = cache.get(mode)
+    if make is None:
+        stamps = [_DeviceStamps(m, mna.node_index)
+                  for m in circuit.mosfets]
+        batch = (_DeviceBatch(circuit.mosfets, mna)
+                 if mode == "fast" else None)
+        make = _solver_factory(mode, stamps, batch)
+        cache[mode] = make
+    return make
+
+
+def _dc_solve(mna: MnaSystem, make, rhs0: np.ndarray,
+              name: str) -> np.ndarray:
+    """DC operating point ``G x + i_dev(x) = rhs0`` with recovery."""
+    try:
+        return make(mna.G)(rhs0, np.zeros(mna.dim),
+                           f"DC operating point of {name}")
+    except ConvergenceError:
+        return _recover_dc(mna, mna.G, make, rhs0, name)
+
+
+def dc_operating_point(circuit: Circuit, *, at_time: float = 0.0,
+                       mna: MnaSystem | None = None) -> np.ndarray:
+    """DC operating point of a circuit containing MOSFETs.
+
+    Sources are evaluated at ``at_time``.  Uses the currently selected
+    Newton kernel, including the gmin / source-ramp recovery ladder.
+    Pass a pre-built ``mna`` to skip re-stamping.
+    """
+    if mna is None:
+        mna = build_mna(circuit, allow_devices=True)
+    make = _kernel_factory(circuit, mna)
+    rhs0 = mna.rhs_matrix(np.array([at_time]))[:, 0]
+    return _dc_solve(mna, make, rhs0, circuit.name)
 
 
 def simulate_nonlinear(circuit: Circuit, t_stop: float, dt: float, *,
@@ -238,51 +760,59 @@ def simulate_nonlinear(circuit: Circuit, t_stop: float, dt: float, *,
 
     The initial state defaults to the DC operating point with all sources
     evaluated at ``t_start``.  Pass ``x0`` to chain simulations.
+    Raises ``ValueError`` eagerly for a degenerate time grid
+    (``t_stop <= t_start``) or a non-positive ``dt``.
     """
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt:g}")
+    if t_stop <= t_start:
+        raise ValueError(
+            f"degenerate time grid for {circuit.name}: t_stop "
+            f"({t_stop:g} s) must exceed t_start ({t_start:g} s)")
+
     mna = build_mna(circuit, allow_devices=True)
     times = time_grid(t_stop, dt, t_start)
     h = times[1] - times[0]
     rhs = mna.rhs_matrix(times)
-
-    devices = [_DeviceStamps(m, mna.node_index) for m in circuit.mosfets]
     G, C = mna.G, mna.C
+    make = _kernel_factory(circuit, mna)
 
     # DC operating point: F(x) = G x + i_dev(x) - rhs0.
     if x0 is None:
-        rhs0 = rhs[:, 0]
-        try:
-            x0 = _newton_solve(
-                G, lambda x: G @ x - rhs0, devices,
-                np.zeros(mna.dim), f"DC operating point of {circuit.name}")
-        except ConvergenceError:
-            x0 = _recover_dc(mna, G, devices, rhs0, circuit.name)
+        x0 = _dc_solve(mna, make, rhs[:, 0], circuit.name)
     else:
         x0 = np.asarray(x0, dtype=float).copy()
         if x0.shape != (mna.dim,):
             raise ValueError(f"x0 must have shape ({mna.dim},)")
 
     # Backward Euler: F(x) = (C/h)(x - x_prev) + G x + i_dev(x) - rhs_k.
+    # A = C/h + G is constant for the whole grid: the fast kernel
+    # factors it exactly once here.
     Ch = C / h
-    A = Ch + G
+    solve = make(Ch + G)
+    bisect_solvers: dict = {}
     states = np.empty((mna.dim, times.size))
     states[:, 0] = x0
     x = x0
+    fast = _KERNEL_MODE == "fast"
     for k in range(1, times.size):
         b_k = Ch @ x + rhs[:, k]
+        # Fast kernel: warm-start Newton from the linear extrapolation
+        # of the last two states.  On ramps this saves an iteration per
+        # step; the converged solution is the same root either way
+        # (within the acceptance tolerance).
+        guess = x + (x - states[:, k - 2]) if fast and k >= 2 else x
         try:
-            x = _newton_solve(
-                A,
-                lambda y, b=b_k: A @ y - b,
-                devices, x, f"t={times[k]:.3e}s of {circuit.name}")
+            x = solve(b_k, guess, f"t={times[k]:.3e}s of {circuit.name}")
         except ConvergenceError:
             # Recovery ladder: re-integrate the step with bisected dt
             # (bounded depth) before giving up on the simulation.
             t_mid = 0.5 * (times[k - 1] + times[k])
             x_mid = _integrate_bisect(
-                mna, G, C, devices, x, times[k - 1], t_mid,
+                mna, G, C, make, bisect_solvers, x, times[k - 1], t_mid,
                 circuit.name, _MAX_SUBSTEP_DEPTH - 1)
             x = _integrate_bisect(
-                mna, G, C, devices, x_mid, t_mid, times[k],
+                mna, G, C, make, bisect_solvers, x_mid, t_mid, times[k],
                 circuit.name, _MAX_SUBSTEP_DEPTH - 1)
             _RECOVERED_SUBSTEP.inc()
         states[:, k] = x

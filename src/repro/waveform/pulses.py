@@ -109,16 +109,44 @@ def noise_pulse(t_peak: float, height: float, width: float, *,
     t_pk = t[peak_idx]
     # Interpolated half-height crossings (the sampled extrema alone would
     # bias the width by up to one grid step).
-    half = 0.5 * peak
-    rising_part = shape[:peak_idx + 1]
-    t_left = float(np.interp(half, rising_part, t[:peak_idx + 1]))
-    falling_part = shape[peak_idx:][::-1]
-    t_right = float(np.interp(half, falling_part, t[peak_idx:][::-1]))
+    t_left, t_right = _half_crossings(t, shape, peak_idx, 0.5 * peak)
     unit_width = t_right - t_left
     scale = width / unit_width
     times = (t - t_pk) * scale + t_peak
     values = baseline + (shape / peak) * height
     return Waveform(times, values)
+
+
+def _half_crossings(t: np.ndarray, shape: np.ndarray, peak_idx: int,
+                    level: float) -> tuple[float, float]:
+    """Interpolated ``level`` crossings bracketing ``shape``'s peak.
+
+    Walks outward from the peak to the first sample below ``level`` on
+    each side and interpolates within that single bracketing segment.
+    Feeding whole flanks to ``np.interp`` would assume a monotone ``xp``
+    — an assumption rippled pulse shapes break *silently* (``np.interp``
+    does not validate monotonicity; it just returns garbage), which is
+    why the crossings are located by walking instead.  Falls back to the
+    first/last sample when a side never drops below ``level``.
+    """
+    lo = peak_idx
+    while lo > 0 and shape[lo - 1] >= level:
+        lo -= 1
+    t_left = float(t[0])
+    if lo > 0:  # shape[lo - 1] < level <= shape[lo]
+        a, b = shape[lo - 1], shape[lo]
+        t_left = float(t[lo - 1] + (t[lo] - t[lo - 1]) * (level - a)
+                       / (b - a))
+    hi = peak_idx
+    last = t.size - 1
+    while hi < last and shape[hi + 1] >= level:
+        hi += 1
+    t_right = float(t[last])
+    if hi < last:  # shape[hi] >= level > shape[hi + 1]
+        a, b = shape[hi], shape[hi + 1]
+        t_right = float(t[hi] + (t[hi + 1] - t[hi]) * (a - level)
+                        / (a - b))
+    return t_left, t_right
 
 
 def pulse_peak(noise: Waveform) -> tuple[float, float]:

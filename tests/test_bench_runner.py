@@ -83,3 +83,22 @@ class TestFormatTable:
         offsets = {line.find("y") if i == 0 else None
                    for i, line in enumerate(lines)}
         assert len(lines[2]) >= len("long-entry")
+
+
+class TestRecordResult:
+    def test_replaces_previous_content(self, tmp_path):
+        from repro.bench import record_result
+
+        path = record_result(tmp_path, "fig01", "first run")
+        assert path == tmp_path / "fig01.txt"
+        assert path.read_text() == "first run\n"
+        record_result(tmp_path, "fig01", "second run")
+        # Replaced, not appended: only the latest run's rows remain.
+        assert path.read_text() == "second run\n"
+
+    def test_creates_directory(self, tmp_path):
+        from repro.bench import record_result
+
+        target = tmp_path / "nested" / "results"
+        path = record_result(target, "fig02", "rows")
+        assert path.read_text() == "rows\n"

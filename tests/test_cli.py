@@ -271,3 +271,25 @@ class TestObservability:
         assert main(["-v", "trace", "summarize",
                      str(trace_file)]) == 0
         assert "net.analyze" in capsys.readouterr().out
+
+
+class TestBenchPerf:
+    def test_requires_perf_flag(self, capsys):
+        assert main(["bench"]) == 2
+        assert "--perf" in capsys.readouterr().out
+
+    def test_quick_perf_run_writes_payload(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf.json"
+        code = main(["bench", "--perf", "--quick", "--count", "1",
+                     "--t-stop", "0.1n", "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.bench.perf/v1"
+        assert payload["equivalence"]["within_tolerance"] is True
+        assert payload["equivalence"]["max_state_delta"] <= 1e-9
+        for kernel in ("legacy", "fast"):
+            assert payload["kernels"][kernel]["transient_steps"] > 0
+        assert "newton_throughput" in payload["speedup"]
+        text = capsys.readouterr().out
+        assert "equivalence: max state delta" in text
+        assert "-> ok" in text

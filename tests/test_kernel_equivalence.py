@@ -1,0 +1,226 @@
+"""Fast-vs-legacy Newton kernel equivalence (property-style sweep).
+
+The fast kernel (shared base factorization + Woodbury updates, modified
+Newton fallback, vectorized device stamping) must land on the same
+transient states as the pre-rework dense solver for every circuit class
+it can meet — seeded coupled-net golden circuits, device-free RC
+networks, coupling-only floating nodes — and must keep matching when
+the recovery ladders (dt bisection, gmin stepping, source ramping) are
+forced through fault injection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.netgen import NetGenerator
+from repro.circuit import GROUND, Circuit
+from repro.core.golden import golden_circuit
+from repro.devices import default_technology, nmos_params, pmos_params
+from repro.obs import metrics
+from repro.resilience import FaultPlan, clear_faults, install_faults
+from repro.sim import (
+    ConvergenceError,
+    dc_operating_point,
+    kernel_mode,
+    simulate_nonlinear,
+)
+from repro.units import FF, KOHM, NS, PS, UM
+from repro.waveform import ramp
+
+#: Maximum per-state voltage difference between the kernels.  Both drive
+#: the damped Newton update below the same 1e-6 V acceptance tolerance;
+#: the converged roots agree to far tighter than this (see
+#: repro.bench.perf.EQUIVALENCE_TOLERANCE).
+TOLERANCE = 1e-9
+
+TECH = default_technology()
+VDD = TECH.vdd
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+def run_both(build, t_stop, dt, plan_factory=None, x0=None):
+    """Simulate a circuit under both kernels; return (legacy, fast).
+
+    ``plan_factory`` builds a *fresh* fault plan per kernel run, so
+    one-shot faults fire identically for both.
+    """
+    results = {}
+    for mode in ("legacy", "fast"):
+        clear_faults()
+        if plan_factory is not None:
+            install_faults(plan_factory())
+        with kernel_mode(mode):
+            results[mode] = simulate_nonlinear(build(), t_stop, dt, x0=x0)
+        clear_faults()
+    return results["legacy"], results["fast"]
+
+
+def assert_states_match(legacy, fast, tolerance=TOLERANCE):
+    delta = float(np.abs(fast.states - legacy.states).max())
+    assert delta <= tolerance, f"kernel state drift {delta:.3e} V"
+
+
+def inverter_circuit(input_wave, c_load=20 * FF):
+    c = Circuit("inv")
+    c.add_vsource("vdd", "vdd", GROUND, VDD)
+    c.add_vsource("vin", "in", GROUND, input_wave)
+    c.add_mosfet("mn", nmos_params(TECH, 1 * UM), "out", "in", GROUND)
+    c.add_mosfet("mp", pmos_params(TECH, 2.2 * UM), "out", "in", "vdd")
+    c.add_capacitor("cl", "out", GROUND, c_load)
+    return c
+
+
+def rc_circuit():
+    """Device-free circuit: the fast kernel's pure-Woodbury k=0 path."""
+    c = Circuit("rc")
+    c.add_vsource("vin", "in", GROUND, ramp(0.1 * NS, 0.1 * NS, 0.0, 1.0))
+    c.add_resistor("r1", "in", "mid", 1 * KOHM)
+    c.add_capacitor("c1", "mid", GROUND, 50 * FF)
+    c.add_resistor("r2", "mid", "out", 2 * KOHM)
+    c.add_capacitor("c2", "out", GROUND, 20 * FF)
+    return c
+
+
+def floating_node_circuit():
+    """A node reached only through a coupling capacitor.
+
+    Its G row is empty (singular at DC) but ``A = C/h + G`` is regular,
+    so the transient itself is well-posed once an initial state is
+    supplied.
+    """
+    c = Circuit("floating")
+    c.add_vsource("vin", "agg", GROUND, ramp(0.1 * NS, 0.1 * NS, 0.0, VDD))
+    c.add_capacitor("cc", "agg", "victim", 30 * FF)
+    c.add_capacitor("cg", "victim", GROUND, 50 * FF)
+    return c
+
+
+class TestSeededPopulation:
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_golden_circuits_match(self, seed):
+        for net in NetGenerator(seed=seed).population(2):
+            legacy, fast = run_both(lambda: golden_circuit(net),
+                                    1 * NS, 1 * PS)
+            assert_states_match(legacy, fast)
+
+    def test_dc_operating_points_match(self):
+        for net in NetGenerator(seed=3).population(2):
+            circuit = golden_circuit(net)
+            with kernel_mode("legacy"):
+                x_legacy = dc_operating_point(circuit)
+            with kernel_mode("fast"):
+                x_fast = dc_operating_point(circuit)
+            assert float(np.abs(x_fast - x_legacy).max()) <= TOLERANCE
+
+
+class TestCircuitClasses:
+    def test_device_free_rc(self):
+        legacy, fast = run_both(rc_circuit, 1 * NS, 0.5 * PS)
+        assert_states_match(legacy, fast)
+
+    def test_inverter(self):
+        wave = ramp(0.2 * NS, 0.1 * NS, 0.0, VDD)
+        legacy, fast = run_both(lambda: inverter_circuit(wave),
+                                2 * NS, 1 * PS)
+        assert_states_match(legacy, fast)
+
+    def test_coupling_only_floating_node_transient(self):
+        from repro.circuit.mna import build_mna
+
+        build = floating_node_circuit
+        dim = build_mna(build(), allow_devices=True).dim
+        legacy, fast = run_both(build, 1 * NS, 1 * PS, x0=np.zeros(dim))
+        assert_states_match(legacy, fast)
+
+    def test_coupling_only_floating_node_dc_fails_identically(self):
+        """With no conductive path the DC Jacobian is singular; both
+        kernels must walk the whole recovery ladder and raise."""
+        for mode in ("legacy", "fast"):
+            with kernel_mode(mode):
+                with pytest.raises(ConvergenceError):
+                    dc_operating_point(floating_node_circuit())
+
+
+class TestThroughRecoveryLadders:
+    def test_dt_bisection(self):
+        wave = ramp(0.2 * NS, 0.1 * NS, 0.0, VDD)
+        recovered = metrics().counter("newton.recovered.substep")
+        before = recovered.value
+        legacy, fast = run_both(
+            lambda: inverter_circuit(wave), 1 * NS, 1 * PS,
+            plan_factory=lambda: FaultPlan().add(
+                "newton.step", match="t=", action="convergence", times=1))
+        assert recovered.value == before + 2  # once per kernel
+        assert_states_match(legacy, fast)
+
+    def test_gmin_stepping(self):
+        wave = ramp(0.2 * NS, 0.1 * NS, 0.0, VDD)
+        recovered = metrics().counter("newton.recovered.gmin")
+        before = recovered.value
+        legacy, fast = run_both(
+            lambda: inverter_circuit(wave), 0.5 * NS, 1 * PS,
+            plan_factory=lambda: FaultPlan().add(
+                "newton.step", match="DC operating point",
+                action="convergence", times=1))
+        assert recovered.value == before + 2
+        assert_states_match(legacy, fast)
+
+    def test_source_ramp(self):
+        wave = ramp(0.2 * NS, 0.1 * NS, 0.0, VDD)
+        recovered = metrics().counter("newton.recovered.source_ramp")
+        before = recovered.value
+        legacy, fast = run_both(
+            lambda: inverter_circuit(wave), 0.5 * NS, 1 * PS,
+            plan_factory=lambda: FaultPlan()
+            .add("newton.step", match="DC operating point",
+                 action="convergence", times=1)
+            .add("newton.step", match="gmin",
+                 action="convergence", times=1))
+        assert recovered.value == before + 2
+        assert_states_match(legacy, fast)
+
+
+class TestKernelModeSwitch:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="kernel mode"):
+            with kernel_mode("turbo"):
+                pass
+
+    def test_context_restores_previous_mode(self):
+        from repro.sim.nonlinear import _KERNEL_MODE  # noqa: F401
+        import repro.sim.nonlinear as nl
+        assert nl._KERNEL_MODE == "fast"
+        with kernel_mode("legacy"):
+            assert nl._KERNEL_MODE == "legacy"
+        assert nl._KERNEL_MODE == "fast"
+
+
+class TestBatchScalarCrossover:
+    def test_scalar_and_vector_paths_agree(self, monkeypatch):
+        """_DeviceBatch.evaluate: the n < _BATCH_EVAL_MIN scalar loop and
+        the vectorized evaluate_batch path compute the same currents and
+        derivatives."""
+        import repro.sim.nonlinear as nl
+        from repro.circuit.mna import build_mna
+
+        net = next(iter(NetGenerator(seed=5).population(1)))
+        circuit = golden_circuit(net)
+        mna = build_mna(circuit, allow_devices=True)
+        batch = nl._DeviceBatch(circuit.mosfets, mna)
+        rng = np.random.default_rng(42)
+        for _ in range(5):
+            x = rng.uniform(-0.5, VDD + 0.5, mna.dim)
+            monkeypatch.setattr(nl, "_BATCH_EVAL_MIN", 10 ** 9)
+            i_scalar, d_scalar = batch.evaluate(x)
+            monkeypatch.setattr(nl, "_BATCH_EVAL_MIN", 0)
+            i_vector, d_vector = batch.evaluate(x)
+            np.testing.assert_allclose(i_vector, i_scalar, rtol=1e-12,
+                                       atol=1e-18)
+            np.testing.assert_allclose(d_vector, d_scalar, rtol=1e-12,
+                                       atol=1e-18)

@@ -100,6 +100,10 @@ class TestSolverProperties:
             # Margin covers trapezoidal ringing on stiff sub-step time
             # constants (the method is A-stable but not L-stable); the
             # physical response of a passive RC stays within [0, 1].
-            assert lo >= -0.1
-            assert hi <= 1.1
+            # Fuzzing has produced passive networks ringing past a 10%
+            # band (worst observed ~1.1004), so the bound only claims
+            # "bounded, no blow-up" — the strict settle check below is
+            # what pins the DC answer.
+            assert lo >= -0.25
+            assert hi <= 1.25
             assert wave.values[-1] == pytest.approx(1.0, abs=0.01)

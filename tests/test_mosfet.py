@@ -175,3 +175,64 @@ class TestRepr:
         text = repr(make_nmos())
         assert "nmos" in text
         assert "um" in text.lower()
+
+
+class TestBatchEvaluation:
+    """evaluate_batch / evaluate_one against the Mosfet.evaluate reference."""
+
+    def _devices(self):
+        return [make_nmos(), make_pmos(), make_nmos(0.5 * UM),
+                make_pmos(4 * UM), make_nmos(2 * UM)]
+
+    def test_evaluate_batch_matches_scalar(self):
+        import numpy as np
+
+        from repro.devices import batch_params, evaluate_batch
+
+        devices = self._devices()
+        params = batch_params(devices)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            # Uniform draws across (and beyond) the rails exercise all
+            # regions including drain/source swap (vd < vs).
+            vg, vd, vs = rng.uniform(-0.5, TECH.vdd + 0.5,
+                                     (3, len(devices)))
+            i, dg, dd, ds = evaluate_batch(params, vg, vd, vs)
+            for j, m in enumerate(devices):
+                ref = m.evaluate(vg[j], vd[j], vs[j])
+                assert i[j] == pytest.approx(ref[0], rel=1e-12, abs=1e-18)
+                assert dg[j] == pytest.approx(ref[1], rel=1e-12, abs=1e-18)
+                assert dd[j] == pytest.approx(ref[2], rel=1e-12, abs=1e-18)
+                assert ds[j] == pytest.approx(ref[3], rel=1e-12, abs=1e-18)
+
+    def test_evaluate_one_bit_identical_to_method(self):
+        import numpy as np
+
+        from repro.devices import batch_params, evaluate_one
+
+        devices = self._devices()
+        p = batch_params(devices)
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            vg, vd, vs = rng.uniform(-0.5, TECH.vdd + 0.5,
+                                     (3, len(devices)))
+            for j, m in enumerate(devices):
+                got = evaluate_one(
+                    float(p.sign[j]), float(p.beta[j]), float(p.vt[j]),
+                    float(p.lam[j]), float(p.gmin[j]),
+                    float(vg[j]), float(vd[j]), float(vs[j]))
+                ref = m.evaluate(vg[j], vd[j], vs[j])
+                assert got == tuple(ref)  # bit-identical floats
+
+    def test_derivatives_sum_to_zero(self):
+        """Terminal current depends on voltage *differences*, so the
+        three derivatives must cancel — batch path included."""
+        import numpy as np
+
+        from repro.devices import batch_params, evaluate_batch
+
+        params = batch_params(self._devices())
+        rng = np.random.default_rng(3)
+        vg, vd, vs = rng.uniform(0.0, TECH.vdd, (3, 5))
+        _, dg, dd, ds = evaluate_batch(params, vg, vd, vs)
+        np.testing.assert_allclose(dg + dd + ds, 0.0, atol=1e-12)

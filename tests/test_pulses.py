@@ -184,3 +184,71 @@ class TestNoisePulse:
         _, h = pulse_peak(p)
         assert h == pytest.approx(-height, rel=1e-3)
         assert pulse_width(p) == pytest.approx(width, rel=0.03)
+
+
+class TestHalfCrossings:
+    """Regression for the half-width extraction on rippled shapes.
+
+    The original implementation fed whole pulse flanks to ``np.interp``
+    as ``xp`` — valid only for monotone flanks.  ``np.interp`` does not
+    check monotonicity, so a ripple on a flank silently produced a wrong
+    crossing (and hence a wrong width scale) instead of an error.
+    """
+
+    def _rippled(self):
+        t = np.linspace(0.0, 10.0, 201)
+        # Main pulse at t=3 plus a sub-half-height ripple on the tail.
+        shape = (np.exp(-((t - 3.0) / 1.2) ** 2)
+                 + 0.35 * np.exp(-((t - 6.5) / 0.6) ** 2))
+        return t, shape
+
+    def test_rippled_crossings_sit_on_the_level(self):
+        from repro.waveform.pulses import _half_crossings
+
+        t, shape = self._rippled()
+        peak_idx = int(shape.argmax())
+        level = 0.5 * float(shape.max())
+        left, right = _half_crossings(t, shape, peak_idx, level)
+        assert left < t[peak_idx] < right
+        # The crossings lie on the sampled polyline at exactly `level`…
+        assert np.interp(left, t, shape) == pytest.approx(level, rel=1e-9)
+        assert np.interp(right, t, shape) == pytest.approx(level, rel=1e-9)
+        # …and bracket a contiguous above-level region around the peak.
+        inside = shape[(t > left) & (t < right)]
+        assert (inside >= level).all()
+
+    def test_np_interp_on_rippled_flank_was_wrong(self):
+        """Documents the failure mode the walk replaces: with a ripple
+        crossing the half-height level, np.interp's binary search on the
+        non-monotone flank returns the *ripple's* outer crossing instead
+        of the one adjacent to the peak, silently inflating the width."""
+        from repro.waveform.pulses import _half_crossings
+
+        t = np.linspace(0.0, 10.0, 201)
+        shape = (np.exp(-((t - 3.0) / 1.2) ** 2)
+                 + 0.7 * np.exp(-((t - 6.5) / 0.6) ** 2))
+        peak_idx = int(shape.argmax())
+        level = 0.5 * float(shape.max())
+        _, right = _half_crossings(t, shape, peak_idx, level)
+        old_right = float(np.interp(level, shape[peak_idx:][::-1],
+                                    t[peak_idx:][::-1]))
+        assert right == pytest.approx(4.0, abs=0.1)  # peak-adjacent
+        assert old_right - right > 2.0               # ripple flank
+
+    def test_flat_tail_fallback(self):
+        from repro.waveform.pulses import _half_crossings
+
+        t = np.linspace(0.0, 1.0, 11)
+        shape = np.ones(11)  # never drops below the level on either side
+        left, right = _half_crossings(t, shape, 5, 0.5)
+        assert left == t[0]
+        assert right == t[-1]
+
+    def test_noise_pulse_width_unchanged(self):
+        """The walk reproduces np.interp's crossings on the monotone
+        canonical shape: constructed widths still hit their target."""
+        from repro.waveform import noise_pulse
+
+        for asymmetry in (1.5, 2.0, 4.0, 8.0):
+            p = noise_pulse(1.0 * NS, 0.3, 0.2 * NS, asymmetry=asymmetry)
+            assert pulse_width(p) == pytest.approx(0.2 * NS, rel=1e-3)

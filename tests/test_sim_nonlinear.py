@@ -147,3 +147,38 @@ class TestChaining:
         c = inverter_circuit(0.0)
         with pytest.raises(ValueError):
             simulate_nonlinear(c, 1 * NS, 1 * PS, x0=np.zeros(3))
+
+
+class TestValidation:
+    def test_degenerate_time_grid_rejected_eagerly(self):
+        c = inverter_circuit(0.0)
+        with pytest.raises(ValueError, match="degenerate time grid"):
+            simulate_nonlinear(c, 0.0, 1 * PS)
+        with pytest.raises(ValueError, match="t_stop"):
+            simulate_nonlinear(c, 1 * NS, 1 * PS, t_start=1 * NS)
+        with pytest.raises(ValueError, match="degenerate time grid"):
+            simulate_nonlinear(c, 0.5 * NS, 1 * PS, t_start=1 * NS)
+
+    def test_nonpositive_dt_rejected(self):
+        c = inverter_circuit(0.0)
+        with pytest.raises(ValueError, match="dt must be positive"):
+            simulate_nonlinear(c, 1 * NS, 0.0)
+        with pytest.raises(ValueError, match="dt must be positive"):
+            simulate_nonlinear(c, 1 * NS, -1 * PS)
+
+
+class TestNonConvergenceDiagnostics:
+    def test_message_reports_applied_damped_step(self):
+        """The diagnostic reports the update actually applied (after the
+        ±0.5 V damping clamp), not the raw undamped Newton step."""
+        from repro.sim.nonlinear import _newton_solve
+
+        def residual(_x):
+            # Constant residual: undamped step stays 1e9, applied 0.5 V.
+            return np.array([1e9, 1.0])
+
+        with pytest.raises(ConvergenceError) as excinfo:
+            _newton_solve(np.eye(2), residual, [], np.zeros(2), "probe")
+        message = str(excinfo.value)
+        assert "last applied step 5.000e-01 V" in message
+        assert "worst residual 1.000e+09" in message
