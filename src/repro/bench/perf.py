@@ -12,12 +12,19 @@ the same transient states.  Four phases are timed per kernel:
 * **rtr_extraction** — :func:`repro.core.holding_resistance.compute_rtr`
   per net (driver-model fitting: non-linear driver pair runs);
 * **alignment_search** — a small exhaustive worst-case alignment sweep
-  on each net's first aggressor pulse.
+  on each net's first aggressor pulse, candidate-by-candidate
+  (``batch=False``: the serial reference, amortized through the shared
+  driven circuit and factor cache);
+* **alignment_search_batched** — the same sweep through the batched
+  multi-candidate kernel (fast kernel only): all candidates advance as
+  one ``(S, dim)`` Newton block over one factorization.
 
-The result dictionary (see ``docs/architecture.md`` for the JSON schema)
-is what the CLI writes to ``BENCH_perf.json``; ``equivalence`` carries
-the maximum state delta between the kernels against the documented
-1e-9 V tolerance, and the CLI exits non-zero when it is exceeded.
+The result dictionary (see ``docs/architecture.md`` for the JSON
+schema, ``repro.bench.perf/v2``) is what the CLI writes to
+``BENCH_perf.json``; ``equivalence`` carries the maximum state delta
+between the kernels against the documented 1e-9 V tolerance plus the
+batched-vs-serial sweep deltas (worst peak time and extra delay), and
+the CLI exits non-zero when either gate is exceeded.
 """
 
 from __future__ import annotations
@@ -50,9 +57,13 @@ __all__ = ["run_perf", "format_perf", "EQUIVALENCE_TOLERANCE", "SCHEMA"]
 EQUIVALENCE_TOLERANCE = 1e-9
 
 #: Schema identifier written into BENCH_perf.json.
-SCHEMA = "repro.bench.perf/v1"
+SCHEMA = "repro.bench.perf/v2"
 
 _KERNELS = ("legacy", "fast")
+
+#: Alignment-sweep shape shared by the serial and batched phases.
+_ALIGN_STEPS = 9
+_ALIGN_REFINE = 4
 
 
 def _newton_counters(snapshot: dict) -> dict:
@@ -117,7 +128,9 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
             phase["steps_per_second"] = steps / phase["transient_s"]
             phase["newton"] = newton
 
-            obs: dict[str, list[float]] = {"rtr": [], "peak_time": []}
+            obs: dict[str, list[float]] = {
+                "rtr": [], "peak_time": [], "extra_delay": [],
+                "peak_time_batched": [], "extra_delay_batched": []}
             if not skip_analysis:
                 cache = ModelCache()
                 engines = [SuperpositionEngine(net, cache=cache)
@@ -132,15 +145,47 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
                     net, victim, pulse = _alignment_inputs(engine)
                     sweep = exhaustive_worst_alignment(
                         net.receiver, victim, pulse, net.vdd, True,
-                        steps=9, refine=4, dt=2 * PS)
+                        steps=_ALIGN_STEPS, refine=_ALIGN_REFINE,
+                        dt=2 * PS, batch=False)
                     obs["peak_time"].append(sweep.best_peak_time)
+                    obs["extra_delay"].append(sweep.best_extra_output)
                 phase["alignment_search_s"] = time.perf_counter() - t0
+
+                if kernel == "fast":
+                    # Batched phase: identical sweep, one (S, dim)
+                    # Newton block per pass instead of S serial runs.
+                    t0 = time.perf_counter()
+                    for engine in engines:
+                        net, victim, pulse = _alignment_inputs(engine)
+                        sweep = exhaustive_worst_alignment(
+                            net.receiver, victim, pulse, net.vdd, True,
+                            steps=_ALIGN_STEPS, refine=_ALIGN_REFINE,
+                            dt=2 * PS, batch=True)
+                        obs["peak_time_batched"].append(
+                            sweep.best_peak_time)
+                        obs["extra_delay_batched"].append(
+                            sweep.best_extra_output)
+                    phase["alignment_search_batched_s"] = \
+                        time.perf_counter() - t0
             observables[kernel] = obs
             timings[kernel] = phase
 
     max_delta = max(
         float(np.abs(sf - sl).max())
         for sf, sl in zip(states["fast"], states["legacy"]))
+    # Batched-vs-serial sweep agreement, measured on the fast kernel
+    # (the serial fast sweep is the reference the batched path must
+    # reproduce within the solver equivalence gate).
+    fast_obs = observables["fast"]
+    batched_peak_deltas = [
+        abs(a - b) for a, b in zip(fast_obs["peak_time_batched"],
+                                   fast_obs["peak_time"])]
+    batched_delay_deltas = [
+        abs(a - b) for a, b in zip(fast_obs["extra_delay_batched"],
+                                   fast_obs["extra_delay"])]
+    batched_ok = all(
+        d <= EQUIVALENCE_TOLERANCE
+        for d in batched_peak_deltas + batched_delay_deltas)
     equivalence = {
         "max_state_delta": max_delta,
         "tolerance": EQUIVALENCE_TOLERANCE,
@@ -151,6 +196,9 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
         "peak_time_delta_s": [
             abs(a - b) for a, b in zip(observables["fast"]["peak_time"],
                                        observables["legacy"]["peak_time"])],
+        "batched_peak_time_delta_s": batched_peak_deltas,
+        "batched_extra_delay_delta_s": batched_delay_deltas,
+        "batched_within_tolerance": batched_ok,
     }
 
     fast, legacy = timings["fast"], timings["legacy"]
@@ -163,6 +211,12 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
     for key in ("rtr_extraction_s", "alignment_search_s"):
         if key in fast and fast[key] > 0.0:
             speedup[key[:-2]] = legacy[key] / fast[key]
+    if fast.get("alignment_search_batched_s", 0.0) > 0.0:
+        # The production comparison: serial legacy sweep vs the batched
+        # fast sweep on the same candidate schedule.
+        speedup["alignment_search_batched"] = (
+            legacy["alignment_search_s"]
+            / fast["alignment_search_batched_s"])
 
     return {
         "schema": SCHEMA,
@@ -172,6 +226,8 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
             "t_stop": t_stop,
             "dt": dt,
             "dc_repeats": dc_repeats,
+            "alignment_steps": _ALIGN_STEPS,
+            "alignment_refine": _ALIGN_REFINE,
             "nets": [net.name for net in nets],
             "devices": [len(c.mosfets) for c in circuits],
             "dims": [int(s.shape[0]) for s in states["fast"]],
@@ -202,6 +258,15 @@ def format_perf(payload: dict) -> str:
         ratio_text = f"{ratio:8.2f}x" if ratio else " " * 9
         lines.append(f"{label:<18}{legacy[key]:>11.3f}s{fast[key]:>11.3f}s"
                      f"{ratio_text:>10}")
+    if "alignment_search_batched_s" in fast:
+        # Legacy column repeats the serial legacy sweep: the batched
+        # speedup row is (legacy serial) / (fast batched).
+        ratio = payload["speedup"]["alignment_search_batched"]
+        lines.append(
+            f"{'alignment_batched':<18}"
+            f"{legacy['alignment_search_s']:>11.3f}s"
+            f"{fast['alignment_search_batched_s']:>11.3f}s"
+            f"{ratio:8.2f}x")
     lines.append(
         f"{'newton steps/s':<18}{legacy['steps_per_second']:>12.0f}"
         f"{fast['steps_per_second']:>12.0f}"
@@ -210,4 +275,11 @@ def format_perf(payload: dict) -> str:
     verdict = "ok" if eq["within_tolerance"] else "DRIFT"
     lines.append(f"equivalence: max state delta {eq['max_state_delta']:.3e}"
                  f" V (tolerance {eq['tolerance']:.0e}) -> {verdict}")
+    if eq.get("batched_peak_time_delta_s"):
+        worst_peak = max(eq["batched_peak_time_delta_s"])
+        worst_delay = max(eq["batched_extra_delay_delta_s"])
+        verdict = "ok" if eq["batched_within_tolerance"] else "DRIFT"
+        lines.append(
+            f"batched vs serial: peak delta {worst_peak:.3e} s, "
+            f"extra-delay delta {worst_delay:.3e} s -> {verdict}")
     return "\n".join(lines)

@@ -18,10 +18,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.circuit.elements import stimulus_value
+from repro.circuit.elements import Stimulus, stimulus_value
 from repro.circuit.netlist import GROUND, Circuit
+from repro.obs import metrics
 
 __all__ = ["MnaSystem", "build_mna"]
+
+# Stamping cache telemetry: hits mean a sweep reused one circuit's
+# stamped system instead of rebuilding it per candidate.
+_MNA_HIT = metrics().counter("sim.mna_cache.hit")
+_MNA_MISS = metrics().counter("sim.mna_cache.miss")
 
 
 @dataclass
@@ -76,17 +82,25 @@ class MnaSystem:
     # ------------------------------------------------------------------
     # Right-hand side
     # ------------------------------------------------------------------
-    def rhs_matrix(self, times: np.ndarray) -> np.ndarray:
+    def rhs_matrix(self, times: np.ndarray,
+                   overrides: dict[str, Stimulus] | None = None
+                   ) -> np.ndarray:
         """Right-hand side ``rhs(t)`` evaluated on a time grid.
 
-        Returns an array of shape ``(dim, len(times))``.
+        Returns an array of shape ``(dim, len(times))``.  ``overrides``
+        substitutes the stimulus of named sources without touching the
+        circuit — this is how the batched multi-candidate kernel builds
+        one right-hand side per candidate over a shared topology.
         """
         times = np.asarray(times, dtype=float)
         rhs = np.zeros((self.dim, times.size))
+        overrides = overrides or {}
         for k, vs in enumerate(self.circuit.vsources):
-            rhs[self.n_nodes + k, :] += stimulus_value(vs.value, times)
+            value = overrides.get(vs.name, vs.value)
+            rhs[self.n_nodes + k, :] += stimulus_value(value, times)
         for cs in self.circuit.isources:
-            current = stimulus_value(cs.value, times)
+            current = stimulus_value(overrides.get(cs.name, cs.value),
+                                     times)
             if cs.node_pos != GROUND:
                 rhs[self.node_index[cs.node_pos], :] += current
             if cs.node_neg != GROUND:
@@ -134,6 +148,13 @@ def build_mna(circuit: Circuit, *, allow_devices: bool = False) -> MnaSystem:
             "or pass allow_devices=True if you really want the linear part"
         )
 
+    version = getattr(circuit, "_topology_version", None)
+    if version is not None:
+        cached = circuit.__dict__.get("_mna_cache")
+        if cached is not None and cached[0] == version:
+            _MNA_HIT.inc()
+            return cached[1]
+
     nodes = circuit.nodes()
     node_index = {node: i for i, node in enumerate(nodes)}
     n = len(nodes)
@@ -172,5 +193,9 @@ def build_mna(circuit: Circuit, *, allow_devices: bool = False) -> MnaSystem:
             G[j, row] -= 1.0
             G[row, j] -= 1.0
 
-    return MnaSystem(circuit=circuit, node_index=node_index, G=G, C=C,
-                     vsource_index=vsource_index)
+    system = MnaSystem(circuit=circuit, node_index=node_index, G=G, C=C,
+                       vsource_index=vsource_index)
+    if version is not None:
+        circuit.__dict__["_mna_cache"] = (version, system)
+        _MNA_MISS.inc()
+    return system

@@ -45,6 +45,11 @@ class Circuit:
         self.isources: list[CurrentSource] = []
         self.mosfets: list[Mosfet] = []
         self._names: set[str] = set()
+        #: Bumped on every element addition; lets MNA stamping cache its
+        #: result per circuit and invalidate on topology change.  Source
+        #: *value* rebinds (:meth:`set_source_value`) do not bump it —
+        #: stimulus values never enter the stamped matrices.
+        self._topology_version = 0
 
     # ------------------------------------------------------------------
     # Element addition
@@ -53,6 +58,7 @@ class Circuit:
         if name in self._names:
             raise ValueError(f"duplicate element name {name!r} in {self.name}")
         self._names.add(name)
+        self._topology_version += 1
 
     def add_resistor(self, name: str, node1: str, node2: str,
                      resistance: float) -> Resistor:
@@ -90,6 +96,45 @@ class Circuit:
         device = Mosfet(name, params, drain, gate, source)
         self.mosfets.append(device)
         return device
+
+    # ------------------------------------------------------------------
+    # Source rebinding
+    # ------------------------------------------------------------------
+    def source_value(self, name: str) -> Stimulus:
+        """Current stimulus of a named voltage or current source."""
+        for sources in (self.vsources, self.isources):
+            for src in sources:
+                if src.name == name:
+                    return src.value
+        raise KeyError(f"no source named {name!r} in {self.name}")
+
+    def set_source_value(self, name: str, value: Stimulus) -> None:
+        """Rebind the stimulus of a voltage or current source in place.
+
+        Topology is untouched — cached MNA stamps stay valid, only the
+        right-hand-side evaluation changes.  This is what lets sweeps
+        (e.g. the exhaustive alignment search) reuse one circuit, one
+        stamped system and one matrix factorization across candidate
+        input waveforms instead of rebuilding all three per candidate.
+        """
+        for k, vs in enumerate(self.vsources):
+            if vs.name == name:
+                self.vsources[k] = VoltageSource(vs.name, vs.node_pos,
+                                                 vs.node_neg, value)
+                return
+        for k, cs in enumerate(self.isources):
+            if cs.name == name:
+                self.isources[k] = CurrentSource(cs.name, cs.node_pos,
+                                                 cs.node_neg, value)
+                return
+        raise KeyError(f"no source named {name!r} in {self.name}")
+
+    def __getstate__(self):
+        # The MNA cache holds solver kernels (closures, factorizations)
+        # that are neither picklable nor worth shipping to workers.
+        state = self.__dict__.copy()
+        state.pop("_mna_cache", None)
+        return state
 
     # ------------------------------------------------------------------
     # Introspection

@@ -425,6 +425,10 @@ def _cmd_bench(args) -> int:
         out.error("solver equivalence drift: fast kernel deviates from "
                   "the legacy reference beyond tolerance")
         return 1
+    if not payload["equivalence"].get("batched_within_tolerance", True):
+        out.error("batched alignment drift: batched sweep deviates from "
+                  "the serial reference beyond tolerance")
+        return 1
     return 0
 
 

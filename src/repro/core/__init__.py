@@ -49,6 +49,7 @@ from repro.core.block import BlockAnalyzer, BlockNet, BlockReport
 from repro.core.hold import HoldReport, hold_speedup
 from repro.core.statistical import (
     DelayNoiseDistribution,
+    alignment_delay_distribution,
     sample_alignment_delays,
 )
 
@@ -84,6 +85,7 @@ __all__ = [
     "HoldReport",
     "hold_speedup",
     "DelayNoiseDistribution",
+    "alignment_delay_distribution",
     "sample_alignment_delays",
     "NoiseReport",
 ]

@@ -14,6 +14,19 @@ at the receiver *output*.  This module provides
   "expensive search using a large number of non-linear simulations" the
   pre-characterization replaces, and serves as the golden reference for
   Figures 9 and 14.
+
+Sweep amortization
+------------------
+Every candidate in the sweep simulates the *same* receiver circuit on
+the *same* grid — only the ideal-source input waveform moves.  The sweep
+therefore builds the driven circuit once per receiver configuration
+(cached on the :class:`~repro.core.net.ReceiverSpec`) and rebinds the
+source stimulus per candidate, so the stamped MNA system and the
+factored backward-Euler kernel are reused across all candidates; with
+``batch=True`` (the default) all candidates additionally advance
+together through :func:`repro.sim.batched.simulate_nonlinear_batch` as
+one ``(S, dim)`` Newton block.  Serial and batched sweeps agree within
+the solver's 1e-9 V equivalence gate.
 """
 
 from __future__ import annotations
@@ -23,6 +36,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.net import ReceiverSpec
+from repro.obs import metrics
+from repro.obs import span as _span
+from repro.sim.batched import simulate_nonlinear_batch
 from repro.sim.nonlinear import simulate_nonlinear
 from repro.units import PS
 from repro.waveform import Waveform
@@ -31,35 +47,123 @@ from repro.waveform.pulses import pulse_peak
 __all__ = ["receiver_output_waveform", "combined_extra_delays",
            "exhaustive_worst_alignment", "AlignmentSweep"]
 
+#: Candidate receiver evaluations requested by alignment sweeps; the
+#: ratio to ``newton.batched.solves`` shows the batching amortization.
+_CANDIDATES = metrics().counter("alignment.candidates")
+
+
+def _receiver_circuit(receiver: ReceiverSpec,
+                      v_input: Waveform) -> "object":
+    """The receiver's driven characterization circuit, built once.
+
+    Rebuilding the circuit per candidate was the root cause of the
+    alignment-phase regression: each fresh ``Circuit`` carried a fresh
+    MNA system, so the kernel-factory memoization never hit and every
+    candidate re-factored ``C/h + G``.  One cached circuit per
+    (gate, load, pin) configuration — with the source stimulus rebound
+    in place — keeps the topology version stable and every cache warm.
+    """
+    config = (receiver.c_load, receiver.pin)
+    cached = getattr(receiver, "_driven_cache", None)
+    if (cached is not None and cached[0] is receiver.gate
+            and cached[1] == config):
+        circuit = cached[2]
+        circuit.set_source_value("vin", v_input)
+        return circuit
+    circuit = receiver.gate.driven_circuit(
+        v_input, c_load_external=receiver.c_load,
+        switching_pin=receiver.input_pin, name="rcv_eval")
+    receiver._driven_cache = (receiver.gate, config, circuit)
+    return circuit
+
 
 def receiver_output_waveform(receiver: ReceiverSpec, v_input: Waveform,
-                             t_stop: float, dt: float = 1.0 * PS
+                             t_stop: float, dt: float = 1.0 * PS, *,
+                             t_start: float | None = None
                              ) -> Waveform:
     """Simulate the receiver gate with ``v_input`` at its input.
 
     The input is driven by an ideal source (the interconnect interaction
     is already baked into the waveform, per the superposition flow), the
-    output carries the receiver's external load.
+    output carries the receiver's external load.  ``t_start`` defaults
+    to ``min(v_input.t_start, 0.0)``; sweeps pin it so every candidate
+    shares one grid (and therefore one factorization).
     """
-    circuit = receiver.gate.driven_circuit(
-        v_input, c_load_external=receiver.c_load,
-        switching_pin=receiver.input_pin, name="rcv_eval")
-    result = simulate_nonlinear(circuit, t_stop, dt,
-                                t_start=min(v_input.t_start, 0.0))
+    circuit = _receiver_circuit(receiver, v_input)
+    if t_start is None:
+        t_start = min(v_input.t_start, 0.0)
+    result = simulate_nonlinear(circuit, t_stop, dt, t_start=t_start)
     return result.voltage("out")
+
+
+def _candidate_outputs(receiver: ReceiverSpec, waves: list[Waveform],
+                       t_stop: float, dt: float, t_start: float, *,
+                       batch: bool) -> list[Waveform]:
+    """Receiver output waveforms for a set of candidate inputs.
+
+    All candidates run over the cached driven circuit on one shared
+    grid.  ``batch=True`` advances them as a single state block;
+    ``batch=False`` is the serial reference (still amortized through
+    source rebinding and the factor cache).
+    """
+    _CANDIDATES.inc(len(waves))
+    circuit = _receiver_circuit(receiver, waves[0])
+    if batch and len(waves) > 1:
+        results = simulate_nonlinear_batch(
+            circuit, [{"vin": w} for w in waves], t_stop, dt,
+            t_start=t_start)
+        return [r.voltage("out") for r in results]
+    outputs = []
+    for w in waves:
+        circuit.set_source_value("vin", w)
+        result = simulate_nonlinear(circuit, t_stop, dt, t_start=t_start)
+        outputs.append(result.voltage("out"))
+    return outputs
+
+
+def _measure_extra_delays(noiseless: Waveform, noisy: Waveform,
+                          clean_output: Waveform, noisy_output: Waveform,
+                          vdd: float, victim_rising: bool,
+                          inverting: bool, minimize: bool
+                          ) -> tuple[float, float]:
+    """Crossing-time bookkeeping shared by single and swept evaluation."""
+    half = vdd / 2.0
+    which_noisy = "first" if minimize else "last"
+
+    t_in_clean = noiseless.crossing_time(half, rising=victim_rising,
+                                         which="first")
+    try:
+        t_in_noisy = noisy.crossing_time(half, rising=victim_rising,
+                                         which=which_noisy)
+    except ValueError:
+        t_in_noisy = noisy.t_end
+    extra_input = t_in_noisy - t_in_clean
+
+    out_rising = (not victim_rising) if inverting else victim_rising
+    t_out_clean = clean_output.crossing_time(half, rising=out_rising,
+                                             which="first")
+    try:
+        t_out_noisy = noisy_output.crossing_time(half, rising=out_rising,
+                                                 which=which_noisy)
+    except ValueError:
+        t_out_noisy = noisy_output.t_end
+    extra_output = t_out_noisy - t_out_clean
+    return extra_input, extra_output
 
 
 def combined_extra_delays(receiver: ReceiverSpec, noiseless: Waveform,
                           noisy: Waveform, vdd: float, victim_rising: bool,
                           t_stop: float, dt: float = 1.0 * PS, *,
                           clean_output: Waveform | None = None,
+                          noisy_output: Waveform | None = None,
                           minimize: bool = False
                           ) -> tuple[float, float, Waveform]:
     """Extra delay at the receiver input and output.
 
     Returns ``(extra_at_input, extra_at_output, noisy_output_waveform)``.
     Pass ``clean_output`` (from a previous call) to avoid re-simulating
-    the noiseless case inside sweeps.
+    the noiseless case inside sweeps, and ``noisy_output`` when the
+    noisy response is already in hand (e.g. from a batched sweep).
 
     ``minimize=False`` (setup / max-delay analysis): the noisy *last*
     50% crossing is used — a pulse that drags the signal back across
@@ -71,32 +175,15 @@ def combined_extra_delays(receiver: ReceiverSpec, noiseless: Waveform,
     window, the window end is used — a conservative saturation rather
     than a failure.
     """
-    half = vdd / 2.0
-    which_noisy = "first" if minimize else "last"
     if clean_output is None:
         clean_output = receiver_output_waveform(receiver, noiseless,
                                                 t_stop, dt)
-    noisy_output = receiver_output_waveform(receiver, noisy, t_stop, dt)
-
-    t_in_clean = noiseless.crossing_time(half, rising=victim_rising,
-                                         which="first")
-    try:
-        t_in_noisy = noisy.crossing_time(half, rising=victim_rising,
-                                         which=which_noisy)
-    except ValueError:
-        t_in_noisy = noisy.t_end
-    extra_input = t_in_noisy - t_in_clean
-
-    out_rising = (not victim_rising) if receiver.gate.inverting \
-        else victim_rising
-    t_out_clean = clean_output.crossing_time(half, rising=out_rising,
-                                             which="first")
-    try:
-        t_out_noisy = noisy_output.crossing_time(half, rising=out_rising,
-                                                 which=which_noisy)
-    except ValueError:
-        t_out_noisy = noisy_output.t_end
-    extra_output = t_out_noisy - t_out_clean
+    if noisy_output is None:
+        noisy_output = receiver_output_waveform(receiver, noisy, t_stop,
+                                                dt)
+    extra_input, extra_output = _measure_extra_delays(
+        noiseless, noisy, clean_output, noisy_output, vdd, victim_rising,
+        receiver.gate.inverting, minimize)
     return extra_input, extra_output, noisy_output
 
 
@@ -124,7 +211,8 @@ def exhaustive_worst_alignment(receiver: ReceiverSpec, noiseless: Waveform,
                                span: tuple[float, float] | None = None,
                                steps: int = 33,
                                refine: int = 0,
-                               minimize: bool = False) -> AlignmentSweep:
+                               minimize: bool = False,
+                               batch: bool = True) -> AlignmentSweep:
     """Sweep the pulse peak position, maximizing receiver-output delay.
 
     ``span`` is the absolute range of candidate *peak times* (default: a
@@ -135,12 +223,20 @@ def exhaustive_worst_alignment(receiver: ReceiverSpec, noiseless: Waveform,
     ``minimize=True`` searches for the worst *speed-up* instead (aiding
     noise, hold analysis); ``best_extra_output`` is then the most
     negative extra delay.
+
+    With ``batch=True`` (default) each sweep pass runs as one batched
+    multi-candidate simulation — one factorization, one ``(S, dim)``
+    Newton block — and the noiseless reference rides along as candidate
+    0.  ``batch=False`` runs candidates serially over the same shared
+    circuit and grid; the two agree within the 1e-9 V solver
+    equivalence gate.
     """
-    half = vdd / 2.0
+    if steps < 2:
+        raise ValueError(
+            f"alignment sweep needs steps >= 2 to cover the span, "
+            f"got {steps}")
     t_peak0, _height = pulse_peak(pulse)
     if span is None:
-        t50 = noiseless.crossing_time(half, rising=victim_rising,
-                                      which="first")
         t_lo = noiseless.crossing_time(
             0.05 * vdd if victim_rising else 0.95 * vdd,
             rising=victim_rising, which="first")
@@ -149,43 +245,65 @@ def exhaustive_worst_alignment(receiver: ReceiverSpec, noiseless: Waveform,
             rising=victim_rising, which="last")
         width = max(t_hi - t_lo, 1.0 * PS)
         span = (t_lo - 0.5 * width, t_hi + 1.5 * width)
-        del t50
     if t_stop is None:
         t_stop = max(noiseless.t_end, span[1] + 2.0 * (span[1] - span[0]))
 
-    clean_output = receiver_output_waveform(receiver, noiseless, t_stop, dt)
-
     peak_times = np.linspace(span[0], span[1], steps)
-    extra_out = np.empty(steps)
-    extra_in = np.empty(steps)
-    for i, t_peak in enumerate(peak_times):
-        noisy = noiseless + pulse.shifted(t_peak - t_peak0)
-        extra_in[i], extra_out[i], _ = combined_extra_delays(
-            receiver, noiseless, noisy, vdd, victim_rising, t_stop, dt,
-            clean_output=clean_output, minimize=minimize)
+    waves = [noiseless + pulse.shifted(t_peak - t_peak0)
+             for t_peak in peak_times]
+    # One grid for the whole sweep (reference, coarse pass and refine
+    # pass): the common start keeps the step size h identical, which is
+    # what lets every candidate share one factored kernel.
+    t_start = min(0.0, noiseless.t_start,
+                  min(w.t_start for w in waves))
 
+    inverting = receiver.gate.inverting
     pick = np.argmin if minimize else np.argmax
-    best = int(pick(extra_out))
 
-    if refine > 0:
-        lo = peak_times[max(best - 1, 0)]
-        hi = peak_times[min(best + 1, steps - 1)]
-        fine_times = np.linspace(lo, hi, refine + 2)[1:-1]
-        fine_out = np.empty(fine_times.size)
-        fine_in = np.empty(fine_times.size)
-        for i, t_peak in enumerate(fine_times):
-            noisy = noiseless + pulse.shifted(t_peak - t_peak0)
-            fine_in[i], fine_out[i], _ = combined_extra_delays(
-                receiver, noiseless, noisy, vdd, victim_rising, t_stop, dt,
-                clean_output=clean_output, minimize=minimize)
-        peak_times = np.concatenate([peak_times, fine_times])
-        extra_out = np.concatenate([extra_out, fine_out])
-        extra_in = np.concatenate([extra_in, fine_in])
-        order = np.argsort(peak_times)
-        peak_times = peak_times[order]
-        extra_out = extra_out[order]
-        extra_in = extra_in[order]
+    with _span("alignment.sweep", steps=steps, refine=refine,
+               batch=bool(batch)) as sweep_span:
+        outputs = _candidate_outputs(receiver, [noiseless] + waves,
+                                     t_stop, dt, t_start, batch=batch)
+        clean_output = outputs[0]
+        extra_in = np.empty(steps)
+        extra_out = np.empty(steps)
+        for i in range(steps):
+            extra_in[i], extra_out[i] = _measure_extra_delays(
+                noiseless, waves[i], clean_output, outputs[i + 1], vdd,
+                victim_rising, inverting, minimize)
+
         best = int(pick(extra_out))
+        total = steps + 1
+
+        if refine > 0:
+            lo = peak_times[max(best - 1, 0)]
+            hi = peak_times[min(best + 1, steps - 1)]
+            fine_times = np.linspace(lo, hi, refine + 2)[1:-1]
+            fine_waves = [noiseless + pulse.shifted(t_peak - t_peak0)
+                          for t_peak in fine_times]
+            fine_outputs = _candidate_outputs(receiver, fine_waves,
+                                              t_stop, dt, t_start,
+                                              batch=batch)
+            fine_in = np.empty(fine_times.size)
+            fine_out = np.empty(fine_times.size)
+            for i in range(fine_times.size):
+                fine_in[i], fine_out[i] = _measure_extra_delays(
+                    noiseless, fine_waves[i], clean_output,
+                    fine_outputs[i], vdd, victim_rising, inverting,
+                    minimize)
+            total += fine_times.size
+            peak_times = np.concatenate([peak_times, fine_times])
+            extra_out = np.concatenate([extra_out, fine_out])
+            extra_in = np.concatenate([extra_in, fine_in])
+            # np.unique both sorts and de-duplicates: a refine point
+            # landing exactly on a coarse point (refine odd, symmetric
+            # window) would otherwise hand np.interp repeated abscissae
+            # in delay_at.
+            peak_times, keep = np.unique(peak_times, return_index=True)
+            extra_out = extra_out[keep]
+            extra_in = extra_in[keep]
+            best = int(pick(extra_out))
+        sweep_span.set(candidates=total)
 
     return AlignmentSweep(
         peak_times=peak_times,

@@ -176,13 +176,16 @@ def build_alignment_table(
     sweep_steps: int = 17,
     refine_steps: int = 8,
     dt: float = 2.0 * PS,
+    batch: bool = True,
 ) -> AlignmentTable:
     """Characterize the 8 corners of the alignment table.
 
     For each (slew, width, height) corner, a canonical ramp-RC victim and
     an asymmetric opposing noise pulse are swept through an exhaustive
     worst-case alignment search at one characterization load; the victim
-    voltage at the winning peak instant is recorded.
+    voltage at the winning peak instant is recorded.  Each corner's
+    sweep runs through the batched multi-candidate kernel by default
+    (``batch=False`` for the serial reference).
 
     ``c_load`` defaults to the paper's choice, a (near-)minimum receiver
     load of 2 fF.  On loaded receivers the characterized alignment can
@@ -220,7 +223,7 @@ def build_alignment_table(
                         sweep = exhaustive_worst_alignment(
                             receiver, victim, pulse, vdd, victim_rising,
                             steps=sweep_steps, refine=refine_steps,
-                            dt=dt)
+                            dt=dt, batch=batch)
                     va[i, j, k] = victim(sweep.best_peak_time)
     metrics().timer("characterize.alignment.time").observe(
         time.perf_counter() - t_begin)

@@ -21,10 +21,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.exhaustive import AlignmentSweep
+from repro.core.exhaustive import AlignmentSweep, exhaustive_worst_alignment
+from repro.core.net import ReceiverSpec
 from repro.sta.windows import Window
+from repro.units import PS
+from repro.waveform import Waveform
 
-__all__ = ["DelayNoiseDistribution", "sample_alignment_delays"]
+__all__ = ["DelayNoiseDistribution", "sample_alignment_delays",
+           "alignment_delay_distribution"]
 
 
 @dataclass
@@ -96,3 +100,31 @@ def sample_alignment_delays(sweep: AlignmentSweep,
     delays = np.interp(times, sweep.peak_times,
                        sweep.extra_output_delays)
     return DelayNoiseDistribution(delays)
+
+
+def alignment_delay_distribution(receiver: ReceiverSpec,
+                                 noiseless: Waveform, pulse: Waveform,
+                                 vdd: float, victim_rising: bool,
+                                 peak_window: Window, *,
+                                 steps: int = 33, refine: int = 0,
+                                 dt: float = 1.0 * PS,
+                                 samples: int = 10000, seed: int = 0,
+                                 batch: bool = True
+                                 ) -> tuple[DelayNoiseDistribution,
+                                            AlignmentSweep]:
+    """Sweep-and-sample in one call: the delay-noise distribution of a
+    receiver under random pulse alignment.
+
+    Runs :func:`~repro.core.exhaustive.exhaustive_worst_alignment`
+    (through the batched multi-candidate kernel by default — one
+    factorization for the whole curve) and Monte-Carlo samples the
+    resulting delay-vs-alignment curve over ``peak_window``.  Returns
+    ``(distribution, sweep)`` so callers get both the statistics and
+    the underlying worst case.
+    """
+    sweep = exhaustive_worst_alignment(
+        receiver, noiseless, pulse, vdd, victim_rising, dt=dt,
+        steps=steps, refine=refine, batch=batch)
+    distribution = sample_alignment_delays(
+        sweep, peak_window, samples=samples, seed=seed)
+    return distribution, sweep

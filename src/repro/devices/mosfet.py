@@ -247,6 +247,12 @@ def evaluate_batch(batch: MosfetBatchParams, vg: np.ndarray, vd: np.ndarray,
     device; semantics (polarity mirroring, drain/source exchange for
     ``Vds < 0``, the gmin shunt) match the scalar path to floating-point
     rounding of the underlying transcendentals.
+
+    The voltage arrays may carry leading axes beyond the device axis —
+    everything below is elementwise, broadcasting ``(..., n)`` terminal
+    voltages against the ``(n,)`` per-device parameters.  The batched
+    multi-candidate kernel relies on this, passing ``(S, n)`` blocks to
+    evaluate S candidate circuits' devices in one call.
     """
     sign = batch.sign
     # Polarity mirror, then channel orientation: the N-channel math runs
@@ -295,3 +301,60 @@ def evaluate_batch(batch: MosfetBatchParams, vg: np.ndarray, vd: np.ndarray,
     dd += batch.gmin
     ds -= batch.gmin
     return i, dg, dd, ds
+
+
+def evaluate_batch_channel(batch: MosfetBatchParams, v: np.ndarray,
+                           d_out: np.ndarray | None = None):
+    """Channel-only :func:`evaluate_batch` over an ``(a, 3, n)`` block.
+
+    The multi-candidate Newton kernel's flavor of the evaluation: ``v``
+    stacks (gate, drain, source) voltages of ``a`` candidates, and the
+    derivatives come back as one ``(a, 3n)`` block ``[dg | dd | ds]``
+    written into ``d_out`` when given — the layout its flat Jacobian
+    gather indexes directly, skipping three buffer copies per iteration.
+
+    The constant gmin drain-source shunt is **excluded**: it is linear,
+    so the block kernel folds it into the base matrix ``A`` once instead
+    of re-adding it to every residual and Jacobian (the converged root
+    is identical — the same total current is just split between the
+    constant and the per-iteration part).  Everything else matches
+    :func:`evaluate_batch` to floating-point rounding.
+    """
+    n = batch.sign.size
+    mv = batch.sign * v  # polarity mirror, all three terminals at once
+    mvg, mvd, mvs = mv[:, 0], mv[:, 1], mv[:, 2]
+    vds_raw = mvd - mvs
+    swap = vds_raw < 0.0
+    vds = np.abs(vds_raw)
+    vgs = mvg - np.minimum(mvd, mvs)
+    vgst = vgs - batch.vt
+    root = np.hypot(vgst, _DELTA)
+    a = 0.5 * (vgst + root)
+    da_dvgs = a / root
+    x = vds / a
+    u = np.tanh(x)
+    one_mu = 1.0 - u
+    sech2 = one_mu * (1.0 + u)
+    uq = u * (1.0 - 0.5 * u)
+    f = (a * a) * uq
+    t1 = one_mu * sech2
+    df_dvds = a * t1
+    df_da = a * (2.0 * uq - x * t1)
+    bc = batch.beta * (1.0 + batch.lam * vds)
+    f1 = bc * da_dvgs * df_da
+    f2 = bc * df_dvds + batch.beta_lam * f
+    swap_sign = np.where(swap, -1.0, 1.0)
+    i = (batch.sign * swap_sign) * (bc * f)
+    if d_out is None:
+        d_out = np.empty((v.shape[0], 3 * n))
+    dg = d_out[:, :n]
+    dd = d_out[:, n:2 * n]
+    ds = d_out[:, 2 * n:]
+    np.multiply(swap_sign, f1, out=dg)
+    # dd = f2 (+ f1 where swapped); bool * float is the branchless form.
+    np.multiply(swap, f1, out=dd)
+    np.add(dd, f2, out=dd)
+    # Terminal derivatives sum to zero: ds = -(dg + dd).
+    np.add(dg, dd, out=ds)
+    np.negative(ds, out=ds)
+    return i, d_out

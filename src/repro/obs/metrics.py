@@ -112,10 +112,12 @@ class Histogram:
         self.count = 0
         self.total = 0.0
 
-    def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value`` (batch kernels
+        record one per converged candidate in a single call)."""
+        self.counts[bisect_left(self.bounds, value)] += count
+        self.count += count
+        self.total += value * count
 
     @property
     def mean(self) -> float:

@@ -17,6 +17,7 @@ Fault points
 point                fired from                             key
 ===================  =====================================  ==========
 ``newton.step``      ``_newton_solve`` entry                solve context
+``newton.batched``   batched block-solve entry              solve context
 ``analysis.net``     ``DelayNoiseAnalyzer.analyze`` entry   net name
 ``analysis.rtr``     the Rtr characterization stage         net name
 ``analysis.alignment``  the table-alignment stage           net name
@@ -67,8 +68,8 @@ __all__ = [
 log = get_logger("resilience.faults")
 
 #: The registered fault-point names (see the module docstring table).
-FAULT_POINTS = ("newton.step", "analysis.net", "analysis.rtr",
-                "analysis.alignment", "exec.worker")
+FAULT_POINTS = ("newton.step", "newton.batched", "analysis.net",
+                "analysis.rtr", "analysis.alignment", "exec.worker")
 
 _ACTIONS = ("convergence", "error", "crash", "sleep")
 

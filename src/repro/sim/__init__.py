@@ -7,6 +7,10 @@
   co-simulation of MOSFET devices with arbitrary linear networks.  Plays
   the role of "Spice" in the paper: the golden reference and the engine
   behind Thevenin / Rtr / alignment characterization.
+* :mod:`repro.sim.batched` — multi-candidate variant of the non-linear
+  solver: S source-stimulus variants of one circuit advance as a single
+  ``(S, dim)`` state block over one factored system (the alignment-sweep
+  hot path).
 * :mod:`repro.sim.result` — shared result container mapping node names to
   :class:`~repro.waveform.Waveform` objects.
 """
@@ -21,6 +25,7 @@ from repro.sim.nonlinear import (
     set_kernel_mode,
     simulate_nonlinear,
 )
+from repro.sim.batched import simulate_nonlinear_batch
 
 __all__ = [
     "SimulationResult",
@@ -29,6 +34,7 @@ __all__ = [
     "factorize",
     "simulate_linear",
     "simulate_nonlinear",
+    "simulate_nonlinear_batch",
     "dc_operating_point",
     "ConvergenceError",
     "kernel_mode",

@@ -80,6 +80,19 @@ class Factorization:
             return self._inv @ b
         return _lu_solve(self._lu, b, check_finite=False)
 
+    def solve_rows(self, B: np.ndarray) -> np.ndarray:
+        """Solve ``A x_s = B[s]`` for every *row* of ``B``.
+
+        The batched multi-candidate kernel keeps its state block as
+        ``(S, dim)`` with candidates on the leading axis, so its
+        right-hand sides arrive row-stacked rather than column-stacked.
+        Solving ``X A^T = B`` directly avoids two transpose copies per
+        Newton iteration on the hot path.
+        """
+        if self._inv is not None:
+            return B @ self._inv.T
+        return _lu_solve(self._lu, B.T, check_finite=False).T
+
 
 def factorize(matrix: np.ndarray) -> Factorization:
     """Factor ``matrix`` once for repeated :meth:`Factorization.solve`."""

@@ -130,6 +130,10 @@ _RECOVERED_RAMP = metrics().counter("newton.recovered.source_ramp")
 _WOODBURY = metrics().counter("newton.woodbury")
 #: Full-Jacobian factorizations performed by the modified-Newton path.
 _REFRESH = metrics().counter("newton.jacobian_refresh")
+#: Per-(mode, step-size) solver kernel reuse across simulate calls: a
+#: hit means the backward-Euler matrix was *not* re-factored.
+_FACTOR_HIT = metrics().counter("sim.factor_cache.hit")
+_FACTOR_MISS = metrics().counter("sim.factor_cache.miss")
 
 
 class ConvergenceError(RuntimeError):
@@ -307,6 +311,44 @@ class _DeviceBatch:
                       self.m_sign * D[self.m_src, self.m_dev])
         return M
 
+    # -- batched multi-candidate variants ------------------------------
+    # Same math as evaluate/sub_currents/correction with a leading
+    # candidate axis ``a`` (the *active* subset of an (S, dim) block).
+    # They always go through evaluate_batch: with a >= 2 candidates the
+    # population is a*n and the scalar-crossover argument above no
+    # longer applies.
+    def evaluate_many(self, X: np.ndarray):
+        """Currents ``(a, n)`` and derivatives ``(a, 3, n)`` at each row
+        of the ``(a, dim)`` state block ``X``."""
+        x_ext = np.concatenate(
+            [X, np.zeros((X.shape[0], 1))], axis=1)  # ground slot
+        v = x_ext[:, self.gather]  # (a, 3, n)
+        i, dg, dd, ds = evaluate_batch(self.params, v[:, 0], v[:, 1],
+                                       v[:, 2])
+        return i, np.stack((dg, dd, ds), axis=1)
+
+    def sub_currents_many(self, R: np.ndarray, i: np.ndarray) -> None:
+        """Scatter-subtract ``(a, n)`` device currents from the ``(a,
+        dim)`` negated-residual block, per candidate row."""
+        if self.f_idx.size:
+            a = R.shape[0]
+            np.add.at(R, (np.arange(a)[:, None], self.f_idx[None, :]),
+                      self.f_sign_neg * i[:, self.f_dev])
+
+    def correction_many(self, D: np.ndarray) -> np.ndarray:
+        """Per-candidate Jacobian correction blocks ``(a, k, dim)``.
+
+        Unlike :meth:`correction` this allocates (the active-set size
+        changes between iterations, so a fixed scratch buffer would
+        churn anyway).
+        """
+        a = D.shape[0]
+        M = np.zeros((a, self.k * self.dim))
+        if self.m_flat.size:
+            np.add.at(M, (np.arange(a)[:, None], self.m_flat[None, :]),
+                      self.m_sign * D[:, self.m_src, self.m_dev])
+        return M.reshape(a, self.k, self.dim)
+
 
 def _voltage_at(x: np.ndarray, index: int) -> float:
     return x[index] if index >= 0 else 0.0
@@ -438,14 +480,15 @@ class _NewtonKernel:
     system size.
     """
 
-    __slots__ = ("A", "batch", "base_fact", "W", "_mn_J", "_mn_fact",
-                 "_mn_x", "_mn_uses")
+    __slots__ = ("A", "batch", "base_fact", "W", "_py", "_mn_J",
+                 "_mn_fact", "_mn_x", "_mn_uses")
 
     def __init__(self, A: np.ndarray, batch: _DeviceBatch):
         self.A = A
         self.batch = batch
         self.base_fact = None
         self.W = None
+        self._py = None
         self._mn_J = None     # modified Newton: last built Jacobian,
         self._mn_fact = None  # its (lazily built) factorization,
         self._mn_x = None     # the iterate it was built at,
@@ -461,6 +504,44 @@ class _NewtonKernel:
                     selector = np.zeros((A.shape[0], batch.k))
                     selector[batch.rows, np.arange(batch.k)] = 1.0
                     self.W = fact.solve(selector)
+                if (batch.n and batch.n < _BATCH_EVAL_MIN
+                        and batch.k in (1, 2) and batch.dim <= 24):
+                    self._py = self._build_py_fast()
+
+    def _build_py_fast(self):
+        """Precompute the pure-Python Woodbury iteration's tables.
+
+        At the dims this library builds (a handful of nodes, one or two
+        devices) every numpy call on the iteration path is dominated by
+        dispatch overhead, the same economics as ``_BATCH_EVAL_MIN``.
+        Folding the scatter maps through ``A⁻¹`` once turns an iteration
+        into ~150 float operations with *zero* array temporaries:
+
+        * ``gdev[d]`` replays device ``d``'s residual-current scatter
+          through the base solve — ``A⁻¹(b - A x - scatter(i))`` becomes
+          ``u - x + Σ_d i_d · gdev[d]`` with ``u = A⁻¹ b`` hoisted out
+          of the loop;
+        * each Jacobian stamp ``e`` carries its gather coordinates and
+          its precontracted row of ``M W`` (``tw``), so the ``k×k``
+          Woodbury system accumulates in scalar registers and is solved
+          in closed form (``k <= 2``).
+        """
+        batch, fact = self.batch, self.base_fact
+        n, dim, k = batch.n, batch.dim, batch.k
+        F = np.zeros((n, dim))
+        if batch.f_idx.size:
+            np.add.at(F, (batch.f_dev, batch.f_idx), batch.f_sign_neg)
+        gdev = [tuple(row) for row in fact.solve_rows(F).tolist()]
+        W_rows = [tuple(row) for row in self.W.tolist()]
+        stamp_rows: list[list[tuple]] = [[] for _ in range(k)]
+        for e in range(batch.m_flat.size):
+            pos, col = divmod(int(batch.m_flat[e]), dim)
+            sign = float(batch.m_sign[e])
+            tw = tuple(sign * w for w in W_rows[col])
+            stamp_rows[pos].append(
+                (int(batch.m_src[e]), int(batch.m_dev[e]), col, sign)
+                + tw)
+        return gdev, W_rows, stamp_rows, batch.scalar_devs, dim, k
 
     def solve(self, b: np.ndarray, x0: np.ndarray,
               context: str) -> np.ndarray:
@@ -486,8 +567,90 @@ class _NewtonKernel:
         return R, None
 
     # -- Woodbury path -------------------------------------------------
+    def _solve_woodbury_py(self, b: np.ndarray, x0: np.ndarray,
+                           context: str) -> np.ndarray:
+        """Dispatch-free Woodbury Newton (see :meth:`_build_py_fast`).
+
+        Same root, damping and acceptance semantics as
+        :meth:`_solve_woodbury`; the iterates differ only by the
+        rounding of the algebraically identical residual form, orders
+        of magnitude inside the acceptance tolerance.
+        """
+        gdev, W_rows, stamp_rows, devs, dim, k = self._py
+        u = self.base_fact.solve(b).tolist()
+        x = x0.tolist()
+        x.append(0.0)  # ground slot for the device gather indices
+        rng = range(dim)
+        step = 0.0
+        for iteration in range(1, _MAX_ITERATIONS + 1):
+            y = [ul - xl for ul, xl in zip(u, x)]
+            D = []
+            append_d = D.append
+            for (sg, be, vt, lm, gm, g, d, s), grow in zip(devs, gdev):
+                cur, dgg, ddd, dss = evaluate_one(sg, be, vt, lm, gm,
+                                                  x[g], x[d], x[s])
+                append_d((dgg, ddd, dss))
+                for j in rng:
+                    y[j] += cur * grow[j]
+            if k == 2:
+                s00 = s11 = 1.0
+                s01 = s10 = r0 = r1 = 0.0
+                for src, dev, col, sign, tw0, tw1 in stamp_rows[0]:
+                    de = D[dev][src]
+                    r0 += de * sign * y[col]
+                    s00 += de * tw0
+                    s01 += de * tw1
+                for src, dev, col, sign, tw0, tw1 in stamp_rows[1]:
+                    de = D[dev][src]
+                    r1 += de * sign * y[col]
+                    s10 += de * tw0
+                    s11 += de * tw1
+                det = s00 * s11 - s01 * s10
+                if det == 0.0:
+                    _SINGULAR.inc()
+                    raise ConvergenceError(
+                        f"singular Jacobian during {context}")
+                z0 = (s11 * r0 - s01 * r1) / det
+                z1 = (s00 * r1 - s10 * r0) / det
+                deltas = [yj - w[0] * z0 - w[1] * z1
+                          for yj, w in zip(y, W_rows)]
+            else:  # k == 1
+                s00 = 1.0
+                r0 = 0.0
+                for src, dev, col, sign, tw0 in stamp_rows[0]:
+                    de = D[dev][src]
+                    r0 += de * sign * y[col]
+                    s00 += de * tw0
+                if s00 == 0.0:
+                    _SINGULAR.inc()
+                    raise ConvergenceError(
+                        f"singular Jacobian during {context}")
+                z0 = r0 / s00
+                deltas = [yj - w[0] * z0 for yj, w in zip(y, W_rows)]
+            _WOODBURY.inc()
+            step = 0.0
+            for dlt in deltas:
+                ad = -dlt if dlt < 0.0 else dlt
+                if ad > step:
+                    step = ad
+            if step > _DAMP_LIMIT:
+                scale = _DAMP_LIMIT / step
+                for j in rng:
+                    x[j] += deltas[j] * scale
+            else:
+                for j in rng:
+                    x[j] += deltas[j]
+            if step < _VTOL:
+                _ITERATIONS.observe(iteration)
+                return np.array(x[:dim])
+        xa = np.array(x[:dim])
+        residuals = np.abs(self._residual_neg(xa, b)[0])
+        _raise_nonconverged(residuals, _applied_step(step), context)
+
     def _solve_woodbury(self, b: np.ndarray, x0: np.ndarray,
                         context: str) -> np.ndarray:
+        if self._py is not None:
+            return self._solve_woodbury_py(b, x0, context)
         batch, W = self.batch, self.W
         solve_base = self.base_fact.solve
         k = batch.k
@@ -676,13 +839,15 @@ def _recover_dc(mna: MnaSystem, G: np.ndarray, make, rhs0: np.ndarray,
 def _integrate_bisect(mna: MnaSystem, G: np.ndarray, C: np.ndarray,
                       make, solvers: dict, x: np.ndarray,
                       t0: float, t1: float, name: str,
-                      depth: int) -> np.ndarray:
+                      depth: int, rhs_of=None) -> np.ndarray:
     """One backward-Euler step ``t0 -> t1``, bisecting on failure.
 
     Each level halves the step; ``depth`` bounds the recursion, so the
     finest sub-step is ``(t1 - t0) / 2**depth`` of the original grid.
     ``solvers`` caches one kernel per sub-step size: both halves of a
     bisection level (and every recursion into it) share the factors.
+    ``rhs_of(t)`` overrides the source evaluation — the batched kernel
+    passes a per-candidate closure carrying its waveform overrides.
     """
     h = t1 - t0
     cached = solvers.get(h)
@@ -691,7 +856,11 @@ def _integrate_bisect(mna: MnaSystem, G: np.ndarray, C: np.ndarray,
         cached = (make(Ch + G), Ch)
         solvers[h] = cached
     solve, Ch = cached
-    b = Ch @ x + mna.rhs_matrix(np.array([t1]))[:, 0]
+    if rhs_of is None:
+        rhs1 = mna.rhs_matrix(np.array([t1]))[:, 0]
+    else:
+        rhs1 = rhs_of(t1)
+    b = Ch @ x + rhs1
     try:
         return solve(b, x, f"t={t1:.3e}s (sub-step dt={h:.3e}s) of {name}")
     except ConvergenceError:
@@ -699,14 +868,28 @@ def _integrate_bisect(mna: MnaSystem, G: np.ndarray, C: np.ndarray,
             raise
         t_mid = 0.5 * (t0 + t1)
         x_mid = _integrate_bisect(mna, G, C, make, solvers, x, t0, t_mid,
-                                  name, depth - 1)
+                                  name, depth - 1, rhs_of)
         return _integrate_bisect(mna, G, C, make, solvers, x_mid, t_mid,
-                                 t1, name, depth - 1)
+                                 t1, name, depth - 1, rhs_of)
 
 
 # ----------------------------------------------------------------------
 # Top-level transient flow
 # ----------------------------------------------------------------------
+def _device_batch(circuit: Circuit, mna: MnaSystem) -> _DeviceBatch:
+    """The circuit's :class:`_DeviceBatch`, memoized on the ``mna``.
+
+    Shared between the fast scalar kernel and the batched
+    multi-candidate kernel (:mod:`repro.sim.batched`) — the scatter maps
+    depend only on topology, which the stamped system pins.
+    """
+    batch = mna.__dict__.get("_device_batch")
+    if batch is None:
+        batch = _DeviceBatch(circuit.mosfets, mna)
+        mna.__dict__["_device_batch"] = batch
+    return batch
+
+
 def _kernel_factory(circuit: Circuit, mna: MnaSystem):
     """Solver factory for ``circuit`` under the current kernel mode.
 
@@ -721,19 +904,40 @@ def _kernel_factory(circuit: Circuit, mna: MnaSystem):
     if make is None:
         stamps = [_DeviceStamps(m, mna.node_index)
                   for m in circuit.mosfets]
-        batch = (_DeviceBatch(circuit.mosfets, mna)
-                 if mode == "fast" else None)
+        batch = _device_batch(circuit, mna) if mode == "fast" else None
         make = _solver_factory(mode, stamps, batch)
         cache[mode] = make
     return make
 
 
+def _cached_solver(mna: MnaSystem, key, build):
+    """Per-``mna`` solver memoization, keyed by (kernel mode, grid).
+
+    This is what makes sweeps cheap: with :func:`build_mna` returning
+    the same cached system for an unchanged circuit, every candidate
+    after the first reuses the already-factored backward-Euler kernel
+    instead of re-running ``make(C/h + G)``.  ``sim.factor_cache.*``
+    counters expose the hit rate.
+    """
+    cache = mna.__dict__.setdefault("_solver_cache", {})
+    entry = cache.get(key)
+    if entry is None:
+        entry = build()
+        cache[key] = entry
+        _FACTOR_MISS.inc()
+    else:
+        _FACTOR_HIT.inc()
+    return entry
+
+
 def _dc_solve(mna: MnaSystem, make, rhs0: np.ndarray,
               name: str) -> np.ndarray:
     """DC operating point ``G x + i_dev(x) = rhs0`` with recovery."""
+    solve = _cached_solver(mna, (_KERNEL_MODE, "dc"),
+                           lambda: make(mna.G))
     try:
-        return make(mna.G)(rhs0, np.zeros(mna.dim),
-                           f"DC operating point of {name}")
+        return solve(rhs0, np.zeros(mna.dim),
+                     f"DC operating point of {name}")
     except ConvergenceError:
         return _recover_dc(mna, mna.G, make, rhs0, name)
 
@@ -787,9 +991,13 @@ def simulate_nonlinear(circuit: Circuit, t_stop: float, dt: float, *,
 
     # Backward Euler: F(x) = (C/h)(x - x_prev) + G x + i_dev(x) - rhs_k.
     # A = C/h + G is constant for the whole grid: the fast kernel
-    # factors it exactly once here.
-    Ch = C / h
-    solve = make(Ch + G)
+    # factors it exactly once here — and the _cached_solver memo keeps
+    # that factorization alive across *calls* on the same circuit, so a
+    # sweep rebinding only source waveforms never re-factors.
+    def _transient_solver():
+        Ch = C / h
+        return make(Ch + G), Ch
+    solve, Ch = _cached_solver(mna, (_KERNEL_MODE, h), _transient_solver)
     bisect_solvers: dict = {}
     states = np.empty((mna.dim, times.size))
     states[:, 0] = x0
@@ -797,11 +1005,17 @@ def simulate_nonlinear(circuit: Circuit, t_stop: float, dt: float, *,
     fast = _KERNEL_MODE == "fast"
     for k in range(1, times.size):
         b_k = Ch @ x + rhs[:, k]
-        # Fast kernel: warm-start Newton from the linear extrapolation
-        # of the last two states.  On ramps this saves an iteration per
+        # Fast kernel: warm-start Newton from the extrapolation of the
+        # last states — quadratic once three are available, linear
+        # before that.  On smooth stretches this saves an iteration per
         # step; the converged solution is the same root either way
         # (within the acceptance tolerance).
-        guess = x + (x - states[:, k - 2]) if fast and k >= 2 else x
+        if fast and k >= 3:
+            guess = 3.0 * (x - states[:, k - 2]) + states[:, k - 3]
+        elif fast and k >= 2:
+            guess = x + (x - states[:, k - 2])
+        else:
+            guess = x
         try:
             x = solve(b_k, guess, f"t={times[k]:.3e}s of {circuit.name}")
         except ConvergenceError:

@@ -228,6 +228,18 @@ class Waveform:
         """
         v = self._values - level
         t = self._times
+        if not (v == 0.0).any():
+            # No sample sits exactly on the level: every crossing is a
+            # strict sign change, found and interpolated vectorized
+            # (the elementwise arithmetic matches the scalar loop below
+            # operation for operation).
+            a, b = v[:-1], v[1:]
+            idx = np.nonzero(a * b < 0.0)[0]
+            if rising is not None:
+                going_up = b[idx] > a[idx]
+                idx = idx[going_up if rising else ~going_up]
+            a, b = v[idx], v[idx + 1]
+            return t[idx] + (t[idx + 1] - t[idx]) * (-a) / (b - a)
         out = []
         # Exact sample hits: count a sample on the level as a crossing if the
         # waveform actually passes through (sign differs on either side).

@@ -157,6 +157,25 @@ class TestExhaustiveSearch:
         hi = max(sweep.extra_output_delays[3], sweep.extra_output_delays[4])
         assert lo <= val <= hi
 
+    def test_too_few_steps_rejected(self, receiver, victim_wave):
+        pulse = noise_pulse(0.0, -0.4, 0.12 * NS)
+        with pytest.raises(ValueError, match="steps"):
+            exhaustive_worst_alignment(
+                receiver, victim_wave, pulse, VDD, True, steps=1)
+
+    def test_refined_grid_is_strictly_increasing(self, receiver,
+                                                 victim_wave):
+        """An odd refine count lands a fine point exactly on the coarse
+        optimum; the merged grid must de-duplicate it so delay_at's
+        interpolation table stays monotone."""
+        pulse = noise_pulse(0.0, -0.45, 0.12 * NS)
+        sweep = exhaustive_worst_alignment(
+            receiver, victim_wave, pulse, VDD, True, steps=9, refine=3,
+            dt=2 * PS)
+        assert np.all(np.diff(sweep.peak_times) > 0)
+        assert sweep.extra_output_delays.shape == sweep.peak_times.shape
+        assert sweep.extra_input_delays.shape == sweep.peak_times.shape
+
     def test_output_objective_differs_from_input(self, receiver,
                                                  victim_wave):
         """The input-objective alignment is NOT the output worst case in

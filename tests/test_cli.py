@@ -284,9 +284,10 @@ class TestBenchPerf:
                      "--t-stop", "0.1n", "--out", str(out)])
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro.bench.perf/v1"
+        assert payload["schema"] == "repro.bench.perf/v2"
         assert payload["equivalence"]["within_tolerance"] is True
         assert payload["equivalence"]["max_state_delta"] <= 1e-9
+        assert payload["equivalence"]["batched_within_tolerance"] is True
         for kernel in ("legacy", "fast"):
             assert payload["kernels"][kernel]["transient_steps"] > 0
         assert "newton_throughput" in payload["speedup"]
