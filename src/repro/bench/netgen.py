@@ -13,10 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import networkx as nx
 import numpy as np
 
 from repro.circuit.netlist import GROUND, Circuit
-from repro.circuit.topology import couple_nodes, rc_line
+from repro.circuit.topology import couple_nodes, rc_line, rc_tree_from_graph
 from repro.core.net import AggressorSpec, CoupledNet, DriverSpec, ReceiverSpec
 from repro.gates.library import inverter
 from repro.units import FF, KOHM, NS, PS
@@ -153,6 +154,119 @@ class NetGenerator:
         )
         return CoupledNet(
             name=f"net{index}",
+            interconnect=interconnect,
+            victim_root="v_root",
+            victim_receiver_node="v_rcv",
+            victim_driver=victim_driver,
+            receiver=receiver,
+            aggressors=aggressors,
+        )
+
+    def large_tree(self, index: int = 0, *, nodes: int = 1000,
+                   n_aggressors: int = 2,
+                   trunk_bias: float = 0.85) -> CoupledNet:
+        """Generate an extracted-scale RC-tree net (sparse-path sizing).
+
+        A random tree of ``nodes`` interconnect vertices: each new vertex
+        attaches to the previous one with probability ``trunk_bias``
+        (growing a long trunk — the deep victim route) and to a random
+        earlier vertex otherwise (side branches — the taps a real
+        extracted net carries).  The receiver sits at the deepest vertex.
+        ``n_aggressors`` RC-line aggressors couple onto contiguous spans
+        of the trunk.  Electrical totals match the ``generate()``
+        population per unit route, so the net is physically plausible —
+        just two to three orders of magnitude larger, which is what
+        pushes ``build_mna`` past :data:`~repro.circuit.mna.SPARSE_MIN_DIM`
+        and onto the sparse backend.
+        """
+        if nodes < 8:
+            raise ValueError("large_tree needs at least 8 nodes")
+        cfg = self.config
+        rng = self.rng
+
+        # --- victim tree -------------------------------------------------
+        tree = nx.Graph()
+        tree.add_node(0)
+        depth = {0: 0}
+        parents = {}
+        r_total = self._uniform(cfg.victim_r_range) * 4.0
+        c_total = self._uniform(cfg.victim_c_range) * 4.0
+        r_edge = r_total / (nodes - 1)
+        c_edge = c_total / (nodes - 1)
+        for v in range(1, nodes):
+            if v == 1 or rng.uniform() < trunk_bias:
+                parent = v - 1
+            else:
+                parent = int(rng.integers(0, v - 1))
+            jitter = float(rng.uniform(0.5, 1.5))
+            tree.add_edge(parent, v, r=r_edge * jitter, c=c_edge * jitter)
+            parents[v] = parent
+            depth[v] = depth[parent] + 1
+        deepest = max(depth, key=depth.get)
+
+        def node_name(v):
+            if v == 0:
+                return "v_root"
+            if v == deepest:
+                return "v_rcv"
+            return f"v_{v}"
+
+        interconnect = Circuit(f"tree{index}_wires")
+        names = rc_tree_from_graph(interconnect, "v_", tree, 0,
+                                   node_name=node_name)
+
+        # Ordered trunk (root -> receiver): the coupling route.
+        trunk = [deepest]
+        while trunk[-1] != 0:
+            trunk.append(parents[trunk[-1]])
+        trunk.reverse()
+        trunk_nodes = [names[v] for v in trunk]
+
+        # --- aggressors --------------------------------------------------
+        victim_c_total = sum(c.capacitance for c in interconnect.capacitors)
+        segments = max(len(trunk_nodes) // 2, 4)
+        aggressors: list[AggressorSpec] = []
+        for a in range(n_aggressors):
+            prefix = f"a{a}_"
+            agg_nodes = rc_line(
+                interconnect, prefix, f"{prefix}root", f"{prefix}far",
+                segments,
+                self._uniform(cfg.aggressor_r_range) * 2.0,
+                self._uniform(cfg.aggressor_c_range) * 2.0)
+            interconnect.add_capacitor(
+                f"{prefix}cfar", f"{prefix}far", GROUND,
+                self._uniform(cfg.aggressor_far_load_range))
+
+            span = len(trunk_nodes)
+            length = int(rng.integers(span // 2, span + 1))
+            start = int(rng.integers(0, span - length + 1))
+            cc_total = (self._uniform(cfg.coupling_ratio_range)
+                        * victim_c_total / n_aggressors)
+            couple_nodes(interconnect, f"x{a}_",
+                         trunk_nodes[start:start + length],
+                         agg_nodes, cc_total)
+
+            aggressors.append(AggressorSpec(
+                name=f"agg{a}",
+                driver=DriverSpec(
+                    gate=inverter(self._choice(cfg.aggressor_driver_scales)),
+                    input_slew=self._choice(cfg.aggressor_slews),
+                    output_rising=False,
+                    input_start=cfg.aggressor_input_start),
+                root=f"{prefix}root", far_end=f"{prefix}far"))
+
+        victim_driver = DriverSpec(
+            gate=inverter(max(cfg.victim_driver_scales)),
+            input_slew=self._choice(cfg.victim_slews),
+            output_rising=True,
+            input_start=cfg.victim_input_start,
+        )
+        receiver = ReceiverSpec(
+            gate=inverter(self._choice(cfg.receiver_scales)),
+            c_load=self._uniform(cfg.receiver_load_range),
+        )
+        return CoupledNet(
+            name=f"tree{index}",
             interconnect=interconnect,
             victim_root="v_root",
             victim_receiver_node="v_rcv",

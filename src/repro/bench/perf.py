@@ -19,12 +19,21 @@ the same transient states.  Four phases are timed per kernel:
   multi-candidate kernel (fast kernel only): all candidates advance as
   one ``(S, dim)`` Newton block over one factorization.
 
+A separate **sparse** phase (schema v3) exercises the extracted-scale
+path: a ``NetGenerator.large_tree`` net of ~2000 MNA unknowns is
+transient-simulated through both MNA backends (dense LAPACK vs sparse
+SuperLU via :func:`repro.circuit.mna.build_mna`'s ``sparse`` flag), the
+states cross-checked to the same 1e-9 V tolerance, and the full
+delay-noise analysis run once end-to-end on a >=1000-unknown tree to
+prove the sparse path carries the whole flow.
+
 The result dictionary (see ``docs/architecture.md`` for the JSON
-schema, ``repro.bench.perf/v2``) is what the CLI writes to
+schema, ``repro.bench.perf/v3``) is what the CLI writes to
 ``BENCH_perf.json``; ``equivalence`` carries the maximum state delta
 between the kernels against the documented 1e-9 V tolerance plus the
 batched-vs-serial sweep deltas (worst peak time and extra delay), and
-the CLI exits non-zero when either gate is exceeded.
+the CLI exits non-zero when either gate is exceeded (including the
+sparse-vs-dense state gate).
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ import numpy as np
 
 from repro.bench.netgen import NetGenerator
 from repro.circuit.mna import build_mna
+from repro.circuit.netlist import GROUND
 from repro.core.exhaustive import exhaustive_worst_alignment
 from repro.core.golden import golden_circuit
 from repro.core.holding_resistance import compute_rtr
@@ -45,9 +55,12 @@ from repro.sim import (
     kernel_mode,
     simulate_nonlinear,
 )
+from repro.sim.linear import simulate_linear
 from repro.units import PS
+from repro.waveform import ramp
 
-__all__ = ["run_perf", "format_perf", "EQUIVALENCE_TOLERANCE", "SCHEMA"]
+__all__ = ["run_perf", "run_sparse_phase", "format_perf",
+           "EQUIVALENCE_TOLERANCE", "SCHEMA"]
 
 #: Maximum per-state voltage difference between the fast and legacy
 #: kernels on fault-free runs.  Both kernels drive the damped Newton
@@ -57,9 +70,15 @@ __all__ = ["run_perf", "format_perf", "EQUIVALENCE_TOLERANCE", "SCHEMA"]
 EQUIVALENCE_TOLERANCE = 1e-9
 
 #: Schema identifier written into BENCH_perf.json.
-SCHEMA = "repro.bench.perf/v2"
+SCHEMA = "repro.bench.perf/v3"
 
 _KERNELS = ("legacy", "fast")
+
+#: Sparse-phase grid: ~500 trapezoidal steps over the switching window.
+_SPARSE_T_STOP = 1e-9
+_SPARSE_DT = 2 * PS
+#: Tree size for the end-to-end analysis run (>= 1000 MNA unknowns).
+_SPARSE_ANALYSIS_NODES = 1000
 
 #: Alignment-sweep shape shared by the serial and batched phases.
 _ALIGN_STEPS = 9
@@ -79,6 +98,81 @@ def _newton_counters(snapshot: dict) -> dict:
     }
 
 
+def _tree_drive_circuit(net):
+    """The large-tree interconnect with ramp drives at every root.
+
+    Voltage sources at the victim and aggressor roots make ``G``
+    non-singular and give the transient something to do; the resulting
+    circuit is pure RLC + sources, i.e. the linear solver's territory.
+    """
+    drive = net.interconnect.copy(f"{net.name}_drive")
+    vdd = net.vdd
+    drive.add_vsource("vs_victim", net.victim_root, GROUND,
+                      ramp(0.1e-9, 0.2e-9, 0.0, vdd))
+    for agg in net.aggressors:
+        drive.add_vsource(f"vs_{agg.name}", agg.root, GROUND,
+                          ramp(0.3e-9, 0.15e-9, vdd, 0.0))
+    return drive
+
+
+def run_sparse_phase(seed: int = 1, *, dim: int = 2000,
+                     skip_analysis: bool = False) -> dict:
+    """Benchmark the sparse MNA backend on an extracted-scale tree.
+
+    Generates a ``large_tree`` net sized so the driven MNA system lands
+    near ``dim`` unknowns, transient-simulates it through the dense and
+    sparse backends over the same grid, and reports timings, the maximum
+    state delta against :data:`EQUIVALENCE_TOLERANCE`, and (unless
+    ``skip_analysis``) the wall time of one full delay-noise analysis of
+    a >=1000-unknown tree through the auto-selected sparse path.
+    """
+    gen = NetGenerator(seed=seed)
+    # Empirically dim ~= 1.04 * tree_nodes (aggressor lines plus source
+    # branch rows add the rest); aim slightly under and let it land.
+    nodes = max(int(dim * 0.96), 64)
+    net = gen.large_tree(index=0, nodes=nodes, n_aggressors=2)
+    drive = _tree_drive_circuit(net)
+
+    dense = build_mna(drive, sparse=False)
+    sparse = build_mna(drive, sparse=True)
+
+    t0 = time.perf_counter()
+    run_dense = simulate_linear(dense, _SPARSE_T_STOP, _SPARSE_DT)
+    dense_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_sparse = simulate_linear(sparse, _SPARSE_T_STOP, _SPARSE_DT)
+    sparse_s = time.perf_counter() - t0
+
+    max_delta = float(np.abs(run_dense.states - run_sparse.states).max())
+    phase = {
+        "net": net.name,
+        "dim": int(sparse.dim),
+        "nnz_G": int(sparse.G.nnz),
+        "nnz_C": int(sparse.C.nnz),
+        "t_stop": _SPARSE_T_STOP,
+        "dt": _SPARSE_DT,
+        "steps": int(run_sparse.times.size - 1),
+        "linear_dense_s": dense_s,
+        "linear_sparse_s": sparse_s,
+        "speedup": dense_s / sparse_s,
+        "max_state_delta": max_delta,
+        "tolerance": EQUIVALENCE_TOLERANCE,
+        "within_tolerance": max_delta <= EQUIVALENCE_TOLERANCE,
+    }
+    if not skip_analysis:
+        from repro.core.analysis import DelayNoiseAnalyzer
+        analysis_net = gen.large_tree(index=1,
+                                      nodes=_SPARSE_ANALYSIS_NODES,
+                                      n_aggressors=2)
+        analysis_dim = build_mna(analysis_net.interconnect).dim
+        t0 = time.perf_counter()
+        DelayNoiseAnalyzer().analyze(analysis_net)
+        phase["analysis_sparse_s"] = time.perf_counter() - t0
+        phase["analysis_net"] = analysis_net.name
+        phase["analysis_dim"] = int(analysis_dim)
+    return phase
+
+
 def _alignment_inputs(engine: SuperpositionEngine):
     net = engine.net
     victim = (engine.victim_transition().at_receiver
@@ -89,11 +183,12 @@ def _alignment_inputs(engine: SuperpositionEngine):
 
 def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
              dt: float = 1e-12, dc_repeats: int = 5,
-             skip_analysis: bool = False) -> dict:
+             skip_analysis: bool = False, sparse_dim: int = 2000) -> dict:
     """Benchmark both Newton kernels on a seeded population.
 
     ``skip_analysis`` drops the Rtr / alignment phases (used by quick
-    tests; the transient equivalence check always runs).  Returns the
+    tests; the transient equivalence check always runs).  ``sparse_dim``
+    sizes the extracted-scale sparse phase (0 disables it).  Returns the
     BENCH_perf.json payload.
     """
     nets = [net for net in NetGenerator(seed=seed).population(count)]
@@ -218,7 +313,7 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
             legacy["alignment_search_s"]
             / fast["alignment_search_batched_s"])
 
-    return {
+    payload = {
         "schema": SCHEMA,
         "config": {
             "seed": seed,
@@ -228,6 +323,7 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
             "dc_repeats": dc_repeats,
             "alignment_steps": _ALIGN_STEPS,
             "alignment_refine": _ALIGN_REFINE,
+            "sparse_dim": sparse_dim,
             "nets": [net.name for net in nets],
             "devices": [len(c.mosfets) for c in circuits],
             "dims": [int(s.shape[0]) for s in states["fast"]],
@@ -236,6 +332,10 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
         "speedup": speedup,
         "equivalence": equivalence,
     }
+    if sparse_dim:
+        payload["sparse"] = run_sparse_phase(seed=seed, dim=sparse_dim,
+                                             skip_analysis=skip_analysis)
+    return payload
 
 
 def format_perf(payload: dict) -> str:
@@ -282,4 +382,18 @@ def format_perf(payload: dict) -> str:
         lines.append(
             f"batched vs serial: peak delta {worst_peak:.3e} s, "
             f"extra-delay delta {worst_delay:.3e} s -> {verdict}")
+    sp = payload.get("sparse")
+    if sp:
+        verdict = "ok" if sp["within_tolerance"] else "DRIFT"
+        lines.append(
+            f"sparse phase: dim={sp['dim']} nnz(G)={sp['nnz_G']} "
+            f"dense {sp['linear_dense_s']:.3f}s "
+            f"sparse {sp['linear_sparse_s']:.3f}s "
+            f"{sp['speedup']:.1f}x, delta {sp['max_state_delta']:.3e} V "
+            f"-> {verdict}")
+        if "analysis_sparse_s" in sp:
+            lines.append(
+                f"sparse analysis: {sp['analysis_net']} "
+                f"(dim={sp['analysis_dim']}) full flow in "
+                f"{sp['analysis_sparse_s']:.1f}s")
     return "\n".join(lines)

@@ -45,7 +45,7 @@ def transfer_voltage_moments(net: Circuit, root: str, sink: str,
     B[mna.vsource_index["__step"]] = 1.0
     L = mna.output_incidence([sink])
     try:
-        moments = transfer_moments(mna.G, mna.C, B, L, count)
+        moments = transfer_moments(mna.G_array(), mna.C_array(), B, L, count)
         values = np.array([float(m[0, 0]) for m in moments])
     except ValueError as exc:
         raise ValueError(

@@ -182,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="transient horizon per net (default 2n)")
     p_bench.add_argument("--quick", action="store_true",
                          help="skip the Rtr / alignment phases")
+    p_bench.add_argument("--sparse-dim", type=int, default=2000,
+                         metavar="N",
+                         help="MNA unknown count of the extracted-scale "
+                              "sparse-vs-dense phase (0 disables; "
+                              "default 2000)")
     p_bench.add_argument("--out", default="BENCH_perf.json",
                          metavar="FILE",
                          help="result JSON (default BENCH_perf.json)")
@@ -416,7 +421,8 @@ def _cmd_bench(args) -> int:
         out.error("nothing to do: pass --perf")
         return 2
     payload = run_perf(seed=args.seed, count=args.count,
-                       t_stop=args.t_stop, skip_analysis=args.quick)
+                       t_stop=args.t_stop, skip_analysis=args.quick,
+                       sparse_dim=args.sparse_dim)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
     out.info(format_perf(payload))
@@ -428,6 +434,10 @@ def _cmd_bench(args) -> int:
     if not payload["equivalence"].get("batched_within_tolerance", True):
         out.error("batched alignment drift: batched sweep deviates from "
                   "the serial reference beyond tolerance")
+        return 1
+    if not payload.get("sparse", {}).get("within_tolerance", True):
+        out.error("sparse backend drift: sparse transient deviates from "
+                  "the dense reference beyond tolerance")
         return 1
     return 0
 

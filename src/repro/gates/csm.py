@@ -158,6 +158,11 @@ def simulate_csm_driver(model: CurrentSourceModel, v_input: Waveform,
     replaying aggressor noise onto a CSM victim.
     """
     times = time_grid(t_stop, dt)
+    # time_grid rounds the span to a whole number of steps, so the grid
+    # step can differ from the requested dt; the backward-Euler formulas
+    # below must use the step actually taken or every derivative term
+    # is scaled by dt/h.
+    h = times[1] - times[0]
     u = v_input(times)
     inj = i_inject(times) if i_inject is not None else np.zeros_like(times)
 
@@ -193,15 +198,15 @@ def simulate_csm_driver(model: CurrentSourceModel, v_input: Waveform,
             if has_far:
                 # Far node is linear in v: eliminate it exactly.
                 #   c_far (vf - vf_prev)/h = (v - vf)/r_pi
-                denom = c_far / dt + 1.0 / r_pi
-                vf = (c_far * vf_prev / dt + v / r_pi) / denom
+                denom = c_far / h + 1.0 / r_pi
+                vf = (c_far * vf_prev / h + v / r_pi) / denom
                 i_branch = (v - vf) / r_pi
                 di_branch = (1.0 - (1.0 / r_pi) / denom) / r_pi
             else:
                 i_branch, di_branch = 0.0, 0.0
-            residual = (c_near * (v - v_prev) / dt - i_drv + i_branch
+            residual = (c_near * (v - v_prev) / h - i_drv + i_branch
                         - inj[k])
-            jacobian = c_near / dt + g_drv + di_branch
+            jacobian = c_near / h + g_drv + di_branch
             step = -residual / jacobian
             if abs(step) > 0.5:
                 step = 0.5 if step > 0 else -0.5

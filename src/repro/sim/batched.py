@@ -50,7 +50,12 @@ from repro.circuit.netlist import Circuit
 from repro.obs import metrics
 from repro.sim import nonlinear as _nl
 from repro.resilience.faults import fire as _fire_fault
-from repro.sim.factor import factorize
+from repro.sim.factor import factorize, is_sparse_matrix
+
+try:  # pragma: no cover - container ships scipy; gate for safety
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover
+    _sp = None
 from repro.sim.nonlinear import (
     ConvergenceError,
     _BATCH_EVAL_MIN,
@@ -108,7 +113,7 @@ class _BatchedKernel:
     path.
     """
 
-    __slots__ = ("A", "Ch", "batch", "fact", "W", "available",
+    __slots__ = ("A", "Ch", "batch", "fact", "W", "available", "sparse",
                  "AinvT", "HchT", "Gdev", "P", "TWf", "sel",
                  "_pyt", "_xbuf", "_dbuf")
 
@@ -120,6 +125,7 @@ class _BatchedKernel:
         self.fact = None
         self.W = None
         self.available = False
+        self.sparse = is_sparse_matrix(A)
         self.AinvT = None
         self.HchT = None
         self.Gdev = None
@@ -135,16 +141,34 @@ class _BatchedKernel:
         # folding it into the base matrix (instead of re-stamping it into
         # every residual and Jacobian) leaves the Newton root unchanged
         # and lets the device evaluation run channel-only.
-        A_eff = A.copy()
-        if batch.n:
-            gm = batch.params.gmin
-            d_idx, s_idx = batch.id_, batch.is_
-            mask_d, mask_s = d_idx >= 0, s_idx >= 0
-            both = mask_d & mask_s
-            np.add.at(A_eff, (d_idx[mask_d], d_idx[mask_d]), gm[mask_d])
-            np.add.at(A_eff, (s_idx[mask_s], s_idx[mask_s]), gm[mask_s])
-            np.add.at(A_eff, (d_idx[both], s_idx[both]), -gm[both])
-            np.add.at(A_eff, (s_idx[both], d_idx[both]), -gm[both])
+        if self.sparse:
+            A_eff = A
+            if batch.n:
+                gm = batch.params.gmin
+                d_idx, s_idx = batch.id_, batch.is_
+                mask_d, mask_s = d_idx >= 0, s_idx >= 0
+                both = mask_d & mask_s
+                rows = np.concatenate([d_idx[mask_d], s_idx[mask_s],
+                                       d_idx[both], s_idx[both]])
+                cols = np.concatenate([d_idx[mask_d], s_idx[mask_s],
+                                       s_idx[both], d_idx[both]])
+                vals = np.concatenate([gm[mask_d], gm[mask_s],
+                                       -gm[both], -gm[both]])
+                A_eff = (A + _sp.coo_matrix((vals, (rows, cols)),
+                                            shape=A.shape)).tocsc()
+        else:
+            A_eff = A.copy()
+            if batch.n:
+                gm = batch.params.gmin
+                d_idx, s_idx = batch.id_, batch.is_
+                mask_d, mask_s = d_idx >= 0, s_idx >= 0
+                both = mask_d & mask_s
+                np.add.at(A_eff, (d_idx[mask_d], d_idx[mask_d]),
+                          gm[mask_d])
+                np.add.at(A_eff, (s_idx[mask_s], s_idx[mask_s]),
+                          gm[mask_s])
+                np.add.at(A_eff, (d_idx[both], s_idx[both]), -gm[both])
+                np.add.at(A_eff, (s_idx[both], d_idx[both]), -gm[both])
         try:
             fact = factorize(A_eff)
         except np.linalg.LinAlgError:
@@ -175,8 +199,13 @@ class _BatchedKernel:
         """
         batch, fact = self.batch, self.fact
         n, dim, k = batch.n, batch.dim, batch.k
-        self.AinvT = fact.solve(np.eye(dim)).T
-        self.HchT = self.Ch.T @ self.AinvT
+        if not self.sparse:
+            # Sparse systems skip the dense A⁻¹ hoist entirely — the
+            # explicit inverse is dense fill, the very cost the sparse
+            # backend exists to avoid.  Their per-step base solves go
+            # through the SuperLU factors (see base_rows) instead.
+            self.AinvT = fact.solve(np.eye(dim)).T
+            self.HchT = self.Ch.T @ self.AinvT
         if n:
             F = np.zeros((n, dim))
             np.add.at(F, (batch.f_dev, batch.f_idx), batch.f_sign_neg)
@@ -209,6 +238,13 @@ class _BatchedKernel:
                     for sg, be, vt, lm, _gm, g, d, s in batch.scalar_devs]
             self._pyt = (gdev, W_rows, stamp_rows, devs, dim, k)
 
+    def base_rows(self, B: np.ndarray) -> np.ndarray:
+        """``A⁻¹`` applied to every row of ``B`` — one GEMM against the
+        hoisted dense inverse, or a multi-RHS SuperLU solve."""
+        if self.AinvT is not None:
+            return B @ self.AinvT
+        return self.fact.solve_rows(B)
+
     def solve_block(self, B: np.ndarray, X0: np.ndarray,
                     context: str) -> tuple[np.ndarray, list[int]]:
         """Newton-solve all rows of ``B`` from the ``X0`` block.
@@ -221,7 +257,7 @@ class _BatchedKernel:
         compute delta, clamp to the damping limit, apply, accept on the
         *unclamped* step norm.
         """
-        return self.solve_from_u(B @ self.AinvT, X0, context)
+        return self.solve_from_u(self.base_rows(B), X0, context)
 
     def solve_from_u(self, U: np.ndarray, X0: np.ndarray,
                      context: str) -> tuple[np.ndarray, list[int]]:
@@ -585,9 +621,12 @@ def simulate_nonlinear_batch(circuit: Circuit,
     states = np.empty((times.size, S, dim))
     states[0] = X
 
-    if kernel.available:
+    Urhs = None
+    if kernel.available and kernel.AinvT is not None:
         # A⁻¹·rhs for the whole grid in one multi-RHS GEMM: with HchT
-        # this removes every per-step linear solve from the loop.
+        # this removes every per-step linear solve from the loop.  The
+        # sparse kernel keeps the per-step SuperLU solve instead (a
+        # dense A⁻¹ hoist would be O(dim²) fill).
         Urhs = rhs.reshape(-1, dim) @ kernel.AinvT
         Urhs = Urhs.reshape(times.size, S, dim)
     # Tail collapse: every sweep candidate differs only in its stimulus,
@@ -632,8 +671,11 @@ def simulate_nonlinear_batch(circuit: Circuit,
         else:
             guess = X_prev.copy()
         if kernel.available:
-            U = X_prev @ kernel.HchT
-            U += Urhs[k]
+            if Urhs is not None:
+                U = X_prev @ kernel.HchT
+                U += Urhs[k]
+            else:
+                U = kernel.base_rows((kernel.Ch @ X_prev.T).T + rhs[k])
             try:
                 X, failed = kernel.solve_from_u(
                     U, guess, f"t={times[k]:.3e}s batch of {circuit.name}")

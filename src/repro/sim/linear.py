@@ -20,13 +20,23 @@ from __future__ import annotations
 import numpy as np
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import Circuit
-from repro.sim.factor import factorize
+from repro.sim.factor import factorize, is_sparse_matrix
 from repro.sim.result import SimulationResult, time_grid
 
 __all__ = ["simulate_linear"]
 
 
 def _dc_solve(G: np.ndarray, rhs0: np.ndarray) -> np.ndarray:
+    if is_sparse_matrix(G):
+        try:
+            return factorize(G).solve(rhs0)
+        except np.linalg.LinAlgError:
+            # Singular at DC (floating coupling-only nodes): fall back
+            # to the dense minimum-norm solution — a one-off cost, off
+            # the per-step path.
+            G = G.toarray()
+            x0, *_ = np.linalg.lstsq(G, rhs0, rcond=None)
+            return x0
     try:
         return np.linalg.solve(G, rhs0)
     except np.linalg.LinAlgError:
@@ -69,16 +79,28 @@ def simulate_linear(circuit_or_mna: Circuit | MnaSystem, t_stop: float,
     A = mna.C / h + mna.G / 2.0
     Bmat = mna.C / h - mna.G / 2.0
     # The left-hand matrix is constant on the uniform grid: factor it
-    # once (repro.sim.factor, shared with the non-linear kernel) and
-    # pre-apply it to the step matrix and every averaged source column,
-    # turning the time loop into one mat-vec plus an add per step.
+    # once (repro.sim.factor, shared with the non-linear kernel).
     fact = factorize(A)
-    step_matrix = fact.solve(Bmat)
-    rhs_avg = fact.solve(0.5 * (rhs[:, :-1] + rhs[:, 1:]))
-
     states = np.empty((mna.dim, times.size))
     states[:, 0] = x0
     x = x0
+    if mna.is_sparse:
+        # Sparse path: a dense step matrix A⁻¹B would cost O(dim²) per
+        # step and O(dim) triangular solves to form — exactly the fill
+        # sparsity avoids.  Keep the loop as one sparse mat-vec plus one
+        # pair of SuperLU triangular solves per step; the averaged
+        # source columns still amortize through one multi-RHS solve.
+        rhs_avg = fact.solve(
+            np.ascontiguousarray(0.5 * (rhs[:, :-1] + rhs[:, 1:])))
+        for k in range(times.size - 1):
+            x = fact.solve(Bmat @ x) + rhs_avg[:, k]
+            states[:, k + 1] = x
+        return SimulationResult(mna, times, states)
+    # Dense path: pre-apply the factors to the step matrix and every
+    # averaged source column, turning the time loop into one mat-vec
+    # plus an add per step.
+    step_matrix = fact.solve(Bmat)
+    rhs_avg = fact.solve(0.5 * (rhs[:, :-1] + rhs[:, 1:]))
     for k in range(times.size - 1):
         x = step_matrix @ x + rhs_avg[:, k]
         states[:, k + 1] = x

@@ -78,8 +78,13 @@ from repro.circuit.netlist import GROUND, Circuit
 from repro.devices.mosfet import batch_params, evaluate_batch, evaluate_one
 from repro.obs import metrics
 from repro.resilience.faults import fire as _fire_fault
-from repro.sim.factor import factorize
+from repro.sim.factor import factorize, is_sparse_matrix
 from repro.sim.result import SimulationResult, time_grid
+
+try:  # pragma: no cover - container ships scipy; gate for safety
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover
+    _sp = None
 
 __all__ = ["simulate_nonlinear", "dc_operating_point", "ConvergenceError",
            "kernel_mode", "set_kernel_mode"]
@@ -689,16 +694,38 @@ class _NewtonKernel:
     def _fresh_delta(self, D, R: np.ndarray, context: str):
         """Rebuild the full Jacobian at the current iterate and solve.
 
-        Returns ``(J, delta)``.  A fresh direction is one dense solve —
-        the factorization is only built (lazily, in the caller) if a
-        later stale iteration actually reuses ``J``.
+        Returns ``(J, fact, delta)``.  On the dense backend a fresh
+        direction is one dense solve and ``fact`` is ``None`` — the
+        factorization is only built (lazily, in the caller) if a later
+        stale iteration actually reuses ``J``.  On the sparse backend
+        the SuperLU factorization *is* the solve, so it is returned
+        eagerly and stale iterations reuse it for free.
         """
+        _REFRESH.inc()
+        if is_sparse_matrix(self.A):
+            J = self.A
+            if self.batch.k:
+                # A + E_R M as a sparse sum: the k-row dense correction
+                # block expands through a (dim, k) selector.
+                expand = _sp.csr_matrix(
+                    (np.ones(self.batch.k),
+                     (self.batch.rows, np.arange(self.batch.k))),
+                    shape=(self.A.shape[0], self.batch.k))
+                J = (self.A
+                     + expand @ _sp.csr_matrix(
+                         self.batch.correction(D))).tocsc()
+            try:
+                fact = factorize(J)
+            except np.linalg.LinAlgError as exc:
+                _SINGULAR.inc()
+                raise ConvergenceError(
+                    f"singular Jacobian during {context}") from exc
+            return J, fact, fact.solve(R)
         J = self.A.copy()
         if self.batch.k:
             J[self.batch.rows] += self.batch.correction(D)
-        _REFRESH.inc()
         try:
-            return J, np.linalg.solve(J, R)
+            return J, None, np.linalg.solve(J, R)
         except np.linalg.LinAlgError as exc:
             _SINGULAR.inc()
             raise ConvergenceError(
@@ -740,8 +767,8 @@ class _NewtonKernel:
             R, D = self._residual_neg(x, b)
             if not stale or (prev_step is not None
                              and prev_step > _DAMP_LIMIT):
-                J, delta = self._fresh_delta(D, R, context)
-                fact, uses, x_built = None, 1, x.copy()
+                J, fact, delta = self._fresh_delta(D, R, context)
+                uses, x_built = 1, x.copy()
                 stale = False
             else:
                 try:
@@ -762,8 +789,8 @@ class _NewtonKernel:
                               and step >= _STALL_RATIO * prev_step)):
                 # Stalled — or about to accept a stale direction: redo
                 # the step against a Jacobian built at this iterate.
-                J, delta = self._fresh_delta(D, R, context)
-                fact, uses, x_built = None, 1, x.copy()
+                J, fact, delta = self._fresh_delta(D, R, context)
+                uses, x_built = 1, x.copy()
                 stale = False
                 step = np.abs(delta).max(initial=0.0)
             if step > _DAMP_LIMIT:
@@ -790,6 +817,11 @@ def _solver_factory(mode: str, stamps: list[_DeviceStamps],
     """
     if mode == "legacy":
         def make(A: np.ndarray):
+            if is_sparse_matrix(A):
+                # The legacy reference re-stamps and solves dense per
+                # iteration; densify up front so it stays usable as an
+                # equivalence oracle on sparse-stamped systems.
+                A = A.toarray()
             def solve(b, x0, context):
                 return _newton_solve(A, lambda y, A=A, b=b: A @ y - b,
                                      stamps, x0, context)
@@ -820,8 +852,13 @@ def _recover_dc(mna: MnaSystem, G: np.ndarray, make, rhs0: np.ndarray,
     x = np.zeros(mna.dim)
     try:
         for g in _GMIN_LADDER:
-            Gg = G.copy()
-            Gg[diag, diag] += g
+            if is_sparse_matrix(G):
+                shunt = _sp.coo_matrix(
+                    (np.full(n, g), (diag, diag)), shape=G.shape)
+                Gg = (G + shunt).tocsc()
+            else:
+                Gg = G.copy()
+                Gg[diag, diag] += g
             x = make(Gg)(rhs0, x, f"gmin={g:g} DC recovery of {name}")
         _RECOVERED_GMIN.inc()
         return x

@@ -281,16 +281,33 @@ class TestBenchPerf:
     def test_quick_perf_run_writes_payload(self, tmp_path, capsys):
         out = tmp_path / "BENCH_perf.json"
         code = main(["bench", "--perf", "--quick", "--count", "1",
-                     "--t-stop", "0.1n", "--out", str(out)])
+                     "--t-stop", "0.1n", "--sparse-dim", "0",
+                     "--out", str(out)])
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro.bench.perf/v2"
+        assert payload["schema"] == "repro.bench.perf/v3"
         assert payload["equivalence"]["within_tolerance"] is True
         assert payload["equivalence"]["max_state_delta"] <= 1e-9
         assert payload["equivalence"]["batched_within_tolerance"] is True
+        assert "sparse" not in payload  # --sparse-dim 0 disables
         for kernel in ("legacy", "fast"):
             assert payload["kernels"][kernel]["transient_steps"] > 0
         assert "newton_throughput" in payload["speedup"]
         text = capsys.readouterr().out
         assert "equivalence: max state delta" in text
         assert "-> ok" in text
+
+    def test_quick_perf_sparse_phase(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf.json"
+        code = main(["bench", "--perf", "--quick", "--count", "1",
+                     "--t-stop", "0.1n", "--sparse-dim", "600",
+                     "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        sp = payload["sparse"]
+        assert sp["dim"] >= 512
+        assert sp["within_tolerance"] is True
+        assert sp["max_state_delta"] <= sp["tolerance"]
+        assert sp["speedup"] > 0
+        assert "analysis_sparse_s" not in sp  # --quick skips it
+        assert "sparse phase: dim=" in capsys.readouterr().out
