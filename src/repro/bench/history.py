@@ -1,0 +1,187 @@
+"""Bench history ledger and regression detection.
+
+``BENCH_perf.json`` is a single point; this module gives it a
+trajectory.  Every ``repro bench --perf --history FILE`` run appends
+one manifest-stamped JSONL record — git revision, host, timestamp, and
+the tracked phase figures — and ``--baseline`` compares the fresh run
+against the **rolling baseline** (median of the last ``window`` prior
+records per phase), exiting non-zero when any tracked phase slowed by
+more than ``REGRESSION_THRESHOLD``.
+
+The tracked phases are ratios (fast-vs-legacy, sparse-vs-dense), not
+absolute wall times, so records from machines of different speeds
+remain comparable: a 2.2× Newton throughput is 2.2× on a laptop and on
+a CI runner.
+
+Record schema (``repro.bench.history/v1``)::
+
+    {"schema": ..., "recorded_at": ..., "git": {...}, "host": ...,
+     "bench_schema": "repro.bench.perf/v3",
+     "config": {"seed": ..., "count": ..., "t_stop": ...},
+     "phases": {"newton_throughput": 2.2,
+                "alignment_search_batched": 3.9,
+                "sparse_speedup": 27.7},
+     "wall": {"transient_fast_s": ..., "steps_per_second_fast": ...}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from statistics import median
+
+from repro.obs import get_logger, git_revision, host_info
+
+__all__ = ["HISTORY_SCHEMA", "REGRESSION_THRESHOLD", "TRACKED_PHASES",
+           "Regression", "history_record", "append_history",
+           "load_history", "detect_regressions", "format_regressions"]
+
+log = get_logger("bench.history")
+
+#: Schema identifier stamped into every history record.
+HISTORY_SCHEMA = "repro.bench.history/v1"
+
+#: A tracked phase regresses when it drops more than this fraction
+#: below the rolling baseline.
+REGRESSION_THRESHOLD = 0.10
+
+#: Records folded into the rolling baseline (median of the most recent
+#: ``window`` prior records carrying the phase).
+DEFAULT_WINDOW = 5
+
+#: Tracked phase -> path into the ``run_perf`` payload.  All are
+#: higher-is-better ratios.
+TRACKED_PHASES = {
+    "newton_throughput": ("speedup", "newton_throughput"),
+    "alignment_search_batched": ("speedup", "alignment_search_batched"),
+    "sparse_speedup": ("sparse", "speedup"),
+}
+
+
+def _dig(payload: dict, path: tuple) -> float | None:
+    node = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node)
+
+
+def history_record(payload: dict, *, recorded_at: float | None = None
+                   ) -> dict:
+    """One ledger record from a :func:`repro.bench.perf.run_perf`
+    payload, stamped with the manifest identity fields (git revision,
+    host, timestamp)."""
+    config = payload.get("config", {})
+    fast = payload.get("kernels", {}).get("fast", {})
+    phases = {}
+    for name, path in TRACKED_PHASES.items():
+        value = _dig(payload, path)
+        if value is not None:
+            phases[name] = value
+    return {
+        "schema": HISTORY_SCHEMA,
+        "recorded_at": time.time() if recorded_at is None
+        else recorded_at,
+        "git": git_revision(),
+        "host": host_info()["hostname"],
+        "bench_schema": payload.get("schema"),
+        "config": {key: config.get(key)
+                   for key in ("seed", "count", "t_stop", "dt",
+                               "sparse_dim")},
+        "phases": phases,
+        "wall": {
+            "transient_fast_s": fast.get("transient_s"),
+            "steps_per_second_fast": fast.get("steps_per_second"),
+        },
+    }
+
+
+def append_history(path, record: dict) -> int:
+    """Append one record to the JSONL ledger; returns the new length.
+
+    A single-line ``O_APPEND`` write: concurrent benches interleave
+    whole records, and a killed run can at worst lose its own last
+    line — never corrupt earlier history.
+    """
+    line = json.dumps(record)
+    with open(path, "a") as handle:
+        handle.write(line + "\n")
+    return sum(1 for _ in open(path))
+
+
+def load_history(path) -> list[dict]:
+    """Read the ledger (oldest first); missing file -> empty history."""
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                log.warning("skipping corrupt history line in %s", path)
+    return records
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One tracked phase that fell below the rolling baseline."""
+
+    phase: str
+    baseline: float   #: rolling-median reference value
+    current: float    #: this run's value
+    samples: int      #: prior records the baseline was computed over
+
+    @property
+    def drop_fraction(self) -> float:
+        if self.baseline == 0.0:
+            return 0.0
+        return (self.baseline - self.current) / self.baseline
+
+
+def detect_regressions(history: list[dict], current: dict, *,
+                       threshold: float = REGRESSION_THRESHOLD,
+                       window: int = DEFAULT_WINDOW
+                       ) -> list[Regression]:
+    """Compare ``current`` (a :func:`history_record`) to the ledger.
+
+    For each tracked phase present in the current record, the baseline
+    is the median of that phase over the last ``window`` prior records
+    that carry it; a phase with no prior samples cannot regress (the
+    first entry *seeds* the trajectory).  Returns the phases whose
+    current value fell more than ``threshold`` below their baseline.
+    """
+    regressions = []
+    for phase, value in sorted(current.get("phases", {}).items()):
+        samples = [rec["phases"][phase] for rec in history
+                   if phase in rec.get("phases", {})][-window:]
+        if not samples:
+            continue
+        baseline = median(samples)
+        if value < baseline * (1.0 - threshold):
+            regressions.append(Regression(
+                phase=phase, baseline=baseline, current=value,
+                samples=len(samples)))
+    return regressions
+
+
+def format_regressions(regressions: list[Regression], *,
+                       threshold: float = REGRESSION_THRESHOLD) -> str:
+    """Render the comparator verdict for the CLI."""
+    if not regressions:
+        return (f"bench history: no tracked phase regressed "
+                f"(threshold {threshold:.0%})")
+    lines = [f"bench history: {len(regressions)} phase(s) regressed "
+             f"more than {threshold:.0%} vs the rolling baseline:"]
+    for reg in regressions:
+        lines.append(
+            f"  {reg.phase}: {reg.current:.3f} vs baseline "
+            f"{reg.baseline:.3f} (median of {reg.samples}) -> "
+            f"-{reg.drop_fraction:.1%}")
+    return "\n".join(lines)

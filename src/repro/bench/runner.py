@@ -89,6 +89,11 @@ def run_population(nets, *, jobs: int = 1, analyzer=None,
     (:func:`repro.obs.enable_tracing`) the sweep produces per-net spans
     (merged in input order for ``jobs>1``) and the process-global
     metrics registry accumulates the run's counters either way.
+    Per-net heartbeats pass through too: forward an ``on_heartbeat``
+    callback (e.g. :meth:`repro.obs.ProgressTracker.record`) in
+    ``analyze_kwargs`` to watch a long sweep live, and resource
+    samples (peak RSS, CPU split) fold into the same registry for the
+    run manifest.
     """
     from repro.exec import analyze_nets
 

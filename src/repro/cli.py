@@ -13,8 +13,20 @@ Entry points mirroring the production workflow:
   worker-crash and circuit-breaker policies.
 * ``repro bench --perf`` — time the Newton kernels (fast vs. legacy
   reference) on a seeded population, write ``BENCH_perf.json`` and fail
-  on solver-equivalence drift.
+  on solver-equivalence drift; ``--history``/``--baseline`` append to
+  the bench-history ledger and fail on >threshold regressions vs the
+  rolling baseline.
 * ``repro trace summarize`` — per-stage time breakdown of a trace file.
+* ``repro trace export --chrome`` — convert a trace to Chrome
+  trace-event JSON for ``ui.perfetto.dev``.
+* ``repro report`` — render a run manifest (``--manifest``) back into a
+  human-readable summary.
+
+``screen``/``bench`` accept ``--manifest FILE`` to write a
+schema-versioned run manifest (config, git revision, host, per-stage
+timings, resources, full metrics snapshot); ``screen --progress``
+renders a live per-net progress line with throughput, ETA and
+straggler flags.
 
 All output goes through the ``repro`` logger hierarchy: ``-v`` adds
 per-stage diagnostics, ``-q`` keeps only warnings.  Run ``python -m
@@ -26,6 +38,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from contextlib import nullcontext
 
 from repro.circuit.parser import parse_netlist, parse_value
 from repro.core.analysis import DelayNoiseAnalyzer
@@ -40,15 +54,22 @@ from repro.core.precharacterize import build_alignment_table
 from repro.core.superposition import SuperpositionEngine
 from repro.gates.library import standard_cell
 from repro.obs import (
+    ProgressTracker,
+    RunManifest,
     Tracer,
+    atomic_write_json,
     configure_cli_logging,
     current_tracer,
+    format_manifest,
     format_summary,
     get_logger,
+    load_manifest,
     metrics,
     read_trace,
     set_tracer,
+    write_chrome_trace,
 )
+from repro.obs.progress import progress_stream
 from repro.units import PS
 from repro.waveform.render import render_waveforms
 
@@ -168,6 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(inspect with 'repro trace summarize')")
     p_scr.add_argument("--metrics", metavar="FILE",
                        help="write the run's metrics registry as JSON")
+    p_scr.add_argument("--manifest", metavar="FILE",
+                       help="write a schema-versioned run manifest "
+                            "(config, git rev, host, stage timings, "
+                            "resources, metrics); render it back with "
+                            "'repro report FILE'")
+    p_scr.add_argument("--progress", action="store_true",
+                       help="render a live per-net progress line on "
+                            "stderr (done/total, nets/s, ETA, "
+                            "straggler flags)")
 
     p_bench = sub.add_parser(
         "bench", help="performance benchmarks of the analysis kernels")
@@ -190,6 +220,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", default="BENCH_perf.json",
                          metavar="FILE",
                          help="result JSON (default BENCH_perf.json)")
+    p_bench.add_argument("--manifest", metavar="FILE",
+                         help="write a schema-versioned run manifest "
+                              "alongside the bench results")
+    p_bench.add_argument("--history", metavar="FILE",
+                         help="append a manifest-stamped record to this "
+                              "JSONL bench-history ledger")
+    p_bench.add_argument("--baseline", action="store_true",
+                         help="with --history: compare this run to the "
+                              "ledger's rolling baseline and exit "
+                              "non-zero on a tracked-phase regression")
+    p_bench.add_argument("--regression-threshold", type=float,
+                         default=None, metavar="FRAC",
+                         help="fractional slowdown that counts as a "
+                              "regression (default 0.10)")
+    p_bench.add_argument("--history-window", type=_positive_int,
+                         default=None, metavar="N",
+                         help="prior records folded into the rolling "
+                              "baseline median (default 5)")
 
     p_tr = sub.add_parser(
         "trace", help="inspect trace files produced by --trace")
@@ -198,6 +246,18 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize",
         help="per-stage time breakdown (count, total/self, p50/p95)")
     p_sum.add_argument("file", help="JSONL trace file")
+    p_exp = tr_sub.add_parser(
+        "export",
+        help="convert a JSONL trace to another format")
+    p_exp.add_argument("file", help="JSONL trace file")
+    p_exp.add_argument("--chrome", required=True, metavar="OUT",
+                       help="write Chrome trace-event JSON here (open "
+                            "in ui.perfetto.dev or chrome://tracing)")
+
+    p_rep = sub.add_parser(
+        "report",
+        help="render a run manifest written by --manifest")
+    p_rep.add_argument("manifest", help="manifest JSON file")
     return parser
 
 
@@ -334,6 +394,21 @@ def _cmd_screen(args) -> int:
     analyzer = DelayNoiseAnalyzer()
     nets = generator.population(args.count)
 
+    manifest = None
+    if args.manifest:
+        manifest = RunManifest("screen", config={
+            "seed": args.seed, "count": args.count,
+            "preset": args.preset, "jobs": args.jobs,
+            "timeout": args.timeout, "retries": args.retries,
+        })
+    tracker = None
+    if args.progress or args.manifest:
+        # Silent (stream=None) when only the manifest needs the final
+        # distribution; live rendering only under --progress.
+        tracker = ProgressTracker(
+            len(nets),
+            stream=progress_stream() if args.progress else None)
+
     # Delay-noise analysis fans out over worker processes (warm-started
     # from the parent's tables); the functional screen below reuses the
     # same warmed caches serially.
@@ -343,14 +418,30 @@ def _cmd_screen(args) -> int:
                               retries=args.retries,
                               max_failures=args.max_failures,
                               checkpoint=args.checkpoint,
-                              resume=args.resume)
+                              resume=args.resume,
+                              on_heartbeat=tracker.record
+                              if tracker else None)
     except TooManyFailures as exc:
+        if tracker:
+            tracker.finish()
         out.error(f"screen aborted: {exc}")
         if args.checkpoint:
             out.error(f"completed nets are in {args.checkpoint}; rerun "
                       f"with --resume after fixing the cause")
+        if manifest:
+            manifest.write(args.manifest,
+                           progress=tracker.snapshot() if tracker
+                           else None,
+                           extra={"aborted": str(exc)})
+            out.error(f"# wrote manifest to {args.manifest}")
         return 1
+    if tracker:
+        tracker.finish()
     failures = {f.net_name: f for f in result.failures}
+    if manifest:
+        manifest.add_stage("characterization", result.stats.warm_time)
+        manifest.add_stage("analysis", result.stats.wall_time)
+    t_func = time.perf_counter()
 
     header = ("net     aggr  func in/out (V)  func?   "
               "delay in/out (ps)   Rtr/Rth")
@@ -382,6 +473,9 @@ def _cmd_screen(args) -> int:
                                       for d in report.degradations}))
             line += f"   DEGRADED({stages})"
         out.info(line)
+    if manifest:
+        manifest.add_stage("functional-screen",
+                           time.perf_counter() - t_func)
 
     stats = result.stats
     summary = (f"# {stats.nets} nets, {stats.failures} failed | "
@@ -408,25 +502,78 @@ def _cmd_screen(args) -> int:
         count = current_tracer().export_jsonl(args.trace)
         out.info(f"# wrote {count} spans to {args.trace}")
     if args.metrics:
-        with open(args.metrics, "w") as handle:
-            json.dump(metrics().snapshot(), handle, indent=2)
+        atomic_write_json(args.metrics, metrics().snapshot())
         out.info(f"# wrote metrics to {args.metrics}")
+    if manifest:
+        degraded_stages = sorted({d.stage for report in result.reports
+                                  if report is not None
+                                  for d in report.degradations})
+        manifest.write(
+            args.manifest,
+            failures=result.failures,
+            degraded={"total": stats.degraded,
+                      "stages": degraded_stages},
+            progress=tracker.snapshot() if tracker else None)
+        out.info(f"# wrote manifest to {args.manifest}")
     return 0 if not failures else 1
 
 
 def _cmd_bench(args) -> int:
+    from repro.bench.history import (
+        DEFAULT_WINDOW,
+        REGRESSION_THRESHOLD,
+        append_history,
+        detect_regressions,
+        format_regressions,
+        history_record,
+        load_history,
+    )
     from repro.bench.perf import format_perf, run_perf
 
     if not args.perf:
         out.error("nothing to do: pass --perf")
         return 2
-    payload = run_perf(seed=args.seed, count=args.count,
-                       t_stop=args.t_stop, skip_analysis=args.quick,
-                       sparse_dim=args.sparse_dim)
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    if args.baseline and not args.history:
+        out.error("--baseline requires --history")
+        return 2
+    threshold = args.regression_threshold \
+        if args.regression_threshold is not None else REGRESSION_THRESHOLD
+    window = args.history_window \
+        if args.history_window is not None else DEFAULT_WINDOW
+
+    manifest = None
+    if args.manifest:
+        manifest = RunManifest("bench", config={
+            "seed": args.seed, "count": args.count,
+            "t_stop": args.t_stop, "quick": args.quick,
+            "sparse_dim": args.sparse_dim,
+        })
+    with manifest.stage("perf") if manifest else nullcontext():
+        payload = run_perf(seed=args.seed, count=args.count,
+                           t_stop=args.t_stop, skip_analysis=args.quick,
+                           sparse_dim=args.sparse_dim)
+    atomic_write_json(args.out, payload)
     out.info(format_perf(payload))
     out.info(f"# wrote {args.out}")
+    if manifest:
+        manifest.write(args.manifest,
+                       extra={"speedup": payload.get("speedup", {}),
+                              "equivalence": payload.get("equivalence",
+                                                         {})})
+        out.info(f"# wrote manifest to {args.manifest}")
+
+    regressions = []
+    if args.history:
+        prior = load_history(args.history)
+        record = history_record(payload)
+        total = append_history(args.history, record)
+        out.info(f"# appended history entry #{total} to {args.history}")
+        if args.baseline:
+            regressions = detect_regressions(
+                prior, record, threshold=threshold, window=window)
+            out.info(format_regressions(regressions,
+                                        threshold=threshold))
+
     if not payload["equivalence"]["within_tolerance"]:
         out.error("solver equivalence drift: fast kernel deviates from "
                   "the legacy reference beyond tolerance")
@@ -439,6 +586,8 @@ def _cmd_bench(args) -> int:
         out.error("sparse backend drift: sparse transient deviates from "
                   "the dense reference beyond tolerance")
         return 1
+    if regressions:
+        return 1
     return 0
 
 
@@ -447,7 +596,22 @@ def _cmd_trace(args) -> int:
     if not records:
         out.warning(f"{args.file}: no spans")
         return 1
+    if args.trace_command == "export":
+        count = write_chrome_trace(args.chrome, records)
+        out.info(f"# wrote {count} events to {args.chrome} "
+                 f"(open in ui.perfetto.dev)")
+        return 0
     out.info(format_summary(records))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    try:
+        payload = load_manifest(args.manifest)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        out.error(f"cannot read manifest: {exc}")
+        return 1
+    out.info(format_manifest(payload))
     return 0
 
 
@@ -468,6 +632,7 @@ def main(argv: list[str] | None = None) -> int:
         "screen": _cmd_screen,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

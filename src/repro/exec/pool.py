@@ -35,6 +35,7 @@ the resilience traffic (crashes, retries, resumed nets).
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
@@ -48,7 +49,17 @@ from dataclasses import dataclass, field
 from repro.core.analysis import DelayNoiseAnalyzer, NoiseReport
 from repro.core.net import CoupledNet
 from repro.exec.snapshot import build_snapshot, restore_analyzer, warm_analyzer
-from repro.obs import Tracer, current_tracer, get_logger, metrics, set_tracer
+from repro.obs import (
+    Heartbeat,
+    Tracer,
+    current_tracer,
+    get_logger,
+    metrics,
+    peak_rss_bytes,
+    sample_resources,
+    set_tracer,
+)
+from repro.obs.resources import reset_sampler
 from repro.resilience import (
     CheckpointWriter,
     FaultPlan,
@@ -131,6 +142,9 @@ class ExecStats:
     retries: int = 0
     #: Nets whose reports carry ``quality="degraded"``.
     degraded: int = 0
+    #: Peak resident-set size (bytes) over every participating process
+    #: (serial: this one; jobs>1: the max across the workers).
+    peak_rss_bytes: int = 0
 
     @property
     def nets_per_second(self) -> float:
@@ -272,6 +286,10 @@ def _worker_init(snapshot: dict, analyze_kwargs: dict,
         install_faults(fault_plan)
     _WORKER_STATE["analyzer"] = restore_analyzer(snapshot)
     metrics().reset()
+    # Forked workers inherit the parent's CPU baseline; re-prime so the
+    # first net's resource deltas are this worker's own.
+    reset_sampler()
+    sample_resources()
     _WORKER_STATE["analyze_kwargs"] = analyze_kwargs
     _WORKER_STATE["timeout"] = timeout
 
@@ -280,18 +298,27 @@ def _worker_run(net: CoupledNet):
     """Analyze one net and ship its telemetry back with the result.
 
     Alongside the report/failure the worker returns its cache-counter
-    deltas, a drained metrics snapshot and its drained span buffer, so
-    the parent can merge a ``jobs=N`` run's telemetry into the same
-    registry/trace a serial run would have produced.
+    deltas, a drained metrics snapshot, its drained span buffer and a
+    :class:`Heartbeat`, so the parent can merge a ``jobs=N`` run's
+    telemetry into the same registry/trace a serial run would have
+    produced and render live progress as nets complete.
     """
     analyzer = _WORKER_STATE["analyzer"]
     hits0, misses0 = _cache_counters(analyzer)
+    t0 = time.perf_counter()
     report, failure = _analyze_one(
         analyzer, net, _WORKER_STATE["timeout"],
         _WORKER_STATE["analyze_kwargs"])
+    seconds = time.perf_counter() - t0
     hits1, misses1 = _cache_counters(analyzer)
+    # Sample *before* the drain so the resource instruments ride the
+    # snapshot back to the parent registry.
+    sample_resources()
+    heartbeat = Heartbeat(net=net.name, seconds=seconds,
+                          rss_bytes=peak_rss_bytes(), pid=os.getpid(),
+                          failed=failure is not None)
     return (report, failure, hits1 - hits0, misses1 - misses0,
-            metrics().drain(), current_tracer().drain())
+            metrics().drain(), current_tracer().drain(), heartbeat)
 
 
 # ----------------------------------------------------------------------
@@ -348,6 +375,7 @@ def analyze_nets(nets, *, jobs: int = 1,
                  max_failures: int | float | None = None,
                  checkpoint=None,
                  resume: bool = False,
+                 on_heartbeat=None,
                  **analyze_kwargs) -> ExecResult:
     """Analyze every net, optionally across ``jobs`` worker processes.
 
@@ -388,6 +416,11 @@ def analyze_nets(nets, *, jobs: int = 1,
         With ``checkpoint``, load the nets already recorded there and
         analyze only the remainder; the combined result is bit-identical
         to an uninterrupted run.
+    on_heartbeat:
+        Optional callable invoked with a :class:`repro.obs.Heartbeat`
+        as each net completes (in completion order, not input order) —
+        the hook live progress rendering hangs off
+        (:class:`repro.obs.ProgressTracker.record`).
     **analyze_kwargs:
         Forwarded to :meth:`DelayNoiseAnalyzer.analyze` (``alignment``,
         ``use_rtr``, ...).
@@ -456,21 +489,38 @@ def analyze_nets(nets, *, jobs: int = 1,
         log.debug("warmed characterization caches in %.2f s",
                   stats.warm_time)
 
+    # Prime the resource baseline after warm-up so per-net CPU deltas
+    # cover analysis only; sampled again at every net boundary below.
+    sample_resources()
     t_start = time.perf_counter()
     with tracer.span("exec.analyze_nets", jobs=jobs, nets=len(nets)):
         if jobs == 1 or len(todo) <= 1:
             hits0, misses0 = _cache_counters(analyzer)
             for i in todo:
+                t_net = time.perf_counter()
                 report, failure = _analyze_one(
                     analyzer, nets[i], timeout, analyze_kwargs)
+                seconds = time.perf_counter() - t_net
                 record_outcome(i, report, failure)
+                sample_resources()
+                rss = peak_rss_bytes()
+                stats.peak_rss_bytes = max(stats.peak_rss_bytes, rss)
+                if on_heartbeat is not None:
+                    on_heartbeat(Heartbeat(
+                        net=names[i], seconds=seconds, rss_bytes=rss,
+                        pid=os.getpid(), failed=failure is not None))
             hits1, misses1 = _cache_counters(analyzer)
             stats.cache_hits = hits1 - hits0
             stats.cache_misses = misses1 - misses0
         else:
             _run_pool(nets, todo, jobs, analyzer, timeout, retries,
                       retry_backoff, analyze_kwargs, tracer, stats,
-                      record_outcome)
+                      record_outcome, on_heartbeat)
+            # One parent-side sample so the merged registry also covers
+            # this process (workers folded theirs per net above).
+            sample_resources()
+            stats.peak_rss_bytes = max(stats.peak_rss_bytes,
+                                       peak_rss_bytes())
 
     stats.wall_time = time.perf_counter() - t_start
     failures = [f for f in failures_at if f is not None]
@@ -489,7 +539,7 @@ def analyze_nets(nets, *, jobs: int = 1,
 
 def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
               retry_backoff, analyze_kwargs, tracer, stats,
-              record_outcome) -> None:
+              record_outcome, on_heartbeat=None) -> None:
     """The ``jobs>1`` path: per-net futures over a rebuildable pool.
 
     Submission is windowed to the worker count, so when the pool breaks
@@ -518,9 +568,21 @@ def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
                                    initargs=initargs)
 
     def accept(i: int, outcome) -> None:
-        report, failure, hits, misses, metric_payload, spans = outcome
+        report, failure, hits, misses, metric_payload, spans, \
+            heartbeat = outcome
         telemetry[i] = (hits, misses, metric_payload, spans)
         record_outcome(i, report, failure)
+        stats.peak_rss_bytes = max(stats.peak_rss_bytes,
+                                   heartbeat.rss_bytes)
+        if on_heartbeat is not None:
+            on_heartbeat(heartbeat)
+
+    def failure_heartbeat(i: int) -> None:
+        # Nets that die without a worker result (crashes, transport
+        # failures) still tick the progress line.
+        if on_heartbeat is not None:
+            on_heartbeat(Heartbeat(net=nets[i].name, seconds=0.0,
+                                   rss_bytes=0, failed=True))
 
     pool = new_pool()
     pending = deque(todo)
@@ -548,6 +610,7 @@ def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
                         error=f"{type(exc).__name__}: {exc}",
                         traceback=traceback.format_exc(),
                         error_type=type(exc).__name__))
+                    failure_heartbeat(i)
             if not suspects:
                 continue
             # The pool is broken; every in-flight future is doomed with
@@ -565,7 +628,7 @@ def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
                 pool = _probe(pool, new_pool, nets, i, accept,
                               record_outcome, crash_attempts, retries,
                               retry_backoff, stats, crash_counter,
-                              retry_counter)
+                              retry_counter, failure_heartbeat)
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 
@@ -581,7 +644,8 @@ def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
 
 def _probe(pool, new_pool, nets, i, accept, record_outcome,
            crash_attempts, retries, retry_backoff, stats,
-           crash_counter, retry_counter) -> ProcessPoolExecutor:
+           crash_counter, retry_counter,
+           failure_heartbeat) -> ProcessPoolExecutor:
     """Run one suspect net alone in the pool, attributing crashes to it.
 
     With a single in-flight net, a ``BrokenProcessPool`` is
@@ -614,6 +678,7 @@ def _probe(pool, new_pool, nets, i, accept, record_outcome,
                           f"({attempts} isolated attempts)",
                     traceback="",
                     error_type="WorkerCrash"))
+                failure_heartbeat(i)
                 return pool
             stats.retries += 1
             retry_counter.inc()
@@ -630,4 +695,5 @@ def _probe(pool, new_pool, nets, i, accept, record_outcome,
                 error=f"{type(exc).__name__}: {exc}",
                 traceback=traceback.format_exc(),
                 error_type=type(exc).__name__))
+            failure_heartbeat(i)
             return pool

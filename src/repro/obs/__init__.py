@@ -26,19 +26,38 @@ See ``docs/architecture.md`` ("Observability") for the span taxonomy,
 metric names and trace file schema.
 """
 
+from repro.obs.ioutil import atomic_write_json, atomic_write_text
 from repro.obs.log import configure_cli_logging, get_logger, verbosity_level
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    format_manifest,
+    git_revision,
+    host_info,
+    load_manifest,
+)
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     Timer,
     registry as metrics,
 )
+from repro.obs.progress import Heartbeat, ProgressTracker
+from repro.obs.resources import (
+    ResourceSampler,
+    peak_rss_bytes,
+    resource_summary,
+    sample_resources,
+)
 from repro.obs.summary import (
     StageSummary,
     format_summary,
     summarize_records,
+    to_chrome_trace,
     trace_total_time,
+    write_chrome_trace,
 )
 from repro.obs.trace import (
     Span,
@@ -54,24 +73,41 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "Gauge",
+    "Heartbeat",
     "Histogram",
+    "MANIFEST_SCHEMA",
     "MetricsRegistry",
+    "ProgressTracker",
+    "ResourceSampler",
+    "RunManifest",
     "Span",
     "StageSummary",
     "Timer",
     "Tracer",
+    "atomic_write_json",
+    "atomic_write_text",
     "configure_cli_logging",
     "current_tracer",
     "disable_tracing",
     "enable_tracing",
+    "format_manifest",
     "format_summary",
     "get_logger",
+    "git_revision",
+    "host_info",
+    "load_manifest",
     "metrics",
+    "peak_rss_bytes",
     "read_trace",
+    "resource_summary",
+    "sample_resources",
     "set_tracer",
     "span",
     "summarize_records",
+    "to_chrome_trace",
     "trace_total_time",
     "verbosity_level",
+    "write_chrome_trace",
     "write_trace",
 ]

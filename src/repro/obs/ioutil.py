@@ -1,0 +1,40 @@
+"""Atomic file writes for telemetry, manifests and databases.
+
+Every artifact the ledger layer produces (trace files, metrics dumps,
+run manifests, characterization databases) is written through the same
+discipline: serialize to a temp file in the target directory, then
+``os.replace`` it over the destination.  A run killed mid-write leaves
+any previous file intact instead of a truncated one — the property the
+checkpoint machinery already guarantees for resume files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + ``os.replace``)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path, payload, *, indent: int | None = 2) -> None:
+    """Serialize ``payload`` as JSON and write it atomically."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

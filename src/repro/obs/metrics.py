@@ -8,7 +8,10 @@ instruments cheap enough to live on the hot path unconditionally:
 * :class:`Counter` — a monotonically increasing integer;
 * :class:`Timer` — count / total / min / max of observed durations;
 * :class:`Histogram` — fixed upper-bound buckets (values above the last
-  bound land in an overflow bucket), plus count and sum.
+  bound land in an overflow bucket), plus count and sum;
+* :class:`Gauge` — a sampled level (e.g. resident-set size) whose
+  cross-process merge keeps the *peak*, so a parent folding worker
+  snapshots ends up with the worst value seen anywhere in the run.
 
 Instruments are created on first use and *identity-stable*: module-level
 code may cache ``metrics.histogram("newton.iterations")`` once —
@@ -26,7 +29,7 @@ from __future__ import annotations
 import threading
 from bisect import bisect_left
 
-__all__ = ["Counter", "Timer", "Histogram", "MetricsRegistry",
+__all__ = ["Counter", "Timer", "Histogram", "Gauge", "MetricsRegistry",
            "registry", "DEFAULT_ITERATION_BUCKETS"]
 
 #: Default bucket upper bounds for iteration-count histograms.
@@ -159,7 +162,40 @@ class Histogram:
         self.total = 0.0
 
 
-_KINDS = {"counters": Counter, "timers": Timer, "histograms": Histogram}
+class Gauge:
+    """A sampled level: last value set plus the peak ever seen.
+
+    Unlike a counter, a gauge can move both ways (RSS grows and
+    shrinks); the merge keeps the **maximum** of both peaks, which is
+    the semantics resource accounting needs — the manifest's "peak
+    worker RSS" is the max over every process that folded in.
+    """
+
+    __slots__ = ("value", "max")
+
+    def __init__(self):
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> dict:
+        return {"value": self.value, "max": self.max}
+
+    def merge(self, payload: dict) -> None:
+        self.value = max(self.value, payload["value"])
+        self.max = max(self.max, payload["max"])
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.max = 0.0
+
+
+_KINDS = {"counters": Counter, "timers": Timer, "histograms": Histogram,
+          "gauges": Gauge}
 
 
 class MetricsRegistry:
@@ -188,6 +224,9 @@ class MetricsRegistry:
                   bounds=DEFAULT_ITERATION_BUCKETS) -> Histogram:
         return self._get("histograms", name, lambda: Histogram(bounds))
 
+    def gauge(self, name: str) -> Gauge:
+        return self._get("gauges", name, Gauge)
+
     def snapshot(self) -> dict:
         """Serialize every instrument to a plain (picklable) dict."""
         return {
@@ -209,6 +248,8 @@ class MetricsRegistry:
             self.timer(name).merge(value)
         for name, value in payload.get("histograms", {}).items():
             self.histogram(name, value["bounds"]).merge(value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).merge(value)
 
     def reset(self) -> None:
         """Zero every instrument in place (cached handles stay valid)."""

@@ -1,0 +1,159 @@
+"""Live progress from per-net heartbeats.
+
+Workers (and the serial path) emit one :class:`Heartbeat` per completed
+net — name, wall seconds, peak RSS, originating pid.  The parent feeds
+them to a :class:`ProgressTracker`, which maintains done/total, the
+run's throughput and ETA, the per-net duration distribution, and a
+straggler flag: a net whose wall time exceeds
+``STRAGGLER_FACTOR × p95`` of the nets before it (once enough samples
+exist for a p95 to mean anything).
+
+``repro screen --progress`` renders the tracker as a single
+carriage-return progress line on stderr::
+
+    [ 37/100]  2.81 nets/s  eta 22s  p95 512 ms  stragglers: net12
+
+and the final tracker state lands in the run manifest, so the ledger
+records the same distribution the operator watched.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+__all__ = ["Heartbeat", "ProgressTracker", "STRAGGLER_FACTOR",
+           "MIN_STRAGGLER_SAMPLES"]
+
+#: A net is flagged as a straggler when its duration exceeds this many
+#: multiples of the p95 of the nets completed before it.
+STRAGGLER_FACTOR = 3.0
+#: Completed-net samples required before stragglers are judged (a p95
+#: over fewer is noise).
+MIN_STRAGGLER_SAMPLES = 5
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One completed net's vitals, shipped from the analyzing process."""
+
+    net: str           #: net name
+    seconds: float     #: wall-clock analysis time
+    rss_bytes: int     #: the analyzing process's peak RSS at completion
+    pid: int = 0       #: originating process
+    failed: bool = False
+
+    def to_dict(self) -> dict:
+        return {"net": self.net, "seconds": self.seconds,
+                "rss_bytes": self.rss_bytes, "pid": self.pid,
+                "failed": self.failed}
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+class ProgressTracker:
+    """Accumulates heartbeats; optionally renders a live progress line.
+
+    ``stream=None`` keeps the tracker silent (pure accounting for the
+    manifest); the CLI passes ``sys.stderr`` under ``--progress``.
+    Rendering is throttled to ``min_interval`` seconds, with a forced
+    final render (plus newline) from :meth:`finish`.
+    """
+
+    def __init__(self, total: int, *, stream=None,
+                 min_interval: float = 0.1):
+        self.total = total
+        self.stream = stream
+        self.min_interval = min_interval
+        self.done = 0
+        self.failed = 0
+        self.durations: list[float] = []
+        self.stragglers: list[str] = []
+        self._t_start = time.monotonic()
+        self._last_render = 0.0
+
+    # -- accounting ----------------------------------------------------
+    def record(self, heartbeat: Heartbeat) -> None:
+        """Fold one completed net in (the pool's ``on_heartbeat``)."""
+        if (len(self.durations) >= MIN_STRAGGLER_SAMPLES
+                and heartbeat.seconds
+                > STRAGGLER_FACTOR * self.p95()):
+            self.stragglers.append(heartbeat.net)
+        self.durations.append(heartbeat.seconds)
+        self.done += 1
+        if heartbeat.failed:
+            self.failed += 1
+        self._maybe_render()
+
+    def p95(self) -> float:
+        return _percentile(sorted(self.durations), 0.95)
+
+    def p50(self) -> float:
+        return _percentile(sorted(self.durations), 0.50)
+
+    def nets_per_second(self) -> float:
+        elapsed = time.monotonic() - self._t_start
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    def eta_seconds(self) -> float:
+        rate = self.nets_per_second()
+        if rate <= 0.0:
+            return float("inf")
+        return max(self.total - self.done, 0) / rate
+
+    def snapshot(self) -> dict:
+        """Final state for the run manifest."""
+        return {
+            "nets": self.done,
+            "total": self.total,
+            "failed": self.failed,
+            "nets_per_second": self.nets_per_second(),
+            "p50_s": self.p50(),
+            "p95_s": self.p95(),
+            "stragglers": list(self.stragglers),
+        }
+
+    # -- rendering -----------------------------------------------------
+    def render_line(self) -> str:
+        width = len(str(self.total))
+        parts = [f"[{self.done:>{width}d}/{self.total}]",
+                 f"{self.nets_per_second():.2f} nets/s"]
+        eta = self.eta_seconds()
+        if self.done < self.total and eta != float("inf"):
+            parts.append(f"eta {eta:.0f}s")
+        if self.durations:
+            parts.append(f"p95 {self.p95() * 1e3:.0f} ms")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.stragglers:
+            parts.append("stragglers: " + ",".join(self.stragglers[-3:]))
+        return "  ".join(parts)
+
+    def _maybe_render(self, force: bool = False) -> None:
+        if self.stream is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        self.stream.write("\r\x1b[2K" + self.render_line())
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Force a final render and terminate the progress line."""
+        if self.stream is None:
+            return
+        self._maybe_render(force=True)
+        self.stream.write("\n")
+        self.stream.flush()
+
+
+def progress_stream():
+    """The stream ``--progress`` renders to (stderr, patchable)."""
+    return sys.stderr

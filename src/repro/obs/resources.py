@@ -1,0 +1,114 @@
+"""Per-process resource accounting sampled at net boundaries.
+
+The pool (``repro.exec.pool``) calls :func:`sample_resources` once
+before a run and once after every net, in the serial parent and in
+every worker process.  Each sample is a handful of instrument updates
+on the process-global metrics registry, so the accounting rides the
+existing snapshot-merge path for free: workers drain their registry per
+net, the parent folds the payloads, and a ``jobs=N`` manifest ends up
+with the peak RSS and CPU split over *all* processes.
+
+Instruments written per sample:
+
+* ``resource.peak_rss_bytes`` (gauge) — ``ru_maxrss`` normalized to
+  bytes; the gauge's peak-merge makes the parent's value the max over
+  every process that folded in.
+* ``resource.cpu.user`` / ``resource.cpu.system`` (timers) — CPU-time
+  *deltas* since the previous sample, one observation per net, so the
+  timers' totals are the run's CPU split and their counts the sample
+  count.
+* ``obs.overhead`` (timer) — the cost of the sampling itself, so the
+  manifest can report the telemetry overhead it imposed (<1% is the
+  budget; measured well below).
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+
+from repro.obs.metrics import registry
+
+__all__ = ["ResourceSampler", "sample_resources", "peak_rss_bytes",
+           "resource_summary"]
+
+#: ``ru_maxrss`` is bytes on macOS, kilobytes everywhere else.
+_RSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident-set size, in bytes."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _RSS_UNIT
+
+
+class ResourceSampler:
+    """Accumulates ``getrusage`` deltas into the metrics registry.
+
+    The first :meth:`sample` primes the CPU baseline (no delta is
+    observed); every later call observes the user/system CPU consumed
+    since the previous one and refreshes the peak-RSS gauge.  One
+    instance per process: the pool keeps a module-global via
+    :func:`sample_resources`.
+    """
+
+    __slots__ = ("_last",)
+
+    def __init__(self):
+        self._last: tuple[float, float] | None = None
+
+    def sample(self) -> None:
+        t0 = time.perf_counter()
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        reg = registry()
+        reg.gauge("resource.peak_rss_bytes").set(
+            usage.ru_maxrss * _RSS_UNIT)
+        if self._last is not None:
+            user0, system0 = self._last
+            reg.timer("resource.cpu.user").observe(
+                max(usage.ru_utime - user0, 0.0))
+            reg.timer("resource.cpu.system").observe(
+                max(usage.ru_stime - system0, 0.0))
+        self._last = (usage.ru_utime, usage.ru_stime)
+        reg.timer("obs.overhead").observe(time.perf_counter() - t0)
+
+
+_SAMPLER = ResourceSampler()
+
+
+def sample_resources() -> None:
+    """Sample this process's resource usage (see module docstring).
+
+    Worker processes inherit a forked copy of the module-global sampler
+    whose baseline belongs to the parent; ``_worker_init`` re-primes it
+    so the first worker net's CPU delta is the worker's own.
+    """
+    _SAMPLER.sample()
+
+
+def reset_sampler() -> None:
+    """Drop the CPU baseline (worker init / test isolation)."""
+    _SAMPLER._last = None
+
+
+def resource_summary(snapshot: dict) -> dict:
+    """Fold a metrics snapshot's resource instruments into a flat dict.
+
+    The manifest embeds this next to the full snapshot so operators
+    read "peak RSS, CPU split, sample count" without chasing metric
+    names.  Missing instruments (telemetry off, old snapshot) come back
+    as zeros.
+    """
+    gauges = snapshot.get("gauges", {})
+    timers = snapshot.get("timers", {})
+    rss = gauges.get("resource.peak_rss_bytes", {})
+    user = timers.get("resource.cpu.user", {})
+    system = timers.get("resource.cpu.system", {})
+    overhead = timers.get("obs.overhead", {})
+    return {
+        "peak_rss_bytes": int(rss.get("max", 0)),
+        "cpu_user_s": user.get("total", 0.0),
+        "cpu_system_s": system.get("total", 0.0),
+        "samples": int(overhead.get("count", 0)),
+        "sampling_overhead_s": overhead.get("total", 0.0),
+    }

@@ -1,4 +1,4 @@
-"""Offline trace analysis — ``repro trace summarize``.
+"""Offline trace analysis — ``repro trace summarize`` / ``export``.
 
 Answers "where did the 40 s go" from a JSONL trace file without a
 profiler: spans are grouped by name into stages, and each stage
@@ -9,14 +9,21 @@ plus p50/p95 per-span durations.
 Self time is the column to read first: a stage with large total but
 small self is just a container for its children; a stage with large
 self time is where the work actually happens.
+
+:func:`to_chrome_trace` converts the same records into Chrome
+trace-event JSON (complete ``"X"`` events, microsecond ``ts``/``dur``)
+so a merged ``jobs=N`` trace opens in ``ui.perfetto.dev`` or
+``chrome://tracing`` as a flame chart — ``repro trace export --chrome``
+on the CLI.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 __all__ = ["StageSummary", "summarize_records", "format_summary",
-           "trace_total_time"]
+           "trace_total_time", "to_chrome_trace", "write_chrome_trace"]
 
 
 @dataclass
@@ -74,6 +81,104 @@ def trace_total_time(records: list[dict]) -> float:
     """Wall time covered by the trace: the sum of root-span durations."""
     return sum(rec["dur"] for rec in records
                if rec.get("parent") is None)
+
+
+# ----------------------------------------------------------------------
+# Chrome / Perfetto trace-event export
+# ----------------------------------------------------------------------
+#: pid stamped on every exported event (one logical "repro" process —
+#: worker spans are already merged into the parent's topology).
+CHROME_PID = 1
+
+
+def to_chrome_trace(records: list[dict]) -> dict:
+    """Convert span records to Chrome trace-event JSON (a dict).
+
+    Each span becomes a complete event (``ph: "X"``) with ``ts``/``dur``
+    in microseconds, rebased so the earliest span starts at 0.  Track
+    (``tid``) assignment preserves nesting: a child stays on its
+    parent's track when its interval fits behind the previous sibling
+    there; otherwise it opens a new track.  Concurrent subtrees of a
+    ``jobs=N`` run (overlapping worker spans absorbed under one parent)
+    therefore land on separate tracks — exactly the lanes a flame chart
+    needs — while serial traces collapse onto one track.  Child
+    intervals are clamped into their parent's so cross-process clock
+    skew can never break the nesting invariant.
+    """
+    by_id = {rec["id"]: rec for rec in records}
+    children: dict[int, list[dict]] = {}
+    roots: list[dict] = []
+    for rec in records:
+        parent = rec.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(rec)
+        else:
+            roots.append(rec)
+    for siblings in children.values():
+        siblings.sort(key=lambda rec: rec["start"])
+    roots.sort(key=lambda rec: rec["start"])
+    t0 = min((rec["start"] for rec in records), default=0.0)
+
+    events: list[dict] = []
+    tids = itertools.count(1)
+    used_tids: list[int] = []
+
+    def emit(rec: dict, tid: int, lo: float, hi: float) -> float:
+        start = min(max(rec["start"], lo), hi)
+        end = min(max(rec["start"] + rec["dur"], start), hi)
+        events.append({
+            "ph": "X",
+            "name": rec["name"],
+            "cat": "repro",
+            "pid": CHROME_PID,
+            "tid": tid,
+            "ts": (start - t0) * 1e6,
+            "dur": (end - start) * 1e6,
+            "args": rec.get("attrs", {}),
+        })
+        # Lane allocation among this span's children: lane 0 is the
+        # span's own track (cursor at its start); an overlapping
+        # sibling opens (or reuses) a further lane = a fresh track.
+        lanes: list[list] = [[tid, start]]
+        for child in children.get(rec["id"], []):
+            lane = next((l for l in lanes if child["start"] >= l[1]),
+                        None)
+            if lane is None:
+                new_tid = next(tids)
+                used_tids.append(new_tid)
+                lane = [new_tid, start]
+                lanes.append(lane)
+            lane[1] = emit(child, lane[0], max(lane[1], start), end)
+        return end
+
+    root_lanes: list[list] = []
+    for root in roots:
+        lane = next((l for l in root_lanes if root["start"] >= l[1]),
+                    None)
+        if lane is None:
+            new_tid = next(tids)
+            used_tids.append(new_tid)
+            lane = [new_tid, float("-inf")]
+            root_lanes.append(lane)
+        lane[1] = emit(root, lane[0], float("-inf"), float("inf"))
+
+    meta = [{"ph": "M", "pid": CHROME_PID, "tid": 0,
+             "name": "process_name", "args": {"name": "repro"}}]
+    for tid in used_tids:
+        meta.append({"ph": "M", "pid": CHROME_PID, "tid": tid,
+                     "name": "thread_name",
+                     "args": {"name": f"track {tid}"}})
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, records: list[dict]) -> int:
+    """Export records as a Chrome trace file; returns the event count."""
+    from repro.obs.ioutil import atomic_write_json
+
+    payload = to_chrome_trace(records)
+    atomic_write_json(path, payload, indent=None)
+    return sum(1 for event in payload["traceEvents"]
+               if event["ph"] == "X")
 
 
 def format_summary(records: list[dict]) -> str:

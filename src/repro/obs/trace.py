@@ -30,9 +30,15 @@ import json
 import threading
 import time
 
+from repro.obs.ioutil import atomic_write_text
+from repro.obs.log import get_logger
+from repro.obs.metrics import registry as _metrics
+
 __all__ = ["Span", "Tracer", "current_tracer", "set_tracer",
            "enable_tracing", "disable_tracing", "span",
            "read_trace", "write_trace"]
+
+log = get_logger("obs.trace")
 
 
 class _NullSpan:
@@ -87,6 +93,20 @@ class Span:
         stack = self._tracer._stack()
         if stack and stack[-1] is self:
             stack.pop()
+        else:
+            # A span exited out of LIFO order (generator interleaving,
+            # a swallowed __enter__, ...).  Leaving ``self`` on the
+            # stack would silently mis-parent every later span under
+            # it; remove it wherever it sits and make the imbalance
+            # observable instead.
+            _metrics().counter("obs.span.imbalance").inc()
+            log.debug("span stack imbalance: %r exited while %r was "
+                      "innermost", self.name,
+                      stack[-1].name if stack else None)
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self._tracer._record({
@@ -216,10 +236,13 @@ def span(name: str, **attrs):
 # Trace files
 # ----------------------------------------------------------------------
 def write_trace(path, records: list[dict]) -> None:
-    """Write span records as JSON Lines (one span object per line)."""
-    with open(path, "w") as handle:
-        for record in records:
-            handle.write(json.dumps(record) + "\n")
+    """Write span records as JSON Lines (one span object per line).
+
+    The write is atomic (temp file + ``os.replace``): a run killed
+    mid-export never leaves a truncated trace behind.
+    """
+    atomic_write_text(
+        path, "".join(json.dumps(record) + "\n" for record in records))
 
 
 def read_trace(path) -> list[dict]:

@@ -20,8 +20,6 @@ name and rebuilt from :func:`repro.gates.standard_cell` on load.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from typing import Any
 
 import numpy as np
@@ -250,21 +248,9 @@ def save_characterization(path, analyzer: DelayNoiseAnalyzer) -> None:
     ``os.replace``): a crash mid-save leaves any existing database
     intact instead of truncated.
     """
-    payload = characterization_payload(analyzer)
-    path = os.fspath(path)
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp_path = tempfile.mkstemp(
-        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, indent=1)
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+    from repro.obs.ioutil import atomic_write_json
+
+    atomic_write_json(path, characterization_payload(analyzer), indent=1)
 
 
 def load_characterization(path, analyzer: DelayNoiseAnalyzer) -> None:

@@ -151,6 +151,44 @@ class TestSnapshot:
         assert restored.cache.hits == 1
 
 
+class TestHeartbeats:
+    def test_serial_heartbeats_in_input_order(self, analyzer,
+                                              population):
+        beats = []
+        result = analyze_nets(population, jobs=1, analyzer=analyzer,
+                              alignment="table",
+                              on_heartbeat=beats.append)
+        assert [b.net for b in beats] == [n.name for n in population]
+        assert all(b.seconds >= 0.0 for b in beats)
+        assert all(b.rss_bytes > 0 for b in beats)
+        assert all(b.pid != 0 for b in beats)
+        assert not any(b.failed for b in beats)
+        assert result.stats.peak_rss_bytes > 0
+
+    def test_parallel_heartbeats_cover_population(self, analyzer,
+                                                  population):
+        beats = []
+        result = analyze_nets(population, jobs=2, analyzer=analyzer,
+                              alignment="table",
+                              on_heartbeat=beats.append)
+        assert sorted(b.net for b in beats) == \
+            sorted(n.name for n in population)
+        assert all(b.rss_bytes > 0 for b in beats)
+        assert result.stats.peak_rss_bytes > 0
+
+    def test_failed_net_still_beats(self, analyzer):
+        broken = canonical_net(n_aggressors=1, name="broken")
+        broken.aggressors.clear()
+        beats = []
+        result = analyze_nets([broken], jobs=1, analyzer=analyzer,
+                              alignment="table",
+                              on_heartbeat=beats.append)
+        assert not result.ok
+        (beat,) = beats
+        assert beat.net == "broken"
+        assert beat.failed
+
+
 class TestBenchFront:
     def test_run_population(self, analyzer, population, serial_result):
         result = run_population([population[0]], analyzer=analyzer,

@@ -9,6 +9,7 @@ import pytest
 from repro.bench.netgen import canonical_net
 from repro.exec import analyze_nets
 from repro.obs import (
+    Gauge,
     Histogram,
     MetricsRegistry,
     Timer,
@@ -154,6 +155,114 @@ class TestHistogram:
         with pytest.raises(ValueError, match="bounds"):
             h.merge({"bounds": [1, 3], "counts": [0, 0, 0],
                      "count": 0, "total": 0.0})
+
+    def test_quantile_extremes(self):
+        """q=0 and q=1 land on the first/last occupied bucket."""
+        h = Histogram(bounds=(1, 2, 5))
+        h.observe(2)
+        h.observe(2)
+        h.observe(4)
+        assert h.quantile(0.0) == 2
+        assert h.quantile(1.0) == 5
+
+    def test_quantile_all_overflow(self):
+        """Past-the-end observations report the last finite bound."""
+        h = Histogram(bounds=(1, 2, 5))
+        h.observe(100)
+        h.observe(200)
+        assert h.quantile(0.5) == 5
+        assert h.quantile(1.0) == 5
+
+    def test_quantile_single_bucket(self):
+        h = Histogram(bounds=(5,))
+        h.observe(3)
+        assert h.quantile(0.0) == 5
+        assert h.quantile(0.5) == 5
+        assert h.quantile(1.0) == 5
+
+
+class TestTimerMerge:
+    def test_merge_empty_payload_is_noop(self):
+        """A zero-count payload must not clobber min/max."""
+        t = Timer()
+        t.observe(2.0)
+        empty = Timer().to_dict()
+        assert empty["count"] == 0
+        t.merge(empty)
+        assert t.count == 1
+        assert t.min == 2.0
+        assert t.max == 2.0
+        assert t.total == pytest.approx(2.0)
+
+    def test_merge_empty_into_empty(self):
+        t = Timer()
+        t.merge(Timer().to_dict())
+        assert t.count == 0
+        assert t.to_dict()["min"] == 0.0  # serialized min is finite
+
+    def test_merge_zero_count_with_stale_extrema(self):
+        """Even a malformed zero-count payload carrying extrema is
+        ignored: count gates the merge."""
+        t = Timer()
+        t.observe(5.0)
+        t.merge({"count": 0, "total": 99.0, "min": 0.001, "max": 99.0})
+        assert t.total == pytest.approx(5.0)
+        assert t.min == 5.0
+        assert t.max == 5.0
+
+
+class TestGauge:
+    def test_set_tracks_peak(self):
+        g = Gauge()
+        g.set(10.0)
+        g.set(4.0)
+        assert g.value == 4.0
+        assert g.max == 10.0
+
+    def test_merge_keeps_maximum(self):
+        """Peak-merge: a jobs=N manifest reports the max over workers."""
+        g = Gauge()
+        g.set(100.0)
+        g.merge({"value": 250.0, "max": 300.0})
+        assert g.max == 300.0
+        g.merge({"value": 5.0, "max": 7.0})
+        assert g.max == 300.0
+
+    def test_registry_snapshot_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.gauge("rss").set(42.0)
+        other = MetricsRegistry()
+        other.merge_snapshot(reg.snapshot())
+        assert other.gauge("rss").max == 42.0
+
+
+class TestSpanImbalance:
+    def test_out_of_order_exit_counts_imbalance(self, tracer):
+        metrics().reset()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # Exit the outer span while the inner one is still open.
+        outer.__exit__(None, None, None)
+        snap = metrics().snapshot()
+        assert snap["counters"]["obs.span.imbalance"] == 1
+        # The stack self-heals: the inner span still exits cleanly.
+        inner.__exit__(None, None, None)
+        assert metrics().snapshot()["counters"][
+            "obs.span.imbalance"] == 1
+        assert len(tracer.records()) == 2
+        metrics().reset()
+
+    def test_balanced_spans_do_not_count(self, tracer):
+        metrics().reset()
+        with span("a"):
+            with span("b"):
+                pass
+        # Instrument identity survives reset, so the counter may exist
+        # from an earlier test — it just must not have moved.
+        assert metrics().snapshot()["counters"].get(
+            "obs.span.imbalance", 0) == 0
 
 
 class TestRegistry:

@@ -104,7 +104,7 @@ class TestDatabaseRoundtrip:
         """A crash mid-save must not corrupt an existing database."""
         import json as json_module
 
-        import repro.storage as storage_module
+        import repro.obs.ioutil as ioutil_module
 
         path = tmp_path / "db.json"
         a = DelayNoiseAnalyzer()
@@ -115,7 +115,9 @@ class TestDatabaseRoundtrip:
         def boom(*args, **kwargs):
             raise OSError("disk full")
 
-        monkeypatch.setattr(storage_module.json, "dump", boom)
+        # Fail at the final rename: the tmp file is fully written but
+        # never replaces the target, and must be cleaned up.
+        monkeypatch.setattr(ioutil_module.os, "replace", boom)
         with pytest.raises(OSError, match="disk full"):
             save_characterization(path, a)
         monkeypatch.undo()
