@@ -52,11 +52,14 @@ REGRESSION_THRESHOLD = 0.10
 DEFAULT_WINDOW = 5
 
 #: Tracked phase -> path into the ``run_perf`` payload.  All are
-#: higher-is-better ratios.
+#: higher-is-better ratios.  ``trust_clean_path`` is the untrusted /
+#: trusted transient wall ratio (1.0 = free verification; a drop means
+#: the trust layer's clean-path overhead grew).
 TRACKED_PHASES = {
     "newton_throughput": ("speedup", "newton_throughput"),
     "alignment_search_batched": ("speedup", "alignment_search_batched"),
     "sparse_speedup": ("sparse", "speedup"),
+    "trust_clean_path": ("trust", "clean_path_ratio"),
 }
 
 

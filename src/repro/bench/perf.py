@@ -27,8 +27,16 @@ states cross-checked to the same 1e-9 V tolerance, and the full
 delay-noise analysis run once end-to-end on a >=1000-unknown tree to
 prove the sparse path carries the whole flow.
 
+A **trust** phase (schema v4) measures the clean-path cost of the
+numerical-trust layer (:mod:`repro.trust`): the fast-kernel transient
+population is re-run with verification off and on (caches pre-warmed
+per mode, best-of-``trust_repeats`` wall time), reporting the overhead
+fraction against the documented 5% budget and asserting the two runs
+are bit-identical — the residual audits may only *observe* a clean
+solve, never perturb it.
+
 The result dictionary (see ``docs/architecture.md`` for the JSON
-schema, ``repro.bench.perf/v3``) is what the CLI writes to
+schema, ``repro.bench.perf/v4``) is what the CLI writes to
 ``BENCH_perf.json``; ``equivalence`` carries the maximum state delta
 between the kernels against the documented 1e-9 V tolerance plus the
 batched-vs-serial sweep deltas (worst peak time and extra delay), and
@@ -59,8 +67,9 @@ from repro.sim.linear import simulate_linear
 from repro.units import PS
 from repro.waveform import ramp
 
-__all__ = ["run_perf", "run_sparse_phase", "format_perf",
-           "EQUIVALENCE_TOLERANCE", "SCHEMA"]
+__all__ = ["run_perf", "run_sparse_phase", "run_trust_phase",
+           "format_perf", "EQUIVALENCE_TOLERANCE",
+           "TRUST_OVERHEAD_BUDGET", "SCHEMA"]
 
 #: Maximum per-state voltage difference between the fast and legacy
 #: kernels on fault-free runs.  Both kernels drive the damped Newton
@@ -70,7 +79,16 @@ __all__ = ["run_perf", "run_sparse_phase", "format_perf",
 EQUIVALENCE_TOLERANCE = 1e-9
 
 #: Schema identifier written into BENCH_perf.json.
-SCHEMA = "repro.bench.perf/v3"
+SCHEMA = "repro.bench.perf/v4"
+
+#: Clean-path wall-time budget of the trust layer: verification on must
+#: cost no more than this fraction over verification off.
+TRUST_OVERHEAD_BUDGET = 0.05
+
+#: Below this untrusted wall time the overhead ratio is interpreter /
+#: scheduler noise, not signal (a few-ms --quick run can show +50% from
+#: a single cache miss), so the budget gate is not applied.
+TRUST_MIN_MEASURABLE_S = 0.05
 
 _KERNELS = ("legacy", "fast")
 
@@ -171,6 +189,57 @@ def run_sparse_phase(seed: int = 1, *, dim: int = 2000,
         phase["analysis_net"] = analysis_net.name
         phase["analysis_dim"] = int(analysis_dim)
     return phase
+
+
+def run_trust_phase(circuits, *, t_stop: float, dt: float,
+                    repeats: int = 2) -> dict:
+    """Measure the trust layer's clean-path overhead on the fast kernel.
+
+    Runs the transient population with verification off and on, each
+    mode warmed once (the trust-aware solver caches are keyed per mode,
+    so the first pass pays factorization costs the timed passes must
+    not) and then timed ``repeats`` times, keeping the best wall time —
+    the min is the right estimator for a constant-cost + noise signal.
+    Returns the ``trust`` payload block; ``bit_identical`` asserts the
+    audits never perturbed an accepted clean solve.
+    """
+    from repro.trust import trust_mode
+
+    wall = {}
+    states = {}
+    with kernel_mode("fast"):
+        for enabled in (False, True):
+            with trust_mode(enabled):
+                for c in circuits:  # warm this mode's solver caches
+                    simulate_nonlinear(c, t_stop, dt)
+                best = float("inf")
+                for _ in range(max(repeats, 1)):
+                    t0 = time.perf_counter()
+                    runs = [simulate_nonlinear(c, t_stop, dt)
+                            for c in circuits]
+                    best = min(best, time.perf_counter() - t0)
+                wall[enabled] = best
+                states[enabled] = [r.states for r in runs]
+    max_delta = max(
+        float(np.abs(on - off).max())
+        for on, off in zip(states[True], states[False]))
+    overhead = wall[True] / wall[False] - 1.0
+    measurable = wall[False] >= TRUST_MIN_MEASURABLE_S
+    return {
+        "untrusted_s": wall[False],
+        "trusted_s": wall[True],
+        "overhead_fraction": overhead,
+        # Higher-is-better form for the bench-history ledger.
+        "clean_path_ratio": wall[False] / wall[True],
+        "budget": TRUST_OVERHEAD_BUDGET,
+        "measurable": measurable,
+        # Vacuously true on runs too short to time meaningfully; the
+        # ``measurable`` flag keeps that interpretable in the payload.
+        "within_budget": (not measurable
+                          or overhead <= TRUST_OVERHEAD_BUDGET),
+        "max_state_delta": max_delta,
+        "bit_identical": max_delta == 0.0,
+    }
 
 
 def _alignment_inputs(engine: SuperpositionEngine):
@@ -332,6 +401,7 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
         "speedup": speedup,
         "equivalence": equivalence,
     }
+    payload["trust"] = run_trust_phase(circuits, t_stop=t_stop, dt=dt)
     if sparse_dim:
         payload["sparse"] = run_sparse_phase(seed=seed, dim=sparse_dim,
                                              skip_analysis=skip_analysis)
@@ -382,6 +452,21 @@ def format_perf(payload: dict) -> str:
         lines.append(
             f"batched vs serial: peak delta {worst_peak:.3e} s, "
             f"extra-delay delta {worst_delay:.3e} s -> {verdict}")
+    tr = payload.get("trust")
+    if tr:
+        if not tr.get("measurable", True):
+            verdict = "too short to gate"
+        elif tr["within_budget"]:
+            verdict = "ok"
+        else:
+            verdict = "OVER BUDGET"
+        ident = "bit-identical" if tr["bit_identical"] \
+            else f"delta {tr['max_state_delta']:.3e} V"
+        lines.append(
+            f"trust overhead: {tr['untrusted_s']:.3f}s off / "
+            f"{tr['trusted_s']:.3f}s on = "
+            f"{tr['overhead_fraction']:+.1%} "
+            f"(budget {tr['budget']:.0%}) -> {verdict}, {ident}")
     sp = payload.get("sparse")
     if sp:
         verdict = "ok" if sp["within_tolerance"] else "DRIFT"

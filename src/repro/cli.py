@@ -9,8 +9,12 @@ Entry points mirroring the production workflow:
 * ``repro screen`` — sweep a seeded synthetic population and print the
   functional/delay-noise screening table; ``--trace``/``--metrics``
   export the run's telemetry, ``--checkpoint``/``--resume`` make long
-  screens crash-safe, and ``--retries``/``--max-failures`` tune the
-  worker-crash and circuit-breaker policies.
+  screens crash-safe (``--force-resume`` overrides the stale-config
+  guard), ``--retries``/``--max-failures`` tune the worker-crash and
+  circuit-breaker policies, ``--init-timeout``/``--watchdog-factor``/
+  ``--rss-budget-mb`` configure the worker watchdog, and
+  ``--audit-rate P`` re-runs a seeded sample of nets through the
+  legacy oracle and fails on any mismatch.
 * ``repro bench --perf`` — time the Newton kernels (fast vs. legacy
   reference) on a seeded population, write ``BENCH_perf.json`` and fail
   on solver-equivalence drift; ``--history``/``--baseline`` append to
@@ -166,6 +170,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-net wall-clock limit in seconds; an "
                             "overrunning net is reported as failed "
                             "instead of stalling the screen")
+    p_scr.add_argument("--init-timeout", type=float, default=None,
+                       metavar="S",
+                       help="deadline on each worker's warm-start "
+                            "restore; an overrunning initializer turns "
+                            "its nets into WorkerInitTimeout failures "
+                            "(default: 10x --timeout when set)")
+    p_scr.add_argument("--watchdog-factor", type=float, default=None,
+                       metavar="F",
+                       help="hang deadline as a multiple of the "
+                            "completed-net p95 wall time (default 4.0; "
+                            "0 disables hang detection)")
+    p_scr.add_argument("--rss-budget-mb", type=float, default=None,
+                       metavar="MB",
+                       help="per-worker resident-set budget; a worker "
+                            "over budget is recycled and its failed net "
+                            "retried once with the sparse MNA backend "
+                            "forced")
     p_scr.add_argument("--retries", type=int, default=2,
                        help="isolated re-attempts for a net that "
                             "crashes its worker process before it is "
@@ -181,6 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_scr.add_argument("--resume", action="store_true",
                        help="with --checkpoint: skip nets already in "
                             "the checkpoint and analyze the remainder")
+    p_scr.add_argument("--force-resume", action="store_true",
+                       help="resume even when the checkpoint was "
+                            "written by a run with a different "
+                            "configuration (run_hash mismatch)")
+    p_scr.add_argument("--audit-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="re-run a seeded random fraction P of the "
+                            "screened nets through the legacy oracle "
+                            "kernel and fail on any mismatch beyond "
+                            "tolerance (0 disables, 1.0 audits every "
+                            "exact-quality net)")
     p_scr.add_argument("--inject", metavar="FILE",
                        help="fault-injection plan (JSON) for chaos "
                             "testing; see repro.resilience.faults")
@@ -375,14 +407,23 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_screen(args) -> int:
+    from repro import trust
     from repro.bench.netgen import NetGenConfig, NetGenerator
     from repro.exec import TooManyFailures, analyze_nets
-    from repro.resilience import FaultPlan, install_faults
+    from repro.obs.progress import WATCHDOG_FACTOR
+    from repro.resilience import FaultPlan, StaleCheckpoint, install_faults
 
     if args.trace:
         set_tracer(Tracer(enabled=True))
     if args.resume and not args.checkpoint:
         out.error("--resume requires --checkpoint")
+        return 2
+    if args.force_resume and not args.resume:
+        out.error("--force-resume requires --resume")
+        return 2
+    if not 0.0 <= args.audit_rate <= 1.0:
+        out.error(f"--audit-rate must be in [0, 1], got "
+                  f"{args.audit_rate}")
         return 2
     if args.inject:
         install_faults(FaultPlan.from_file(args.inject))
@@ -400,6 +441,10 @@ def _cmd_screen(args) -> int:
             "seed": args.seed, "count": args.count,
             "preset": args.preset, "jobs": args.jobs,
             "timeout": args.timeout, "retries": args.retries,
+            "audit_rate": args.audit_rate,
+            "init_timeout": args.init_timeout,
+            "watchdog_factor": args.watchdog_factor,
+            "rss_budget_mb": args.rss_budget_mb,
         })
     tracker = None
     if args.progress or args.manifest:
@@ -408,6 +453,12 @@ def _cmd_screen(args) -> int:
         tracker = ProgressTracker(
             len(nets),
             stream=progress_stream() if args.progress else None)
+
+    # 0 disables hang detection; unset keeps the library default.
+    watchdog = WATCHDOG_FACTOR if args.watchdog_factor is None \
+        else (args.watchdog_factor or None)
+    rss_budget = int(args.rss_budget_mb * 2**20) \
+        if args.rss_budget_mb else None
 
     # Delay-noise analysis fans out over worker processes (warm-started
     # from the parent's tables); the functional screen below reuses the
@@ -419,8 +470,19 @@ def _cmd_screen(args) -> int:
                               max_failures=args.max_failures,
                               checkpoint=args.checkpoint,
                               resume=args.resume,
+                              force_resume=args.force_resume,
+                              init_timeout=args.init_timeout,
+                              rss_budget_bytes=rss_budget,
+                              watchdog_factor=watchdog,
                               on_heartbeat=tracker.record
                               if tracker else None)
+    except StaleCheckpoint as exc:
+        if tracker:
+            tracker.finish()
+        out.error(f"stale checkpoint: {exc}")
+        out.error("re-run with --force-resume to resume anyway, or "
+                  "drop --resume to start fresh")
+        return 2
     except TooManyFailures as exc:
         if tracker:
             tracker.finish()
@@ -496,7 +558,27 @@ def _cmd_screen(args) -> int:
     if stats.worker_crashes:
         summary += (f" | {stats.worker_crashes} worker crash(es), "
                     f"{stats.retries} retried")
+    if stats.watchdog_kills:
+        summary += f" | {stats.watchdog_kills} watchdog kill(s)"
+    if stats.rss_flagged:
+        summary += (f" | {stats.rss_flagged} worker(s) over RSS budget, "
+                    f"{stats.sparse_retries} net(s) retried sparse")
     out.info(summary)
+
+    audit = None
+    if args.audit_rate:
+        reports_by_name = {net.name: report
+                           for net, report in zip(nets, result.reports)}
+        t_audit = time.perf_counter()
+        audit = trust.run_audit(nets, reports_by_name, analyzer,
+                                rate=args.audit_rate, seed=args.seed,
+                                analyze_kwargs={"alignment": "table"})
+        if manifest:
+            manifest.add_stage("audit",
+                               time.perf_counter() - t_audit)
+        out.info(f"# audit: {audit['checked']}/{audit['eligible']} "
+                 f"eligible net(s) re-run through the legacy oracle, "
+                 f"{len(audit['mismatches'])} mismatch(es)")
 
     if args.trace:
         count = current_tracer().export_jsonl(args.trace)
@@ -513,8 +595,13 @@ def _cmd_screen(args) -> int:
             failures=result.failures,
             degraded={"total": stats.degraded,
                       "stages": degraded_stages},
-            progress=tracker.snapshot() if tracker else None)
+            progress=tracker.snapshot() if tracker else None,
+            extra={"audit": audit} if audit is not None else None)
         out.info(f"# wrote manifest to {args.manifest}")
+    if audit is not None and not audit["ok"]:
+        out.error(f"audit failed: {len(audit['mismatches'])} "
+                  f"mismatch(es) against the legacy oracle")
+        return 1
     return 0 if not failures else 1
 
 
@@ -585,6 +672,16 @@ def _cmd_bench(args) -> int:
     if not payload.get("sparse", {}).get("within_tolerance", True):
         out.error("sparse backend drift: sparse transient deviates from "
                   "the dense reference beyond tolerance")
+        return 1
+    trust_phase = payload.get("trust", {})
+    if not trust_phase.get("bit_identical", True):
+        out.error("trust layer drift: verification changed an accepted "
+                  "clean solve (must be bit-identical on or off)")
+        return 1
+    if not trust_phase.get("within_budget", True):
+        out.error(f"trust layer overhead "
+                  f"{trust_phase['overhead_fraction']:+.1%} exceeds the "
+                  f"{trust_phase['budget']:.0%} clean-path budget")
         return 1
     if regressions:
         return 1

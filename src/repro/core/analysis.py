@@ -36,6 +36,7 @@ from repro.core.holding_resistance import RtrResult, compute_rtr
 from repro.core.net import CoupledNet
 from repro.core.precharacterize import AlignmentTable, build_alignment_table
 from repro.core.superposition import VICTIM, ModelCache, SuperpositionEngine
+from repro import trust as _trust
 from repro.obs import get_logger, metrics, span
 from repro.resilience.degradation import (
     QUALITY_DEGRADED,
@@ -53,6 +54,50 @@ log = get_logger("core.analysis")
 
 #: Alignment-method names accepted by :meth:`DelayNoiseAnalyzer.analyze`.
 ALIGNMENT_METHODS = ("table", "input-objective", "exhaustive")
+
+
+def _append_trust_degradations(net_name: str,
+                               degradations: list[Degradation]) -> None:
+    """Fold pending trust-layer events into the report's provenance.
+
+    Escalated solves produced a *verified-correct* result, but through
+    a non-primary backend — that is provenance worth surfacing, so the
+    report is marked degraded with one ``stage="trust"`` entry per
+    escalation hop (aggregated with a count; a long transient can
+    escalate hundreds of steps and per-step entries would drown the
+    report).  Unrecovered violations normally raise
+    :class:`~repro.sim.nonlinear.TrustViolation` into a stage ladder,
+    but any that were swallowed by a coarser recovery still leave an
+    entry here.
+    """
+    events = _trust.drain_events()
+    if not events:
+        return
+    by_hop: dict[str, int] = {}
+    unrecovered = 0
+    for event in events:
+        if event["kind"] == "escalated":
+            hop = event.get("hop") or "unknown"
+            by_hop[hop] = by_hop.get(hop, 0) + 1
+        elif event["kind"] == "unrecovered":
+            unrecovered += 1
+    for hop, count in sorted(by_hop.items()):
+        degradations.append(Degradation(
+            stage="trust",
+            error=(f"{count} solve(s) failed residual verification "
+                   f"during {net_name}"),
+            fallback=hop))
+        metrics().counter("analysis.degraded.trust").inc()
+        log.warning(
+            "%s: %d solve(s) failed residual verification and were "
+            "re-solved via %s", net_name, count, hop)
+    if unrecovered:
+        degradations.append(Degradation(
+            stage="trust",
+            error=(f"{unrecovered} solve(s) unrecovered after full "
+                   f"escalation during {net_name}"),
+            fallback="none"))
+        metrics().counter("analysis.degraded.trust").inc()
 
 
 @dataclass
@@ -196,6 +241,10 @@ class DelayNoiseAnalyzer:
         if not net.aggressors:
             raise ValueError(f"{net.name} has no aggressors to analyze")
         _fire_fault("analysis.net", net.name)
+        # Discard trust events left over from work outside any net
+        # (bench warm-ups, table pre-characterization for another
+        # receiver) so the report only carries its own provenance.
+        _trust.drain_events()
 
         with span("net.analyze", net=net.name,
                   aggressors=len(net.aggressors),
@@ -366,6 +415,7 @@ class DelayNoiseAnalyzer:
                 noiseless_input + composite_th,
                 vdd, rising, t_stop, self.dt, clean_output=clean_output)
 
+        _append_trust_degradations(net.name, degradations)
         net_span.set(iterations=iterations,
                      extra_delay_output_ps=extra_out / PS)
         return NoiseReport(

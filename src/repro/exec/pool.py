@@ -22,12 +22,26 @@ instead of dying:
   which — after ``retries`` isolated re-attempts with exponential
   backoff — becomes a ``NetFailure(error_type="WorkerCrash")`` while
   every other net still completes;
+* a parent-side heartbeat watchdog derives an adaptive per-net hang
+  deadline from the completed-net p95 (clamped; static ``timeout``
+  until enough samples exist) and kills/quarantines a stuck worker —
+  the hung net becomes a ``NetFailure(error_type="WorkerHang")``, the
+  innocent in-flight nets are resubmitted, and everything already
+  completed is safe in the checkpoint stream;
+* a per-worker RSS budget recycles bloating workers; a net that both
+  failed and blew the budget is retried once with the sparse MNA
+  backend forced;
+* the worker warm-start itself runs under a coarse deadline — a worker
+  that cannot initialize returns structured ``WorkerInitTimeout``
+  failures instead of stalling the run;
 * a ``max_failures`` circuit breaker aborts a run whose failure count
   (or fraction) shows something systemic rather than per-net;
 * ``checkpoint=`` streams every completed net to an atomic JSONL file
   (:mod:`repro.resilience.checkpoint`) and ``resume=True`` skips the
   nets already recorded there — a killed run picks up where it
-  stopped, bit-identically.
+  stopped, bit-identically.  The checkpoint header carries a run-
+  identity hash, so ``resume`` refuses a checkpoint written under a
+  different configuration (``force_resume`` overrides).
 
 :class:`ExecStats` reports throughput, cache traffic, wall time, and
 the resilience traffic (crashes, retries, resumed nets).
@@ -35,6 +49,8 @@ the resilience traffic (crashes, retries, resumed nets).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import signal
 import threading
@@ -59,20 +75,31 @@ from repro.obs import (
     sample_resources,
     set_tracer,
 )
+from repro.obs.progress import (
+    WATCHDOG_FACTOR,
+    AdaptiveDeadline,
+    ProgressTracker,
+)
 from repro.obs.resources import reset_sampler
 from repro.resilience import (
     CheckpointWriter,
     FaultPlan,
+    StaleCheckpoint,
     active_plan,
     fire,
     install_faults,
     load_checkpoint,
+    load_checkpoint_header,
     mark_worker_process,
 )
 from repro.storage import noise_report_from_dict, noise_report_to_dict
 
 __all__ = ["NetFailure", "NetTimeout", "TooManyFailures", "ExecStats",
            "ExecResult", "analyze_nets"]
+
+#: How often the parent-side watchdog wakes up to look for overdue or
+#: over-budget workers while futures are outstanding.
+_WATCHDOG_POLL_S = 0.25
 
 log = get_logger("exec.pool")
 
@@ -145,6 +172,13 @@ class ExecStats:
     #: Peak resident-set size (bytes) over every participating process
     #: (serial: this one; jobs>1: the max across the workers).
     peak_rss_bytes: int = 0
+    #: In-flight nets killed by the parent-side hang watchdog.
+    watchdog_kills: int = 0
+    #: Heartbeats that exceeded the per-worker RSS budget.
+    rss_flagged: int = 0
+    #: Nets re-submitted with the sparse backend forced after their
+    #: worker blew the RSS budget.
+    sparse_retries: int = 0
 
     @property
     def nets_per_second(self) -> float:
@@ -275,7 +309,8 @@ _WORKER_STATE: dict = {}
 
 def _worker_init(snapshot: dict, analyze_kwargs: dict,
                  timeout: float | None, trace: bool,
-                 fault_plan: FaultPlan | None) -> None:
+                 fault_plan: FaultPlan | None,
+                 init_timeout: float | None = None) -> None:
     # Workers may be forked, inheriting the parent's tracer buffer and
     # metric values — start both from scratch so per-net drains report
     # only this worker's activity (the parent merges them back).
@@ -284,7 +319,26 @@ def _worker_init(snapshot: dict, analyze_kwargs: dict,
     if fault_plan is not None:
         # A fresh copy per worker: fire counters are per-process.
         install_faults(fault_plan)
-    _WORKER_STATE["analyzer"] = restore_analyzer(snapshot)
+    # The warm-start restore is bounded by a coarse deadline: a huge or
+    # corrupt snapshot must not stall the whole run silently at
+    # initialization.  A failed init is *captured*, not raised — an
+    # initializer exception would break the pool and be misattributed
+    # to whatever nets were in flight; instead every net handed to this
+    # worker returns a structured failure naming the init problem.
+    _WORKER_STATE.pop("init_error", None)
+    _WORKER_STATE.pop("analyzer", None)
+    try:
+        with _time_limit(init_timeout):
+            fire("exec.worker_init", "init")
+            _WORKER_STATE["analyzer"] = restore_analyzer(snapshot)
+    except NetTimeout:
+        _WORKER_STATE["init_error"] = (
+            "WorkerInitTimeout",
+            f"worker warm-start exceeded {init_timeout:g} s")
+    except Exception as exc:
+        _WORKER_STATE["init_error"] = (
+            type(exc).__name__,
+            f"worker warm-start failed: {exc}")
     metrics().reset()
     # Forked workers inherit the parent's CPU baseline; re-prime so the
     # first net's resource deltas are this worker's own.
@@ -303,6 +357,19 @@ def _worker_run(net: CoupledNet):
     telemetry into the same registry/trace a serial run would have
     produced and render live progress as nets complete.
     """
+    init_error = _WORKER_STATE.get("init_error")
+    if init_error is not None:
+        error_type, message = init_error
+        sample_resources()
+        heartbeat = Heartbeat(net=net.name, seconds=0.0,
+                              rss_bytes=peak_rss_bytes(),
+                              pid=os.getpid(), failed=True)
+        return (None,
+                NetFailure(net_name=net.name,
+                           error=f"{error_type}: {message}",
+                           traceback="", error_type=error_type),
+                0, 0, metrics().drain(), current_tracer().drain(),
+                heartbeat)
     analyzer = _WORKER_STATE["analyzer"]
     hits0, misses0 = _cache_counters(analyzer)
     t0 = time.perf_counter()
@@ -321,6 +388,20 @@ def _worker_run(net: CoupledNet):
             metrics().drain(), current_tracer().drain(), heartbeat)
 
 
+def _worker_run_sparse(net: CoupledNet):
+    """:func:`_worker_run` with the sparse MNA backend forced.
+
+    The RSS-budget retry path: a net whose analysis bloated its worker
+    past the budget (dense fill on an unexpectedly large extracted net
+    is the usual culprit) is re-run in a fresh worker with every system
+    built sparse, trading per-step speed for a bounded footprint.
+    """
+    from repro.circuit.mna import sparse_threshold
+
+    with sparse_threshold(1):
+        return _worker_run(net)
+
+
 # ----------------------------------------------------------------------
 # Checkpoint codecs (NetFailure lives here, NoiseReport in repro.storage)
 # ----------------------------------------------------------------------
@@ -330,6 +411,48 @@ def _decode_checkpoint_record(record: dict
     if record["kind"] == "report":
         return noise_report_from_dict(record["data"]), None
     return None, NetFailure.from_dict(record["data"])
+
+
+def _run_identity(nets, analyzer: DelayNoiseAnalyzer,
+                  analyze_kwargs: dict) -> str:
+    """Digest of everything that shapes this run's numerical results.
+
+    Stamped into the checkpoint header so ``resume`` can refuse a
+    checkpoint written under a different configuration (net population,
+    driver/receiver specs, analyzer dt, characterization or analysis
+    knobs) — mixing results across configurations would silently break
+    the "resumed == uninterrupted" bit-identity guarantee.  Gate
+    internals are represented by cell name: a changed cell library is
+    out of scope (and out of reach) for a cheap digest.
+    """
+    def driver(spec):
+        return {"gate": spec.gate.name, "slew": spec.input_slew,
+                "rising": spec.output_rising, "start": spec.input_start,
+                "pin": spec.switching_pin}
+
+    payload = {
+        "nets": [{
+            "name": net.name,
+            "victim_root": net.victim_root,
+            "receiver_node": net.victim_receiver_node,
+            "driver": driver(net.victim_driver),
+            "receiver": {"gate": net.receiver.gate.name,
+                         "c_load": net.receiver.c_load,
+                         "pin": net.receiver.input_pin},
+            "aggressors": [{"name": a.name, "root": a.root,
+                            "far_end": a.far_end,
+                            "window": list(a.window) if a.window else None,
+                            "driver": driver(a.driver)}
+                           for a in net.aggressors],
+        } for net in nets],
+        "dt": analyzer.dt,
+        "table_kwargs": {k: repr(v) for k, v in
+                         sorted(analyzer.table_kwargs.items())},
+        "analyze_kwargs": {k: repr(v) for k, v in
+                           sorted(analyze_kwargs.items())},
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
 
 
 class _Breaker:
@@ -375,7 +498,11 @@ def analyze_nets(nets, *, jobs: int = 1,
                  max_failures: int | float | None = None,
                  checkpoint=None,
                  resume: bool = False,
+                 force_resume: bool = False,
                  on_heartbeat=None,
+                 init_timeout: float | None = None,
+                 rss_budget_bytes: int | None = None,
+                 watchdog_factor: float | None = WATCHDOG_FACTOR,
                  **analyze_kwargs) -> ExecResult:
     """Analyze every net, optionally across ``jobs`` worker processes.
 
@@ -415,7 +542,31 @@ def analyze_nets(nets, *, jobs: int = 1,
     resume:
         With ``checkpoint``, load the nets already recorded there and
         analyze only the remainder; the combined result is bit-identical
-        to an uninterrupted run.
+        to an uninterrupted run.  The checkpoint's header ``run_hash``
+        must match this run's identity (nets, specs, analyzer config) —
+        a mismatch raises :class:`~repro.resilience.StaleCheckpoint`.
+    force_resume:
+        Resume even when the checkpoint's ``run_hash`` does not match —
+        for operators who know the config change is benign.  The mixed
+        provenance is logged and counted (``exec.force_resumed``).
+    init_timeout:
+        Coarse deadline (seconds) on each worker's warm-start restore;
+        an overrunning initializer turns every net handed to that worker
+        into a structured ``WorkerInitTimeout`` failure instead of a
+        silent stall.  Defaults to ``10 x timeout`` when a per-net
+        ``timeout`` is set, else unbounded.
+    rss_budget_bytes:
+        Per-worker resident-set budget.  A worker whose heartbeat
+        exceeds it is terminated (pool recycled); if its net also
+        failed, the net is retried once in a fresh worker with the
+        sparse MNA backend forced.
+    watchdog_factor:
+        Hang deadline as a multiple of the completed-net p95 wall time
+        (parent-side, ``jobs>1`` only) — an in-flight net past the
+        clamped deadline is recorded as a ``WorkerHang`` failure and
+        its worker killed, with the other in-flight nets resubmitted.
+        Before enough samples exist the deadline falls back to the
+        static ``timeout``.  ``None`` disables hang detection.
     on_heartbeat:
         Optional callable invoked with a :class:`repro.obs.Heartbeat`
         as each net completes (in completion order, not input order) —
@@ -447,8 +598,28 @@ def analyze_nets(nets, *, jobs: int = 1,
     # Resume: answer already-checkpointed nets from disk.
     writer: CheckpointWriter | None = None
     todo = list(range(len(nets)))
+    run_hash = _run_identity(nets, analyzer, analyze_kwargs)
     if checkpoint is not None:
         if resume:
+            header = load_checkpoint_header(checkpoint)
+            stored_hash = None if header is None else \
+                header.get("run_hash")
+            if stored_hash is not None and stored_hash != run_hash:
+                if not force_resume:
+                    raise StaleCheckpoint(
+                        f"checkpoint {checkpoint} was written by a run "
+                        f"with a different configuration (run_hash "
+                        f"{stored_hash[:12]}… vs {run_hash[:12]}…); "
+                        "its reports would not be bit-identical to "
+                        "this run's.  Re-run without resume, or pass "
+                        "force_resume=True (--force-resume) to mix "
+                        "them anyway.")
+                metrics().counter("exec.force_resumed").inc()
+                log.warning(
+                    "resuming from %s DESPITE a run_hash mismatch "
+                    "(%s… vs %s…): resumed reports were computed "
+                    "under a different configuration", checkpoint,
+                    stored_hash[:12], run_hash[:12])
             recorded = load_checkpoint(checkpoint)
             remaining = []
             for i, name in enumerate(names):
@@ -463,7 +634,8 @@ def analyze_nets(nets, *, jobs: int = 1,
             metrics().counter("exec.resumed").inc(stats.resumed)
             log.debug("resumed %d net(s) from %s; %d remaining",
                       stats.resumed, checkpoint, len(todo))
-        writer = CheckpointWriter(checkpoint, resume=resume)
+        writer = CheckpointWriter(checkpoint, resume=resume,
+                                  header={"run_hash": run_hash})
 
     def record_outcome(i: int, report: NoiseReport | None,
                        failure: NetFailure | None) -> None:
@@ -513,9 +685,21 @@ def analyze_nets(nets, *, jobs: int = 1,
             stats.cache_hits = hits1 - hits0
             stats.cache_misses = misses1 - misses0
         else:
+            if init_timeout is None and timeout:
+                init_timeout = 10.0 * timeout
+            # The watchdog's duration samples live in a private tracker
+            # (the caller's on_heartbeat tracker, if any, is theirs).
+            watch_tracker = ProgressTracker(total=len(todo))
+            deadline = (AdaptiveDeadline(watch_tracker,
+                                         static_timeout=timeout,
+                                         factor=watchdog_factor)
+                        if watchdog_factor else None)
             _run_pool(nets, todo, jobs, analyzer, timeout, retries,
                       retry_backoff, analyze_kwargs, tracer, stats,
-                      record_outcome, on_heartbeat)
+                      record_outcome, on_heartbeat,
+                      init_timeout=init_timeout,
+                      rss_budget_bytes=rss_budget_bytes,
+                      deadline=deadline, watch_tracker=watch_tracker)
             # One parent-side sample so the merged registry also covers
             # this process (workers folded theirs per net above).
             sample_resources()
@@ -537,9 +721,58 @@ def analyze_nets(nets, *, jobs: int = 1,
     return ExecResult(reports=reports, failures=failures, stats=stats)
 
 
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers outright, then shut it down.
+
+    ``shutdown(cancel_futures=True)`` alone never interrupts a task
+    already *running* — a hung or bloated worker would keep burning
+    CPU/RSS forever.  Termination goes through the executor's process
+    table (private API, so failure is tolerated: the shutdown below
+    still detaches us from the pool either way).
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    # shutdown(wait=False) nulls the executor's private attributes, so
+    # grab the result queue now: its parent-side write end must be
+    # closed once the workers are dead (see below).
+    result_queue = getattr(pool, "_result_queue", None)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead worker
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    # Reap deterministically, escalating to SIGKILL: a worker that
+    # shrugs off SIGTERM (stuck in a C kernel with the signal pending)
+    # would leave the executor's management thread joining it forever
+    # at interpreter exit.
+    for process in processes:
+        try:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+        except Exception:  # pragma: no cover - already-reaped worker
+            pass
+    # A worker killed mid-result-write leaves a truncated message in
+    # the result pipe.  The executor's management thread then blocks in
+    # ``recv()`` waiting for bytes that will never come — the parent's
+    # own copy of the write end keeps the pipe from ever reporting EOF
+    # — and interpreter exit joins that (non-daemon) thread forever.
+    # With every worker reaped, closing our write end turns that stuck
+    # read into an immediate EOFError, which the management thread
+    # handles as "pool broken" and winds down.
+    try:
+        result_queue._writer.close()
+    except Exception:  # pragma: no cover - stdlib internals drift
+        pass
+
+
 def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
               retry_backoff, analyze_kwargs, tracer, stats,
-              record_outcome, on_heartbeat=None) -> None:
+              record_outcome, on_heartbeat=None, *,
+              init_timeout=None, rss_budget_bytes=None,
+              deadline: AdaptiveDeadline | None = None,
+              watch_tracker: ProgressTracker | None = None) -> None:
     """The ``jobs>1`` path: per-net futures over a rebuildable pool.
 
     Submission is windowed to the worker count, so when the pool breaks
@@ -549,23 +782,40 @@ def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
     ``retries`` re-attempts and exponential backoff before the net is
     recorded as a ``WorkerCrash``.  Everything else resumes in
     parallel.
+
+    The wait is a timed poll (``_WATCHDOG_POLL_S``), which is what the
+    heartbeat watchdog hangs off: each wakeup compares every in-flight
+    net's age against the adaptive ``deadline`` (p95-derived, clamped;
+    see :class:`repro.obs.progress.AdaptiveDeadline`) and every
+    completed heartbeat against ``rss_budget_bytes``.  Either trips a
+    pool recycle: stuck/bloated workers are terminated, hung nets are
+    recorded as ``WorkerHang`` failures, and the *innocent* in-flight
+    nets are resubmitted — completed nets are already safe in the
+    checkpoint stream, so nothing finished is lost to the kill.
     """
     snapshot = build_snapshot(analyzer)
     workers = min(jobs, len(todo))
     initargs = (snapshot, analyze_kwargs, timeout, tracer.enabled,
-                active_plan())
+                active_plan(), init_timeout)
     crash_counter = metrics().counter("exec.worker_crashes")
     retry_counter = metrics().counter("exec.retries")
+    hang_counter = metrics().counter("exec.watchdog_kills")
+    rss_counter = metrics().counter("exec.rss_flagged")
+    sparse_counter = metrics().counter("exec.sparse_retries")
     # Per-index telemetry buffers, merged in input order at the end so
     # jobs=N traces keep the serial topology regardless of completion
     # (and crash/retry) order.
     telemetry: dict[int, tuple] = {}
     crash_attempts: dict[int, int] = {}
+    force_sparse: set[int] = set()
 
     def new_pool() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=workers,
                                    initializer=_worker_init,
                                    initargs=initargs)
+
+    def task_for(i: int):
+        return _worker_run_sparse if i in force_sparse else _worker_run
 
     def accept(i: int, outcome) -> None:
         report, failure, hits, misses, metric_payload, spans, \
@@ -574,6 +824,8 @@ def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
         record_outcome(i, report, failure)
         stats.peak_rss_bytes = max(stats.peak_rss_bytes,
                                    heartbeat.rss_bytes)
+        if watch_tracker is not None:
+            watch_tracker.record(heartbeat)
         if on_heartbeat is not None:
             on_heartbeat(heartbeat)
 
@@ -586,20 +838,25 @@ def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
 
     pool = new_pool()
     pending = deque(todo)
-    inflight: dict = {}
+    inflight: dict = {}  # future -> (net index, submit monotonic time)
     try:
         while pending or inflight:
             while pending and len(inflight) < workers:
                 i = pending.popleft()
-                inflight[pool.submit(_worker_run, nets[i])] = i
-            done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+                inflight[pool.submit(task_for(i), nets[i])] = \
+                    (i, time.monotonic())
+            done, _ = wait(set(inflight), timeout=_WATCHDOG_POLL_S,
+                           return_when=FIRST_COMPLETED)
             suspects: list[int] = []
+            requeue: list[int] = []
+            recycle = False
             for future in done:
-                i = inflight.pop(future)
+                i, _t0 = inflight.pop(future)
                 try:
-                    accept(i, future.result())
+                    outcome = future.result()
                 except BrokenProcessPool:
                     suspects.append(i)
+                    continue
                 except TooManyFailures:
                     raise
                 except Exception as exc:
@@ -611,26 +868,83 @@ def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
                         traceback=traceback.format_exc(),
                         error_type=type(exc).__name__))
                     failure_heartbeat(i)
-            if not suspects:
-                continue
-            # The pool is broken; every in-flight future is doomed with
-            # it.  Anything submitted-but-unresolved is a suspect (the
-            # window bounds this set to <= workers nets).
-            stats.worker_crashes += 1
-            crash_counter.inc()
-            suspects.extend(inflight.values())
-            inflight.clear()
-            pool.shutdown(wait=False, cancel_futures=True)
-            pool = new_pool()
-            log.warning("worker pool broke; probing %d suspect net(s) "
-                        "in isolation", len(suspects))
-            for i in sorted(suspects):
-                pool = _probe(pool, new_pool, nets, i, accept,
-                              record_outcome, crash_attempts, retries,
-                              retry_backoff, stats, crash_counter,
-                              retry_counter, failure_heartbeat)
+                    continue
+                heartbeat = outcome[6]
+                if (rss_budget_bytes is not None
+                        and heartbeat.rss_bytes > rss_budget_bytes):
+                    stats.rss_flagged += 1
+                    rss_counter.inc()
+                    recycle = True
+                    log.warning(
+                        "worker %d finished %s at %.0f MB RSS (budget "
+                        "%.0f MB); recycling the pool", heartbeat.pid,
+                        nets[i].name, heartbeat.rss_bytes / 1e6,
+                        rss_budget_bytes / 1e6)
+                    if outcome[1] is not None and i not in force_sparse:
+                        # The net failed *and* bloated the worker —
+                        # likely dense fill; one retry, sparse forced.
+                        force_sparse.add(i)
+                        stats.sparse_retries += 1
+                        sparse_counter.inc()
+                        requeue.append(i)
+                        continue
+                accept(i, outcome)
+            # Heartbeat watchdog: any in-flight net past the adaptive
+            # deadline counts as hung — record it, kill the pool (the
+            # only way to stop a spinning worker), resubmit the rest.
+            if deadline is not None and inflight:
+                limit = deadline.seconds()
+                if limit is not None:
+                    now = time.monotonic()
+                    overdue = [(future, i, now - t0)
+                               for future, (i, t0) in inflight.items()
+                               if now - t0 > limit]
+                    for future, i, age in overdue:
+                        del inflight[future]
+                        stats.watchdog_kills += 1
+                        hang_counter.inc()
+                        recycle = True
+                        log.warning(
+                            "net %s hung: no result after %.1f s "
+                            "(deadline %.1f s); killing its worker",
+                            nets[i].name, age, limit)
+                        record_outcome(i, None, NetFailure(
+                            net_name=nets[i].name,
+                            error=(f"WorkerHang: no result after "
+                                   f"{age:.1f} s (watchdog deadline "
+                                   f"{limit:.1f} s)"),
+                            traceback="", error_type="WorkerHang"))
+                        failure_heartbeat(i)
+            if suspects:
+                # The pool is broken; every in-flight future is doomed
+                # with it.  Anything submitted-but-unresolved is a
+                # suspect (the window bounds this set to <= workers).
+                stats.worker_crashes += 1
+                crash_counter.inc()
+                suspects.extend(i for i, _t0 in inflight.values())
+                inflight.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = new_pool()
+                log.warning("worker pool broke; probing %d suspect "
+                            "net(s) in isolation", len(suspects))
+                for i in sorted(suspects):
+                    pool = _probe(pool, new_pool, nets, i, task_for,
+                                  accept, record_outcome,
+                                  crash_attempts, retries,
+                                  retry_backoff, stats, crash_counter,
+                                  retry_counter, failure_heartbeat)
+            elif recycle:
+                # Survivors (in flight in healthy workers) go back to
+                # the front of the queue; their partial work is lost
+                # but their checkpointed peers are not.
+                requeue.extend(i for i, _t0 in inflight.values())
+                inflight.clear()
+                _kill_pool(pool)
+                pool = new_pool()
+            for i in sorted(requeue, reverse=True):
+                pending.appendleft(i)
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        _kill_pool(pool)
 
     # Merge telemetry in input order, independent of completion order.
     for i in todo:
@@ -642,7 +956,7 @@ def _run_pool(nets, todo, jobs, analyzer, timeout, retries,
             tracer.absorb(spans)
 
 
-def _probe(pool, new_pool, nets, i, accept, record_outcome,
+def _probe(pool, new_pool, nets, i, task_for, accept, record_outcome,
            crash_attempts, retries, retry_backoff, stats,
            crash_counter, retry_counter,
            failure_heartbeat) -> ProcessPoolExecutor:
@@ -656,7 +970,7 @@ def _probe(pool, new_pool, nets, i, accept, record_outcome,
     rebuilt) pool for the caller to keep using.
     """
     while True:
-        future = pool.submit(_worker_run, nets[i])
+        future = pool.submit(task_for(i), nets[i])
         try:
             accept(i, future.result())
             return pool

@@ -23,8 +23,9 @@ import sys
 import time
 from dataclasses import dataclass
 
-__all__ = ["Heartbeat", "ProgressTracker", "STRAGGLER_FACTOR",
-           "MIN_STRAGGLER_SAMPLES"]
+__all__ = ["AdaptiveDeadline", "Heartbeat", "ProgressTracker",
+           "STRAGGLER_FACTOR", "MIN_STRAGGLER_SAMPLES",
+           "WATCHDOG_FACTOR", "WATCHDOG_FLOOR_S", "WATCHDOG_CEILING_S"]
 
 #: A net is flagged as a straggler when its duration exceeds this many
 #: multiples of the p95 of the nets completed before it.
@@ -32,6 +33,17 @@ STRAGGLER_FACTOR = 3.0
 #: Completed-net samples required before stragglers are judged (a p95
 #: over fewer is noise).
 MIN_STRAGGLER_SAMPLES = 5
+
+#: Default hang deadline as a multiple of the rolling p95 — looser than
+#: the straggler flag (3x) because a watchdog expiry *kills* the worker
+#: rather than annotating the net.
+WATCHDOG_FACTOR = 4.0
+#: Clamp bounds for the adaptive deadline: the floor keeps a population
+#: of sub-millisecond nets from turning scheduler jitter into kills,
+#: the ceiling keeps one pathological early net from disabling hang
+#: detection for the rest of the run.
+WATCHDOG_FLOOR_S = 1.0
+WATCHDOG_CEILING_S = 600.0
 
 
 @dataclass(frozen=True)
@@ -152,6 +164,47 @@ class ProgressTracker:
         self._maybe_render(force=True)
         self.stream.write("\n")
         self.stream.flush()
+
+
+class AdaptiveDeadline:
+    """Per-net hang deadline derived from the completed-net p95.
+
+    The pool's watchdog asks :meth:`seconds` for "how long may the net
+    currently in flight run before it counts as hung?".  The answer is
+    ``factor x p95`` of the completed nets, clamped to
+    ``[floor, ceiling]`` — but only once at least
+    ``MIN_STRAGGLER_SAMPLES`` durations exist.  Before that the rolling
+    p95 is statistical noise (and for the *first* net of a run it is
+    exactly 0.0, which a naive ``factor x p95`` would turn into an
+    instant kill), so the deadline falls back to the static timeout; if
+    none was configured, hang detection stays off (``None``) until the
+    sample floor is met.
+    """
+
+    def __init__(self, tracker: ProgressTracker, *,
+                 static_timeout: float | None = None,
+                 factor: float = WATCHDOG_FACTOR,
+                 floor: float = WATCHDOG_FLOOR_S,
+                 ceiling: float = WATCHDOG_CEILING_S):
+        if factor <= 0.0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self.tracker = tracker
+        self.static_timeout = static_timeout
+        self.factor = factor
+        self.floor = floor
+        self.ceiling = ceiling
+
+    def seconds(self) -> float | None:
+        """Current deadline in seconds, or None (no hang detection)."""
+        if len(self.tracker.durations) < MIN_STRAGGLER_SAMPLES:
+            return self.static_timeout
+        adaptive = min(max(self.factor * self.tracker.p95(), self.floor),
+                       self.ceiling)
+        if self.static_timeout is not None:
+            # The static timeout is an operator-set upper bound; the
+            # adaptive deadline may tighten it but never loosen it.
+            return min(adaptive, self.static_timeout)
+        return adaptive
 
 
 def progress_stream():

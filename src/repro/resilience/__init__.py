@@ -25,7 +25,9 @@ degradation fallbacks in :class:`~repro.core.analysis
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointWriter,
+    StaleCheckpoint,
     load_checkpoint,
+    load_checkpoint_header,
 )
 from repro.resilience.degradation import (
     QUALITY_DEGRADED,
@@ -36,6 +38,7 @@ from repro.resilience.faults import (
     FAULT_POINTS,
     FaultPlan,
     FaultSpec,
+    InjectedCorruption,
     InjectedFault,
     WorkerCrash,
     active_plan,
@@ -52,14 +55,17 @@ __all__ = [
     "FAULT_POINTS",
     "FaultPlan",
     "FaultSpec",
+    "InjectedCorruption",
     "InjectedFault",
     "QUALITY_DEGRADED",
     "QUALITY_EXACT",
+    "StaleCheckpoint",
     "WorkerCrash",
     "active_plan",
     "clear_faults",
     "fire",
     "install_faults",
     "load_checkpoint",
+    "load_checkpoint_header",
     "mark_worker_process",
 ]

@@ -17,6 +17,14 @@ leaves the previous state intact, never a truncated line.
 The record payloads are produced by the :mod:`repro.storage` dict
 codecs, which round-trip floats exactly — a resumed run's final report
 set is bit-identical to an uninterrupted one.
+
+The first line may be a ``kind: "header"`` record carrying a
+``run_hash`` — a digest of the run's identity (net population, driver
+specs, analyzer configuration).  ``--resume`` compares it against the
+current run and refuses a checkpoint written under a different
+configuration (:class:`StaleCheckpoint`): resuming across a config
+change would silently mix reports computed under two different
+settings into one "bit-identical" result set.
 """
 
 from __future__ import annotations
@@ -28,12 +36,22 @@ from typing import Any
 
 from repro.obs import get_logger
 
-__all__ = ["CHECKPOINT_VERSION", "CheckpointWriter", "load_checkpoint"]
+__all__ = ["CHECKPOINT_VERSION", "CheckpointWriter", "StaleCheckpoint",
+           "load_checkpoint", "load_checkpoint_header"]
 
 log = get_logger("resilience.checkpoint")
 
 #: Schema version stamped into every record.
 CHECKPOINT_VERSION = 1
+
+
+class StaleCheckpoint(RuntimeError):
+    """A resume checkpoint was written under a different configuration.
+
+    The stored ``run_hash`` does not match the current run's identity;
+    the caller may override with ``force_resume`` after deciding the
+    difference is benign.
+    """
 
 
 def load_checkpoint(path) -> dict[str, dict[str, Any]]:
@@ -57,9 +75,33 @@ def load_checkpoint(path) -> dict[str, dict[str, Any]]:
                 raise ValueError(
                     f"{path}:{line_no}: unsupported checkpoint format "
                     f"{version!r} (expected {CHECKPOINT_VERSION})")
+            if record.get("kind") == "header":
+                continue
             entries[record["net"]] = record
     log.debug("loaded %d checkpointed net(s) from %s", len(entries), path)
     return entries
+
+
+def load_checkpoint_header(path) -> dict[str, Any] | None:
+    """The checkpoint's header record, or None (no file / no header).
+
+    Only the first non-empty line is considered: the header, when
+    present, is always written first, and a headerless checkpoint (from
+    an older run) yields None — resume then proceeds unguarded, as it
+    did before headers existed.
+    """
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "header":
+                return record
+            return None
+    return None
 
 
 class CheckpointWriter:
@@ -68,13 +110,24 @@ class CheckpointWriter:
     ``resume=True`` preserves the records already on disk (a resumed
     run keeps streaming into the same file); otherwise an existing file
     is replaced by the first append.
+
+    ``header`` (a dict, typically ``{"run_hash": ...}``) is written as
+    the checkpoint's first line — eagerly on a fresh run, so even a run
+    killed before its first net leaves a verifiable checkpoint.  On
+    resume an existing on-disk header is preserved; the new one is only
+    installed when the old file had none.
     """
 
-    def __init__(self, path, *, resume: bool = False):
+    def __init__(self, path, *, resume: bool = False,
+                 header: dict[str, Any] | None = None):
         self.path = os.fspath(path)
         self._lines: list[str] = []
         self.names: set[str] = set()
         if resume:
+            stored = load_checkpoint_header(self.path)
+            if stored is not None:
+                header = {k: v for k, v in stored.items()
+                          if k not in ("format_version", "kind")}
             for name, record in load_checkpoint(self.path).items():
                 self._lines.append(json.dumps(record))
                 self.names.add(name)
@@ -82,6 +135,11 @@ class CheckpointWriter:
             # A fresh run must not leave a stale previous checkpoint
             # around for a later --resume to trust.
             os.unlink(self.path)
+        if header is not None:
+            self._lines.insert(0, json.dumps(
+                {"format_version": CHECKPOINT_VERSION, "kind": "header",
+                 **header}))
+            self._flush()
 
     def __len__(self) -> int:
         return len(self._lines)

@@ -18,10 +18,12 @@ point                fired from                             key
 ===================  =====================================  ==========
 ``newton.step``      ``_newton_solve`` entry                solve context
 ``newton.batched``   batched block-solve entry              solve context
+``trust.verify``     trust-layer post-solve verification    solve context
 ``analysis.net``     ``DelayNoiseAnalyzer.analyze`` entry   net name
 ``analysis.rtr``     the Rtr characterization stage         net name
 ``analysis.alignment``  the table-alignment stage           net name
 ``exec.worker``      per-net execution in the pool          net name
+``exec.worker_init``  pool-worker warm-start initializer    "init"
 ===================  =====================================  ==========
 
 Actions: ``"convergence"`` raises
@@ -30,7 +32,12 @@ recovery ladder and per-net failure capture), ``"error"`` raises
 :class:`InjectedFault`, ``"crash"`` kills the worker process with
 ``os._exit`` (in the serial path it raises :class:`WorkerCrash`
 instead, so ``jobs=1`` classifies the net identically), and
-``"sleep"`` stalls for ``seconds`` (exercises timeouts).
+``"sleep"`` stalls for ``seconds`` (exercises timeouts).  The
+corruption actions ``"nan"`` and ``"perturb"`` raise
+:class:`InjectedCorruption`, which only the trust layer's verification
+wrappers catch — they poison the *accepted* solver state (NaNs, or a
+gross perturbation) so the residual audit must detect it and escalate;
+at any other fault point they propagate like an ``"error"``.
 
 The hot-path cost when no plan is installed is a single module-global
 ``None`` check inside :func:`fire` — no allocation, no lookup.
@@ -56,6 +63,7 @@ __all__ = [
     "FAULT_POINTS",
     "FaultPlan",
     "FaultSpec",
+    "InjectedCorruption",
     "InjectedFault",
     "WorkerCrash",
     "active_plan",
@@ -68,14 +76,29 @@ __all__ = [
 log = get_logger("resilience.faults")
 
 #: The registered fault-point names (see the module docstring table).
-FAULT_POINTS = ("newton.step", "newton.batched", "analysis.net",
-                "analysis.rtr", "analysis.alignment", "exec.worker")
+FAULT_POINTS = ("newton.step", "newton.batched", "trust.verify",
+                "analysis.net", "analysis.rtr", "analysis.alignment",
+                "exec.worker", "exec.worker_init")
 
-_ACTIONS = ("convergence", "error", "crash", "sleep")
+_ACTIONS = ("convergence", "error", "crash", "sleep", "nan", "perturb")
 
 
 class InjectedFault(RuntimeError):
     """A generic failure raised by an ``"error"`` fault."""
+
+
+class InjectedCorruption(RuntimeError):
+    """A silent-wrong-answer fault (``"nan"`` / ``"perturb"``).
+
+    Raised by :func:`fire`; the trust layer's verification wrappers
+    catch it and corrupt the accepted state accordingly, so the
+    residual audit is exercised against a realistically *wrong* (not
+    merely failed) solve.  ``kind`` is the corruption flavor.
+    """
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
 
 
 class WorkerCrash(RuntimeError):
@@ -220,4 +243,8 @@ def fire(point: str, key: str) -> None:
                 os._exit(3)
             raise WorkerCrash(
                 f"injected worker crash at {point} ({key})")
+        if spec.action in ("nan", "perturb"):
+            raise InjectedCorruption(
+                spec.action,
+                f"injected {spec.action} corruption at {point} ({key})")
         raise InjectedFault(f"injected fault at {point} ({key})")

@@ -43,12 +43,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import trust as _trust
 from repro.circuit.elements import Stimulus
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.devices.mosfet import evaluate_batch_channel, evaluate_one
 from repro.circuit.netlist import Circuit
 from repro.obs import metrics
 from repro.sim import nonlinear as _nl
+from repro.resilience.faults import InjectedCorruption
 from repro.resilience.faults import fire as _fire_fault
 from repro.sim.factor import factorize, is_sparse_matrix
 
@@ -100,6 +102,82 @@ _COLLAPSE_TOL = 1e-12
 #: active set has drained to a couple of stragglers, numpy's fixed
 #: per-call cost on length-2 arrays exceeds the whole scalar iteration.
 _PY_TAIL_MAX = 8
+
+#: Accepted batched candidate rows demoted to the scalar trust ladder
+#: by the block residual audit.
+_BLOCK_VIOLATIONS = metrics().counter("trust.batched.violations")
+
+
+class _BlockAudit:
+    """Sampled residual audit over accepted ``(S, dim)`` state blocks.
+
+    The batched twin of :class:`repro.sim.nonlinear._VerifiedSolve`:
+    non-finite rows are caught every step, and every
+    ``check_interval``-th step the full backward-Euler residual is
+    recomputed per candidate against the *raw* (un-folded) ``A`` plus
+    full device currents.  A violating candidate is not repaired in
+    place — it is demoted to the existing scalar fallback list, where
+    the trust-wrapped scalar kernel re-solves (and, if needed,
+    escalates) it, so both paths share one ladder.
+    """
+
+    __slots__ = ("kernel", "anorm", "tol", "floor", "interval", "count")
+
+    def __init__(self, kernel: _BatchedKernel):
+        cfg = _trust.config()
+        self.kernel = kernel
+        self.anorm = _trust.matrix_norm1(kernel.A)
+        self.tol = _trust.residual_tolerance(kernel.A.shape[0],
+                                             cfg.newton_rtol)
+        self.floor = cfg.voltage_floor
+        self.interval = max(1, cfg.check_interval)
+        self.count = 0
+
+    def suspects(self, X: np.ndarray, X_prev: np.ndarray,
+                 rhs_k: np.ndarray, failed: list[int],
+                 context: str) -> list[int]:
+        """Candidate indices whose accepted rows fail verification."""
+        forced = False
+        try:
+            _fire_fault("trust.verify", context)
+        except InjectedCorruption as fault:
+            X[0] = _nl._corrupt_state(X[0], fault.kind)
+            forced = True
+        self.count += 1
+        ok = np.ones(X.shape[0], dtype=bool)
+        if failed:
+            ok[failed] = False
+        if not (forced or self.count % self.interval == 0):
+            # Unsampled step: the finiteness guard alone, like the
+            # scalar wrapper.  A non-finite row still forces the full
+            # residual pass below so it is flagged with a reason.
+            if np.isfinite(X[ok]).all():
+                return []
+        kernel = self.kernel
+        _trust.count_check()
+        B = (kernel.Ch @ X_prev.T).T + rhs_k
+        R = B - (kernel.A @ X.T).T
+        batch = kernel.batch
+        if batch.n:
+            i, _ = batch.evaluate_many(X)
+            batch.sub_currents_many(R, i)
+        den = (self.anorm * (np.abs(X).max(axis=1) + self.floor)
+               + np.abs(B).max(axis=1))
+        with np.errstate(invalid="ignore"):
+            rel = np.abs(R).max(axis=1) / den
+        bad = ok & ~(np.isfinite(rel) & (rel <= self.tol))
+        if not bad.any():
+            return []
+        suspects = [int(c) for c in np.nonzero(bad)[0]]
+        _BLOCK_VIOLATIONS.inc(len(suspects))
+        worst = float(np.nanmax(rel[bad])) if np.isfinite(
+            rel[bad]).any() else float("inf")
+        _trust.record_event(
+            "violation", context=context,
+            detail=(f"batched residual audit flagged candidate(s) "
+                    f"{suspects} (worst relative residual {worst:.3e} "
+                    f"vs {self.tol:.3e})"))
+        return suspects
 
 
 class _BatchedKernel:
@@ -639,6 +717,8 @@ def simulate_nonlinear_batch(circuit: Circuit,
     collapsed_at = None
     scalar_solve = None  # built lazily; most batches never fall back
     bisect_solvers: dict = {}
+    audit = (_BlockAudit(kernel)
+             if _trust.trust_enabled() and kernel.available else None)
     for k in range(1, times.size):
         if collapsed_at is not None:
             _SOLVES.inc()
@@ -670,6 +750,7 @@ def simulate_nonlinear_batch(circuit: Circuit,
             guess = X_prev + (X_prev - states[k - 2])
         else:
             guess = X_prev.copy()
+        block_context = f"t={times[k]:.3e}s batch of {circuit.name}"
         if kernel.available:
             if Urhs is not None:
                 U = X_prev @ kernel.HchT
@@ -677,17 +758,21 @@ def simulate_nonlinear_batch(circuit: Circuit,
             else:
                 U = kernel.base_rows((kernel.Ch @ X_prev.T).T + rhs[k])
             try:
-                X, failed = kernel.solve_from_u(
-                    U, guess, f"t={times[k]:.3e}s batch of {circuit.name}")
+                X, failed = kernel.solve_from_u(U, guess, block_context)
             except ConvergenceError:
                 X, failed = X_prev.copy(), list(range(S))
         else:
             X, failed = X_prev.copy(), list(range(S))
+        suspects: list[int] = []
+        if audit is not None:
+            suspects = audit.suspects(X, X_prev, rhs[k], failed,
+                                      block_context)
+            failed = failed + suspects
         for c in failed:
             _FALLBACK.inc()
             if scalar_solve is None:
                 scalar_solve = _cached_solver(
-                    mna, (_nl._KERNEL_MODE, h),
+                    mna, (_nl._KERNEL_MODE, _trust.trust_enabled(), h),
                     lambda: (make(kernel.Ch + G), kernel.Ch))[0]
             overrides = stimuli[c]
             x_prev = X_prev[c].copy()
@@ -695,6 +780,12 @@ def simulate_nonlinear_batch(circuit: Circuit,
             context = f"t={times[k]:.3e}s candidate {c} of {circuit.name}"
             try:
                 X[c] = scalar_solve(b_c, guess[c].copy(), context)
+                if c in suspects:
+                    _trust.record_event(
+                        "escalated", context=context,
+                        hop="scalar-resolve",
+                        detail=(f"candidate {c} re-solved through the "
+                                "scalar trust ladder"))
             except ConvergenceError:
                 X[c] = _bisect_step(
                     mna, G, C, make, bisect_solvers, x_prev, times, k,
@@ -705,7 +796,7 @@ def simulate_nonlinear_batch(circuit: Circuit,
             collapsed_at = k
             if scalar_solve is None:
                 scalar_solve = _cached_solver(
-                    mna, (_nl._KERNEL_MODE, h),
+                    mna, (_nl._KERNEL_MODE, _trust.trust_enabled(), h),
                     lambda: (make(kernel.Ch + G), kernel.Ch))[0]
 
     if collapsed_at is not None:

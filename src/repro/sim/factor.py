@@ -79,17 +79,19 @@ class Factorization:
     construction.
     """
 
-    __slots__ = ("_lu", "_inv", "_splu", "shape")
+    __slots__ = ("_lu", "_inv", "_splu", "shape", "anorm", "_rcond")
 
     def __init__(self, matrix):
         self._lu = None
         self._inv = None
         self._splu = None
+        self._rcond = ...
         if is_sparse_matrix(matrix):
             if matrix.shape[0] != matrix.shape[1]:
                 raise ValueError(
                     f"matrix must be square, got {matrix.shape}")
             self.shape = matrix.shape
+            self.anorm = float(abs(matrix).sum(axis=0).max())
             # splu reports an exactly singular pivot as RuntimeError;
             # translate to the LinAlgError contract of the dense
             # backends.  Near-singular matrices only warn — suppressed,
@@ -109,6 +111,8 @@ class Factorization:
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ValueError(f"matrix must be square, got {matrix.shape}")
         self.shape = matrix.shape
+        self.anorm = (float(np.abs(matrix).sum(axis=0).max())
+                      if matrix.size else 0.0)
         if HAVE_SCIPY and matrix.shape[0] > _INVERSE_MAX:
             # lu_factor does not raise on an exactly singular pivot (it
             # only warns); detect it here so callers see the same
@@ -157,7 +161,54 @@ class Factorization:
             return B @ self._inv.T
         return _lu_solve(self._lu, B.T, check_finite=False).T
 
+    def rcond_estimate(self) -> float | None:
+        """Cheap reciprocal 1-norm condition estimate, cached.
+
+        ``1 / (||A||_1 * ||A^-1||_1)`` with the inverse norm taken from
+        the explicit inverse (small dense), LAPACK ``gecon`` on the
+        stored LU factors (large dense), or a Hager/Higham
+        ``onenormest`` over the SuperLU solve operator (sparse).
+        Returns ``None`` when the backend cannot produce an estimate
+        (missing scipy helper) — callers treat that as "unmonitored",
+        not as ill-conditioned.
+        """
+        if self._rcond is not ...:
+            return self._rcond
+        self._rcond = self._estimate_rcond()
+        return self._rcond
+
+    def _estimate_rcond(self) -> float | None:
+        if self.anorm == 0.0:
+            return 0.0
+        try:
+            if self._inv is not None:
+                inv_norm = float(np.abs(self._inv).sum(axis=0).max())
+                return 1.0 / (self.anorm * inv_norm) if inv_norm else 0.0
+            if self._lu is not None:
+                from scipy.linalg import get_lapack_funcs
+                gecon, = get_lapack_funcs(("gecon",), (self._lu[0],))
+                rcond, info = gecon(self._lu[0], self.anorm, norm="1")
+                return float(rcond) if info == 0 else None
+            from scipy.sparse.linalg import LinearOperator, onenormest
+            op = LinearOperator(
+                self.shape, matvec=self._splu.solve,
+                rmatvec=lambda b: self._splu.solve(b, trans="T"),
+                dtype=float)
+            inv_norm = float(onenormest(op))
+            return 1.0 / (self.anorm * inv_norm) if inv_norm else 0.0
+        except Exception:  # pragma: no cover - scipy helper missing
+            return None
+
 
 def factorize(matrix) -> Factorization:
-    """Factor ``matrix`` once for repeated :meth:`Factorization.solve`."""
-    return Factorization(matrix)
+    """Factor ``matrix`` once for repeated :meth:`Factorization.solve`.
+
+    Each new factorization is condition-monitored through
+    :func:`repro.trust.observe_factorization` (a no-op when the trust
+    layer is disabled).
+    """
+    from repro import trust
+
+    fact = Factorization(matrix)
+    trust.observe_factorization(fact)
+    return fact

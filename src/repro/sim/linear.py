@@ -13,17 +13,86 @@ The initial condition is the DC solution at ``t_start`` (capacitors open);
 when ``G`` is singular because some nodes float at DC (e.g. nodes reached
 only through coupling capacitors), a least-squares solution is used, which
 picks the minimum-norm consistent initial state.
+
+When the trust layer (:mod:`repro.trust`) is enabled, sampled steps —
+every ``4 * check_interval``-th plus the final one — are post-verified
+with the relative residual of the raw trapezoidal system; a violating
+step is re-solved fresh against a dense rebuild of the left-hand
+matrix and the hop recorded as a trust event.  Direct solves are
+backward stable, so the audit tolerance sits many orders above a
+legitimate step and any violation means the factorization itself went
+bad.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from repro import trust as _trust
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import Circuit
+from repro.resilience.faults import InjectedCorruption
+from repro.resilience.faults import fire as _fire_fault
 from repro.sim.factor import factorize, is_sparse_matrix
 from repro.sim.result import SimulationResult, time_grid
 
 __all__ = ["simulate_linear"]
+
+#: Linear-step audits sample 4x sparser than the Newton wrapper: the
+#: check costs up to two extra mat-vecs against a one-mat-vec step, so
+#: the denser cadence would be a measurable clean-path tax here.
+_LINEAR_CHECK_STRIDE = 4
+
+
+class _StepAudit:
+    """Sampled residual audit for the trapezoidal time loop."""
+
+    __slots__ = ("A", "anorm", "tol", "dense_A")
+
+    def __init__(self, A):
+        self.A = A
+        self.anorm = _trust.matrix_norm1(A)
+        self.tol = _trust.residual_tolerance(
+            A.shape[0], _trust.config().linear_rtol)
+        self.dense_A = None
+
+    def verify(self, x: np.ndarray, b: np.ndarray,
+               context: str) -> np.ndarray:
+        try:
+            _fire_fault("trust.verify", context)
+        except InjectedCorruption as fault:
+            from repro.sim.nonlinear import _corrupt_state
+            x = _corrupt_state(x, fault.kind)
+        _trust.count_check()
+        rel = _trust.relative_residual(self.A @ x - b, self.anorm, x, b)
+        if rel <= self.tol:
+            return x
+        detail = f"relative residual {rel:.3e} > {self.tol:.3e}"
+        _trust.record_event("violation", context=context, detail=detail)
+        # Escalation: one fresh dense solve of the raw step system,
+        # independent of the suspect factorization.
+        hop = ("dense-rebuild" if is_sparse_matrix(self.A)
+               else "fresh-solve")
+        if self.dense_A is None:
+            self.dense_A = (self.A.toarray()
+                            if is_sparse_matrix(self.A) else self.A)
+        try:
+            fresh = np.linalg.solve(self.dense_A, b)
+        except np.linalg.LinAlgError:
+            fresh = None
+        if fresh is not None:
+            _trust.count_check()
+            rel2 = _trust.relative_residual(self.A @ fresh - b,
+                                            self.anorm, fresh, b)
+            if rel2 <= self.tol:
+                _trust.record_event("escalated", context=context,
+                                    hop=hop, detail=detail)
+                return fresh
+        _trust.record_event("unrecovered", context=context,
+                            detail=detail)
+        from repro.sim.nonlinear import TrustViolation
+        raise TrustViolation(
+            f"linear step failed verification during {context} "
+            f"({detail}) and the dense re-solve did not repair it")
 
 
 def _dc_solve(G: np.ndarray, rhs0: np.ndarray) -> np.ndarray:
@@ -81,6 +150,15 @@ def simulate_linear(circuit_or_mna: Circuit | MnaSystem, t_stop: float,
     # The left-hand matrix is constant on the uniform grid: factor it
     # once (repro.sim.factor, shared with the non-linear kernel).
     fact = factorize(A)
+    raw_avg = 0.5 * (rhs[:, :-1] + rhs[:, 1:])
+    audit = _StepAudit(A) if _trust.trust_enabled() else None
+    stride = (_LINEAR_CHECK_STRIDE
+              * max(1, _trust.config().check_interval))
+    last = times.size - 2
+
+    def checked(k: int) -> bool:
+        return audit is not None and (k % stride == 0 or k == last)
+
     states = np.empty((mna.dim, times.size))
     states[:, 0] = x0
     x = x0
@@ -90,19 +168,26 @@ def simulate_linear(circuit_or_mna: Circuit | MnaSystem, t_stop: float,
         # sparsity avoids.  Keep the loop as one sparse mat-vec plus one
         # pair of SuperLU triangular solves per step; the averaged
         # source columns still amortize through one multi-RHS solve.
-        rhs_avg = fact.solve(
-            np.ascontiguousarray(0.5 * (rhs[:, :-1] + rhs[:, 1:])))
+        rhs_avg = fact.solve(np.ascontiguousarray(raw_avg))
         for k in range(times.size - 1):
-            x = fact.solve(Bmat @ x) + rhs_avg[:, k]
+            bx = Bmat @ x
+            x = fact.solve(bx) + rhs_avg[:, k]
+            if checked(k):
+                x = audit.verify(x, bx + raw_avg[:, k],
+                                 f"t={times[k + 1]:.3e}s linear step")
             states[:, k + 1] = x
         return SimulationResult(mna, times, states)
     # Dense path: pre-apply the factors to the step matrix and every
     # averaged source column, turning the time loop into one mat-vec
     # plus an add per step.
     step_matrix = fact.solve(Bmat)
-    rhs_avg = fact.solve(0.5 * (rhs[:, :-1] + rhs[:, 1:]))
+    rhs_avg = fact.solve(raw_avg)
     for k in range(times.size - 1):
+        x_prev = x
         x = step_matrix @ x + rhs_avg[:, k]
+        if checked(k):
+            x = audit.verify(x, Bmat @ x_prev + raw_avg[:, k],
+                             f"t={times[k + 1]:.3e}s linear step")
         states[:, k + 1] = x
 
     return SimulationResult(mna, times, states)

@@ -65,18 +65,39 @@ Newton non-convergence does not immediately kill a simulation:
 Each successful recovery bumps a ``newton.recovered.*`` counter so the
 telemetry shows how often the ladder fires; the happy path is
 untouched — the ladder lives entirely in the exception branch.
+
+Trust layer
+-----------
+Nonconvergence is the *loud* failure mode; the quiet one is a wrong
+converged state (ill-conditioned base factorization, corrupted Woodbury
+update).  When :mod:`repro.trust` is enabled (the default), every fast
+kernel built here is wrapped in :class:`_VerifiedSolve`: accepted
+states get a finiteness guard on every solve and a sampled relative
+residual audit, and a violation walks the escalation ladder —
+fresh-factor exact Newton, then the legacy dense kernel (densified
+from sparse when needed) — re-verifying after each hop and recording
+it through :func:`repro.trust.record_event`.  A violation the whole
+ladder cannot repair raises :class:`TrustViolation`, a
+:class:`ConvergenceError` subclass, so the dt-bisection and DC
+recovery ladders above still get their shot before the net is failed.
+On a clean run the wrapper returns the kernel's states untouched —
+results are bit-identical with the layer on or off.
 """
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 
 import numpy as np
 
+from repro import trust as _trust
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import GROUND, Circuit
 from repro.devices.mosfet import batch_params, evaluate_batch, evaluate_one
 from repro.obs import metrics
+from repro.resilience.faults import InjectedCorruption
+from repro.resilience.faults import active_plan as _active_plan
 from repro.resilience.faults import fire as _fire_fault
 from repro.sim.factor import factorize, is_sparse_matrix
 from repro.sim.result import SimulationResult, time_grid
@@ -87,7 +108,7 @@ except ImportError:  # pragma: no cover
     _sp = None
 
 __all__ = ["simulate_nonlinear", "dc_operating_point", "ConvergenceError",
-           "kernel_mode", "set_kernel_mode"]
+           "TrustViolation", "kernel_mode", "set_kernel_mode"]
 
 #: Maximum Newton voltage update per iteration [V].
 _DAMP_LIMIT = 0.5
@@ -143,6 +164,17 @@ _FACTOR_MISS = metrics().counter("sim.factor_cache.miss")
 
 class ConvergenceError(RuntimeError):
     """Newton iteration failed to converge."""
+
+
+class TrustViolation(ConvergenceError):
+    """An accepted solve failed post-verification and every escalation
+    hop (see :mod:`repro.trust`).
+
+    Subclasses :class:`ConvergenceError` so the existing recovery
+    ladders (dt bisection, gmin/source-ramp DC homotopy) treat an
+    untrustworthy state like a nonconverged one rather than returning
+    it.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -807,13 +839,168 @@ class _NewtonKernel:
         _raise_nonconverged(residuals, _applied_step(step), context)
 
 
+def _corrupt_state(x: np.ndarray, kind: str) -> np.ndarray:
+    """Apply one injected corruption flavor to an accepted state.
+
+    Only reachable through a ``trust.verify`` fault
+    (:class:`~repro.resilience.faults.InjectedCorruption`): ``"nan"``
+    poisons entries, ``"perturb"`` applies a gross multiplicative +
+    offset error — both far outside the residual tolerance, emulating
+    a silently wrong solve the audit must catch.
+    """
+    x = np.array(x, dtype=float)
+    if kind == "nan":
+        x[:: max(1, x.size // 3)] = np.nan
+    else:
+        x *= 1.25
+        x += 0.1
+    return x
+
+
+class _VerifiedSolve:
+    """Trust wrapper around a fast :class:`_NewtonKernel`.
+
+    Post-verifies accepted states: every
+    ``TrustConfig.check_interval``-th call runs a finiteness tripwire
+    plus a full relative-residual audit (the residual costs one extra
+    device evaluation and mat-vec, so it is sampled — and the clean
+    path between samples is pure bookkeeping — to keep the overhead
+    inside the perf-smoke budget).  When a fault plan is installed the
+    sampling stride is bypassed so injected corruption is always
+    exercised.  On a violation the escalation ladder runs:
+
+    1. ``fresh-newton`` — exact Newton through the modified-Newton
+       path with all cached factors discarded (covers a corrupted base
+       factorization / Woodbury update);
+    2. ``legacy-dense`` / ``dense-rebuild`` — the pre-rework dense
+       kernel over a densified copy of ``A`` (covers a bad fast-path
+       anywhere; the hop is named ``dense-rebuild`` when ``A`` was
+       sparse).
+
+    Each hop's result is re-verified before being trusted; each hop is
+    recorded through :func:`repro.trust.record_event` so the analyzer
+    labels the report.  If the whole ladder fails,
+    :class:`TrustViolation` propagates into the ordinary recovery
+    ladders.  On the clean path the kernel's state is returned
+    *unchanged* — bit-identical to running without the wrapper.
+    """
+
+    __slots__ = ("kernel", "stamps", "anorm", "tol", "interval",
+                 "count", "_legacy_A")
+
+    def __init__(self, kernel: _NewtonKernel,
+                 stamps: list[_DeviceStamps]):
+        cfg = _trust.config()
+        self.kernel = kernel
+        self.stamps = stamps
+        self.anorm = (kernel.base_fact.anorm
+                      if kernel.base_fact is not None
+                      else _trust.matrix_norm1(kernel.A))
+        self.tol = _trust.residual_tolerance(kernel.A.shape[0],
+                                             cfg.newton_rtol)
+        self.interval = max(1, cfg.check_interval)
+        self.count = 0
+        self._legacy_A = None
+
+    def _residual_of(self, x: np.ndarray, b: np.ndarray) -> float:
+        R, _ = self.kernel._residual_neg(x, b)
+        return _trust.relative_residual(R, self.anorm, x, b)
+
+    def __call__(self, b: np.ndarray, x0: np.ndarray,
+                 context: str) -> np.ndarray:
+        x = self.kernel.solve(b, x0, context)
+        self.count += 1
+        if self.count % self.interval and _active_plan() is None:
+            # Hot path: pure bookkeeping, no numpy work — this branch
+            # is what keeps the clean-path overhead inside the 5%
+            # perf-smoke budget.  A NaN state cannot ride through it
+            # silently: the Newton acceptance comparison rejects
+            # non-finite step norms, and anything that slips past is
+            # caught by the sampled audit below within one interval.
+            return x
+        forced = False
+        try:
+            _fire_fault("trust.verify", context)
+        except InjectedCorruption as fault:
+            # The fault models the solve itself having gone silently
+            # wrong, so the corrupted state must face the full audit.
+            x = _corrupt_state(x, fault.kind)
+            forced = True
+        # Sum-based finiteness tripwire: NaN and inf both propagate
+        # through the reduction (inf - inf is NaN), so this catches
+        # exactly what isfinite().all() would at a fraction of the
+        # cost.
+        if not math.isfinite(float(x.sum())):
+            return self._escalate(b, x0, context,
+                                  detail="non-finite accepted state")
+        if not forced and self.count % self.interval:
+            return x
+        _trust.count_check()
+        rel = self._residual_of(x, b)
+        if rel <= self.tol:
+            return x
+        return self._escalate(
+            b, x0, context,
+            detail=f"relative residual {rel:.3e} > {self.tol:.3e}")
+
+    def _verified(self, x: np.ndarray, b: np.ndarray) -> bool:
+        if not math.isfinite(float(x.sum())):
+            return False
+        _trust.count_check()
+        return self._residual_of(x, b) <= self.tol
+
+    def _escalate(self, b: np.ndarray, x0: np.ndarray, context: str,
+                  *, detail: str) -> np.ndarray:
+        _trust.record_event("violation", context=context, detail=detail)
+        kernel = self.kernel
+        # Hop 1: fresh-factor exact Newton — drop every cached factor
+        # the suspect state may have come through.
+        kernel._mn_J = kernel._mn_fact = kernel._mn_x = None
+        kernel._mn_uses = 0
+        try:
+            x1 = kernel._solve_modified(b, x0, context)
+        except ConvergenceError:
+            x1 = None
+        if x1 is not None and self._verified(x1, b):
+            _trust.record_event("escalated", context=context,
+                                hop="fresh-newton", detail=detail)
+            return x1
+        # Hop 2: the legacy dense kernel, rebuilt dense from sparse
+        # when needed — maximum independence from the fast path.
+        hop = ("dense-rebuild" if is_sparse_matrix(kernel.A)
+               else "legacy-dense")
+        if self._legacy_A is None:
+            self._legacy_A = (kernel.A.toarray()
+                              if is_sparse_matrix(kernel.A)
+                              else kernel.A)
+        A = self._legacy_A
+        try:
+            x2 = _newton_solve(A, lambda y: A @ y - b, self.stamps,
+                               x0, context)
+        except ConvergenceError:
+            x2 = None
+        if x2 is not None and self._verified(x2, b):
+            _trust.record_event("escalated", context=context, hop=hop,
+                                detail=detail)
+            return x2
+        _trust.record_event("unrecovered", context=context,
+                            detail=detail)
+        raise TrustViolation(
+            f"accepted solve failed verification during {context} "
+            f"({detail}) and no escalation hop produced a verified "
+            "state")
+
+
 def _solver_factory(mode: str, stamps: list[_DeviceStamps],
                     batch: _DeviceBatch | None):
     """``make(A) -> solve(b, x0, context)`` for the selected kernel.
 
     Both kernels solve ``F(x) = A x + i_dev(x) - b = 0``; the factory
     hides which machinery does it so the DC / transient / recovery flows
-    below are kernel-agnostic.
+    below are kernel-agnostic.  Fast-kernel solvers are wrapped in
+    :class:`_VerifiedSolve` while the trust layer is enabled; the
+    legacy kernel is the reference oracle the ladder escalates *to* and
+    stays unwrapped.
     """
     if mode == "legacy":
         def make(A: np.ndarray):
@@ -829,7 +1016,10 @@ def _solver_factory(mode: str, stamps: list[_DeviceStamps],
         return make
 
     def make(A: np.ndarray):
-        return _NewtonKernel(A, batch).solve
+        kernel = _NewtonKernel(A, batch)
+        if not _trust.trust_enabled():
+            return kernel.solve
+        return _VerifiedSolve(kernel, stamps)
     return make
 
 
@@ -970,7 +1160,8 @@ def _cached_solver(mna: MnaSystem, key, build):
 def _dc_solve(mna: MnaSystem, make, rhs0: np.ndarray,
               name: str) -> np.ndarray:
     """DC operating point ``G x + i_dev(x) = rhs0`` with recovery."""
-    solve = _cached_solver(mna, (_KERNEL_MODE, "dc"),
+    solve = _cached_solver(mna, (_KERNEL_MODE, _trust.trust_enabled(),
+                                 "dc"),
                            lambda: make(mna.G))
     try:
         return solve(rhs0, np.zeros(mna.dim),
@@ -1034,7 +1225,9 @@ def simulate_nonlinear(circuit: Circuit, t_stop: float, dt: float, *,
     def _transient_solver():
         Ch = C / h
         return make(Ch + G), Ch
-    solve, Ch = _cached_solver(mna, (_KERNEL_MODE, h), _transient_solver)
+    solve, Ch = _cached_solver(
+        mna, (_KERNEL_MODE, _trust.trust_enabled(), h),
+        _transient_solver)
     bisect_solvers: dict = {}
     states = np.empty((mna.dim, times.size))
     states[:, 0] = x0

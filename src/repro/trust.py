@@ -1,0 +1,304 @@
+"""Numerical trust layer: verify accepted solves, escalate on doubt.
+
+The alignment search is only as trustworthy as the thousands of Newton
+and linear solves underneath it.  The fast kernels (Woodbury scalar,
+batched active-set, sparse SuperLU) all have failure modes that do not
+surface as nonconvergence: a silently ill-conditioned factorization or
+a stale modified-Newton Jacobian can converge to a *wrong* state and
+the report still says ``quality="exact"``.
+
+This module provides the shared machinery; the solver stack wires it
+in:
+
+* **Residual audits** — accepted solves are post-verified with the
+  cheap relative residual ``||Ax - b|| / (||A||*||x|| + ||b||)``
+  against a per-dim tolerance (:func:`residual_tolerance`).  The full
+  check (finiteness tripwire plus residual) is sampled every
+  ``check_interval`` accepted solves to keep the clean-path overhead
+  small; installing a fault plan bypasses the stride so injected
+  corruption always faces the audit.
+* **Condition monitoring** — each new
+  :class:`~repro.sim.factor.Factorization` reports a reciprocal
+  condition estimate through :func:`observe_factorization`; estimates
+  below ``rcond_min`` raise the ``trust.condition_warnings`` counter
+  and a log warning.
+* **Escalation ladder** — on a residual violation the solver walks
+  fresh-factor exact Newton -> legacy dense kernel -> dense-from-sparse
+  rebuild (implemented in ``repro.sim.nonlinear``), recording each hop
+  through :func:`record_event` so the analyzer can attach a
+  ``Degradation(stage="trust")`` provenance entry to the report
+  instead of silently returning the suspect state.
+* **Differential audits** — :func:`run_audit` re-runs a seeded random
+  sample of screened nets through the legacy oracle kernel and
+  compares the headline numbers (``screen --audit-rate P``).
+
+Tolerances are deliberately conservative (orders of magnitude above
+any legitimate accepted state, orders below a corrupted one): a clean
+run must be *bit-identical* with the layer on or off, which the
+property tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.obs import get_logger, metrics
+
+__all__ = [
+    "TrustConfig", "TrustViolation", "config", "configure",
+    "trust_enabled", "trust_mode", "matrix_norm1", "relative_residual",
+    "residual_tolerance", "observe_factorization", "record_event",
+    "drain_events", "run_audit", "AUDIT_FIELDS", "AUDIT_TOLERANCE",
+]
+
+log = get_logger("trust")
+
+_CHECKS = metrics().counter("trust.residual_checks")
+_VIOLATIONS = metrics().counter("trust.violations")
+_CONDITION = metrics().counter("trust.condition_warnings")
+_FACTORIZATIONS = metrics().counter("trust.factorizations")
+_UNRECOVERED = metrics().counter("trust.unrecovered")
+
+
+@dataclass(frozen=True)
+class TrustConfig:
+    """Knobs for the verification layer.
+
+    ``linear_rtol`` gates direct linear solves (backward-stable, so the
+    legitimate residual is ~n*eps); ``newton_rtol`` gates accepted
+    Newton states, whose acceptance test is a step-norm tolerance — the
+    nonlinear residual of a legitimately converged state is bounded by
+    ``||J|| * vtol``, so the gate sits ~100x above that and ~100x below
+    a grossly corrupted state.  Both scale with
+    :func:`residual_tolerance`.
+    """
+
+    enabled: bool = True
+    #: Base relative-residual budget for direct linear solves.
+    linear_rtol: float = 1e-9
+    #: Base relative-residual budget for accepted Newton states.
+    newton_rtol: float = 3e-4
+    #: Reciprocal-condition estimates below this raise a warning.
+    rcond_min: float = 1e-12
+    #: Full residual check every Nth accepted solve (1 = every solve).
+    #: A full check costs about one Newton iteration (device evaluation
+    #: plus a mat-vec), so the stride is what keeps the clean path
+    #: inside the 5% perf-smoke budget; the per-solve finiteness guard
+    #: still trips immediately on NaN/inf corruption.
+    check_interval: int = 32
+    #: Voltage scale folded into the residual denominator so near-zero
+    #: states do not produce 0/0 false positives.
+    voltage_floor: float = 1.0
+
+
+_CONFIG = TrustConfig()
+
+#: Per-process ledger of trust events (violations, escalation hops).
+#: Drained by ``DelayNoiseAnalyzer.analyze`` into ``Degradation``
+#: provenance entries on the report being built.
+_EVENTS: list[dict] = []
+
+
+def config() -> TrustConfig:
+    return _CONFIG
+
+
+def configure(**changes) -> TrustConfig:
+    """Replace fields of the process-wide :class:`TrustConfig`."""
+    global _CONFIG
+    _CONFIG = replace(_CONFIG, **changes)
+    return _CONFIG
+
+
+def trust_enabled() -> bool:
+    return _CONFIG.enabled
+
+
+@contextmanager
+def trust_mode(enabled: bool):
+    """Temporarily enable/disable verification (bench, tests)."""
+    previous = _CONFIG.enabled
+    configure(enabled=enabled)
+    try:
+        yield
+    finally:
+        configure(enabled=previous)
+
+
+def matrix_norm1(matrix) -> float:
+    """1-norm of a dense array or scipy sparse matrix."""
+    if hasattr(matrix, "toarray") and not isinstance(matrix, np.ndarray):
+        return float(abs(matrix).sum(axis=0).max())
+    matrix = np.asarray(matrix)
+    if matrix.size == 0:
+        return 0.0
+    return float(np.abs(matrix).sum(axis=0).max())
+
+
+def residual_tolerance(dim: int, base: float) -> float:
+    """Per-dim tolerance: the base budget grows with sqrt(dim)."""
+    return base * max(1.0, math.sqrt(float(dim)))
+
+
+def relative_residual(residual, anorm: float, x, b, *,
+                      floor: float | None = None) -> float:
+    """``||r|| / (||A||*||x|| + ||b||)`` with a scale floor.
+
+    ``floor`` (defaults to ``config().voltage_floor``) enters as
+    ``anorm * floor`` in the denominator: early-transient states are
+    near zero and the bare ratio would be 0/0.  Non-finite residuals
+    report ``inf`` so they always violate.
+    """
+    residual = np.asarray(residual, dtype=float)
+    if residual.size and not np.isfinite(residual).all():
+        return math.inf
+    if floor is None:
+        floor = _CONFIG.voltage_floor
+    rnorm = float(np.abs(residual).max()) if residual.size else 0.0
+    xnorm = float(np.abs(np.asarray(x)).max()) if np.size(x) else 0.0
+    bnorm = float(np.abs(np.asarray(b)).max()) if np.size(b) else 0.0
+    if not math.isfinite(xnorm) or not math.isfinite(bnorm):
+        return math.inf
+    denominator = anorm * (xnorm + floor) + bnorm
+    if denominator <= 0.0:
+        return math.inf if rnorm > 0.0 else 0.0
+    return rnorm / denominator
+
+
+def observe_factorization(fact, context: str = "") -> float | None:
+    """Condition-monitor one new factorization (no-op when disabled).
+
+    Returns the reciprocal condition estimate, or ``None`` when the
+    layer is off or the backend cannot produce one.  Estimates below
+    ``rcond_min`` raise ``trust.condition_warnings`` and log — they do
+    not escalate on their own (an ill-conditioned but correct solve
+    passes the residual audit; a wrong one does not).
+    """
+    if not _CONFIG.enabled:
+        return None
+    _FACTORIZATIONS.inc()
+    rcond = fact.rcond_estimate()
+    if rcond is not None and rcond < _CONFIG.rcond_min:
+        _CONDITION.inc()
+        log.warning("ill-conditioned factorization (rcond ~ %.3e)%s",
+                    rcond, f" in {context}" if context else "")
+    return rcond
+
+
+def record_event(kind: str, *, context: str = "", detail: str = "",
+                 hop: str = "") -> dict:
+    """Append one trust event to the per-process ledger.
+
+    ``kind`` is ``"violation"`` (a residual audit failed),
+    ``"escalated"`` (a ladder hop produced a verified state; ``hop``
+    names it) or ``"unrecovered"`` (the whole ladder failed).
+    """
+    event = {"kind": kind, "context": context, "detail": detail,
+             "hop": hop}
+    _EVENTS.append(event)
+    if kind == "violation":
+        _VIOLATIONS.inc()
+    elif kind == "escalated":
+        metrics().counter(f"trust.escalations.{hop}").inc()
+    elif kind == "unrecovered":
+        _UNRECOVERED.inc()
+    log.warning("trust %s%s%s%s", kind,
+                f" via {hop}" if hop else "",
+                f" in {context}" if context else "",
+                f": {detail}" if detail else "")
+    return event
+
+
+def count_check() -> None:
+    """Raise the sampled residual-check counter (solver-side hook)."""
+    _CHECKS.inc()
+
+
+def drain_events() -> list[dict]:
+    """Return and clear the per-process trust-event ledger."""
+    events = list(_EVENTS)
+    _EVENTS.clear()
+    return events
+
+
+# -- differential audit ------------------------------------------------
+
+#: Report scalars compared against the legacy oracle.
+AUDIT_FIELDS = ("extra_delay_output", "extra_delay_input",
+                "pulse_height", "peak_time")
+
+#: Absolute agreement tolerance per audited field (volts / seconds) —
+#: matches the bench equivalence gate.
+AUDIT_TOLERANCE = 1e-9
+
+
+def run_audit(nets, reports, analyzer, *, rate: float, seed: int = 0,
+              analyze_kwargs: dict | None = None,
+              tolerance: float = AUDIT_TOLERANCE) -> dict:
+    """Re-run a seeded random sample of nets through the legacy oracle.
+
+    ``reports`` maps net name -> ``NoiseReport`` (nets that failed or
+    produced degraded reports are skipped: a degraded fast-path result
+    legitimately diverges from a clean oracle run).  Returns the
+    ``audit`` block merged into the run manifest::
+
+        {"rate": ..., "seed": ..., "eligible": N, "sampled": [...],
+         "checked": n, "mismatches": [{"net": ..., "field": ...,
+         "screened": ..., "oracle": ..., "delta": ...}, ...],
+         "tolerance": ..., "ok": bool}
+    """
+    from repro.sim.nonlinear import kernel_mode
+
+    analyze_kwargs = dict(analyze_kwargs or {})
+    eligible = [net for net in nets
+                if reports.get(net.name) is not None
+                and reports[net.name].quality == "exact"]
+    rng = random.Random(seed)
+    sampled = [net for net in eligible if rng.random() < rate]
+    mismatches: list[dict] = []
+    checked = 0
+    for net in sampled:
+        with kernel_mode("legacy"):
+            oracle = analyzer.analyze(net, **analyze_kwargs)
+        if oracle.quality != "exact":
+            log.warning("audit: oracle run for %s degraded (%s); "
+                        "skipping comparison", net.name,
+                        [d.stage for d in oracle.degradations])
+            continue
+        checked += 1
+        screened = reports[net.name]
+        for field in AUDIT_FIELDS:
+            lhs = float(getattr(screened, field))
+            rhs = float(getattr(oracle, field))
+            delta = abs(lhs - rhs)
+            if not math.isfinite(delta) or delta > tolerance:
+                mismatches.append({
+                    "net": net.name, "field": field, "screened": lhs,
+                    "oracle": rhs, "delta": delta})
+    metrics().counter("trust.audit.checked").inc(checked)
+    metrics().counter("trust.audit.mismatches").inc(len(mismatches))
+    for miss in mismatches:
+        log.error("audit mismatch on %s.%s: screened %.6e vs oracle "
+                  "%.6e (|delta| %.3e > %.0e)", miss["net"],
+                  miss["field"], miss["screened"], miss["oracle"],
+                  miss["delta"], tolerance)
+    return {"rate": rate, "seed": seed, "eligible": len(eligible),
+            "sampled": [net.name for net in sampled],
+            "checked": checked, "mismatches": mismatches,
+            "tolerance": tolerance, "ok": not mismatches}
+
+
+def __getattr__(name: str):
+    # TrustViolation subclasses ConvergenceError so the existing
+    # dt-bisection / DC-recovery ladders still catch it; the class
+    # lives in repro.sim.nonlinear (which imports this module) and is
+    # re-exported here lazily to avoid the import cycle.
+    if name == "TrustViolation":
+        from repro.sim.nonlinear import TrustViolation
+        return TrustViolation
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

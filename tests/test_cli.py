@@ -285,7 +285,7 @@ class TestBenchPerf:
                      "--out", str(out)])
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro.bench.perf/v3"
+        assert payload["schema"] == "repro.bench.perf/v4"
         assert payload["equivalence"]["within_tolerance"] is True
         assert payload["equivalence"]["max_state_delta"] <= 1e-9
         assert payload["equivalence"]["batched_within_tolerance"] is True
@@ -443,7 +443,7 @@ class TestBenchHistoryCLI:
     kernels are exercised by TestBenchPerf)."""
 
     PAYLOAD = {
-        "schema": "repro.bench.perf/v3",
+        "schema": "repro.bench.perf/v4",
         "config": {"seed": 1, "count": 1, "t_stop": 1e-10},
         "kernels": {"fast": {"transient_s": 0.05,
                              "steps_per_second": 20000.0}},

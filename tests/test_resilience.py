@@ -409,10 +409,11 @@ class TestCheckpointResume:
         full = analyze_nets(pool_nets, jobs=1, analyzer=analyzer,
                             alignment="table", checkpoint=path)
         lines = path.read_text().splitlines()
-        assert len(lines) == 3
+        # Header line plus one record per net.
+        assert len(lines) == 4
 
-        # Simulate a kill after the first net.
-        path.write_text(lines[0] + "\n")
+        # Simulate a kill after the first net (keeping the header).
+        path.write_text(lines[0] + "\n" + lines[1] + "\n")
         # A crash fault on the already-checkpointed net proves it is
         # NOT re-analyzed on resume.
         install_faults(FaultPlan().add(
@@ -424,7 +425,7 @@ class TestCheckpointResume:
         assert resumed.stats.resumed == 1
         for a, b in zip(full.reports, resumed.reports):
             assert noise_report_to_dict(a) == noise_report_to_dict(b)
-        assert len(path.read_text().splitlines()) == 3
+        assert len(path.read_text().splitlines()) == 4
 
     def test_failures_survive_resume(self, analyzer, pool_nets,
                                      tmp_path):
