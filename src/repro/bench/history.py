@@ -60,6 +60,7 @@ TRACKED_PHASES = {
     "alignment_search_batched": ("speedup", "alignment_search_batched"),
     "sparse_speedup": ("sparse", "speedup"),
     "trust_clean_path": ("trust", "clean_path_ratio"),
+    "screening_speedup": ("screening", "speedup"),
 }
 
 

@@ -35,13 +35,24 @@ fraction against the documented 5% budget and asserting the two runs
 are bit-identical — the residual audits may only *observe* a clean
 solve, never perturb it.
 
+A **screening** phase (schema v5) measures the tiered population
+screen (:mod:`repro.core.screening`) end-to-end: a ``screening``-preset
+population (log-uniform coupling, mostly-quiet) is triaged through the
+closed-form bound and the reduced-order estimate, only the escalated
+nets run the full tier-2 analysis, and the exhaustive baseline —
+tier 2 on *every* net — is estimated from the measured per-net tier-2
+cost (the escalated nets plus a seeded sample of the pruned ones, so
+the extrapolation sees both sides of the threshold).  The sampled
+pruned nets double as the soundness audit: any of them measuring
+at/above the threshold is an unsound prune and fails the CLI gate.
+
 The result dictionary (see ``docs/architecture.md`` for the JSON
-schema, ``repro.bench.perf/v4``) is what the CLI writes to
+schema, ``repro.bench.perf/v5``) is what the CLI writes to
 ``BENCH_perf.json``; ``equivalence`` carries the maximum state delta
 between the kernels against the documented 1e-9 V tolerance plus the
 batched-vs-serial sweep deltas (worst peak time and extra delay), and
 the CLI exits non-zero when either gate is exceeded (including the
-sparse-vs-dense state gate).
+sparse-vs-dense state gate and the screening soundness gate).
 """
 
 from __future__ import annotations
@@ -68,8 +79,9 @@ from repro.units import PS
 from repro.waveform import ramp
 
 __all__ = ["run_perf", "run_sparse_phase", "run_trust_phase",
-           "format_perf", "EQUIVALENCE_TOLERANCE",
-           "TRUST_OVERHEAD_BUDGET", "SCHEMA"]
+           "run_screening_phase", "format_perf",
+           "EQUIVALENCE_TOLERANCE", "TRUST_OVERHEAD_BUDGET",
+           "SCREEN_THRESHOLD", "SCHEMA"]
 
 #: Maximum per-state voltage difference between the fast and legacy
 #: kernels on fault-free runs.  Both kernels drive the damped Newton
@@ -79,7 +91,7 @@ __all__ = ["run_perf", "run_sparse_phase", "run_trust_phase",
 EQUIVALENCE_TOLERANCE = 1e-9
 
 #: Schema identifier written into BENCH_perf.json.
-SCHEMA = "repro.bench.perf/v4"
+SCHEMA = "repro.bench.perf/v5"
 
 #: Clean-path wall-time budget of the trust layer: verification on must
 #: cost no more than this fraction over verification off.
@@ -101,6 +113,13 @@ _SPARSE_ANALYSIS_NODES = 1000
 #: Alignment-sweep shape shared by the serial and batched phases.
 _ALIGN_STEPS = 9
 _ALIGN_REFINE = 4
+
+#: Screening-phase noise threshold: vdd/3 = 0.6 V, the canonical
+#: actionable-noise level the tiered screen is calibrated against.
+SCREEN_THRESHOLD = 0.6
+#: Pruned nets sampled for the baseline extrapolation + soundness
+#: audit (each costs one full tier-2 analysis).
+_SCREEN_PRUNED_SAMPLE = 6
 
 
 def _newton_counters(snapshot: dict) -> dict:
@@ -242,6 +261,98 @@ def run_trust_phase(circuits, *, t_stop: float, dt: float,
     }
 
 
+def run_screening_phase(seed: int = 1, *, count: int = 60,
+                        threshold: float = SCREEN_THRESHOLD) -> dict:
+    """Benchmark the tiered population screen against the exhaustive
+    baseline.
+
+    Triages a ``screening``-preset population (the realistic
+    mostly-quiet shape) through tiers 0/1, runs the full tier-2
+    analysis only on the escalated nets, and reports the end-to-end
+    tiered wall time against an *estimated* exhaustive baseline:
+    tier 2 on every net, extrapolated from the measured per-net tier-2
+    cost over the escalated nets plus a seeded sample of the pruned
+    ones (running tier 2 on all ``count`` nets is exactly the cost the
+    screen exists to avoid).  Characterization tables are pre-warmed
+    outside the timed region — both sides of the comparison would pay
+    them identically.
+
+    The sampled pruned nets double as the soundness audit: a pruned
+    net whose measured ``|pulse_height|`` lands at/above ``threshold``
+    counts as an unsound prune (``unsound_prunes``; the CLI gate fails
+    on any).
+    """
+    from repro.bench.netgen import NetGenConfig
+    from repro.core.analysis import DelayNoiseAnalyzer
+    from repro.core.screening import ScreeningConfig, triage
+    from repro.exec.snapshot import warm_analyzer
+
+    gen = NetGenerator(seed=seed, config=NetGenConfig.screening())
+    nets = gen.population(count)
+    nets_by_name = {net.name: net for net in nets}
+    config = ScreeningConfig(noise_threshold=threshold)
+    analyzer = DelayNoiseAnalyzer()
+    warm_analyzer(analyzer, nets)
+
+    t0 = time.perf_counter()
+    decisions, stats = triage(nets, config)
+    triage_s = time.perf_counter() - t0
+
+    def tier2(net) -> tuple[float, float]:
+        t0 = time.perf_counter()
+        report = analyzer.analyze(net, alignment="table")
+        return time.perf_counter() - t0, abs(report.pulse_height)
+
+    escalated = [d for d in decisions if not d.pruned]
+    pruned = [d for d in decisions if d.pruned]
+    tier2_times = []
+    t0 = time.perf_counter()
+    for decision in escalated:
+        seconds, _ = tier2(nets_by_name[decision.net_name])
+        tier2_times.append(seconds)
+    escalated_s = time.perf_counter() - t0
+    stats.seconds_by_tier[2] = escalated_s
+    tiered_s = triage_s + escalated_s
+
+    # Seeded pruned-net sample: per-net tier-2 cost for the baseline
+    # extrapolation, measured height for the soundness audit.
+    rng = np.random.default_rng(seed)
+    sample_size = min(_SCREEN_PRUNED_SAMPLE, len(pruned))
+    sample = list(rng.choice(len(pruned), size=sample_size,
+                             replace=False)) if sample_size else []
+    unsound = 0
+    for index in sample:
+        decision = pruned[int(index)]
+        seconds, height = tier2(nets_by_name[decision.net_name])
+        tier2_times.append(seconds)
+        if height >= threshold:
+            unsound += 1
+
+    mean_tier2_s = (sum(tier2_times) / len(tier2_times)
+                    if tier2_times else 0.0)
+    baseline_s = mean_tier2_s * len(nets)
+    return {
+        "count": count,
+        "threshold": threshold,
+        "policy": config.policy,
+        "guard_band": config.guard_band,
+        "by_tier": {str(t): n for t, n in sorted(stats.by_tier.items())},
+        "pruned": stats.pruned,
+        "escalated": stats.escalated,
+        "pruned_fraction": stats.pruned_fraction,
+        "triage_s": triage_s,
+        "escalated_tier2_s": escalated_s,
+        "tiered_s": tiered_s,
+        "mean_tier2_s": mean_tier2_s,
+        "tier2_samples": len(tier2_times),
+        "baseline_estimated_s": baseline_s,
+        "speedup": baseline_s / tiered_s if tiered_s > 0.0 else 1.0,
+        "audit_checked": len(sample),
+        "unsound_prunes": unsound,
+        "sound": unsound == 0,
+    }
+
+
 def _alignment_inputs(engine: SuperpositionEngine):
     net = engine.net
     victim = (engine.victim_transition().at_receiver
@@ -252,13 +363,17 @@ def _alignment_inputs(engine: SuperpositionEngine):
 
 def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
              dt: float = 1e-12, dc_repeats: int = 5,
-             skip_analysis: bool = False, sparse_dim: int = 2000) -> dict:
+             skip_analysis: bool = False, sparse_dim: int = 2000,
+             screening_count: int = 60,
+             screening_threshold: float = SCREEN_THRESHOLD) -> dict:
     """Benchmark both Newton kernels on a seeded population.
 
     ``skip_analysis`` drops the Rtr / alignment phases (used by quick
-    tests; the transient equivalence check always runs).  ``sparse_dim``
-    sizes the extracted-scale sparse phase (0 disables it).  Returns the
-    BENCH_perf.json payload.
+    tests; the transient equivalence check always runs) and with them
+    the tiered-screening phase, which runs full analyses.
+    ``sparse_dim`` sizes the extracted-scale sparse phase (0 disables
+    it); ``screening_count`` sizes the tiered-screening population
+    (0 disables that phase).  Returns the BENCH_perf.json payload.
     """
     nets = [net for net in NetGenerator(seed=seed).population(count)]
     circuits = [golden_circuit(net) for net in nets]
@@ -393,6 +508,8 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
             "alignment_steps": _ALIGN_STEPS,
             "alignment_refine": _ALIGN_REFINE,
             "sparse_dim": sparse_dim,
+            "screening_count": screening_count,
+            "screening_threshold": screening_threshold,
             "nets": [net.name for net in nets],
             "devices": [len(c.mosfets) for c in circuits],
             "dims": [int(s.shape[0]) for s in states["fast"]],
@@ -405,6 +522,10 @@ def run_perf(seed: int = 1, count: int = 2, *, t_stop: float = 2e-9,
     if sparse_dim:
         payload["sparse"] = run_sparse_phase(seed=seed, dim=sparse_dim,
                                              skip_analysis=skip_analysis)
+    if screening_count and not skip_analysis:
+        payload["screening"] = run_screening_phase(
+            seed=seed, count=screening_count,
+            threshold=screening_threshold)
     return payload
 
 
@@ -481,4 +602,15 @@ def format_perf(payload: dict) -> str:
                 f"sparse analysis: {sp['analysis_net']} "
                 f"(dim={sp['analysis_dim']}) full flow in "
                 f"{sp['analysis_sparse_s']:.1f}s")
+    sc = payload.get("screening")
+    if sc:
+        verdict = "ok" if sc["sound"] else "UNSOUND"
+        lines.append(
+            f"screening phase: {sc['count']} nets @ "
+            f"{sc['threshold']:.2f} V, {sc['pruned']} pruned "
+            f"({100.0 * sc['pruned_fraction']:.0f}%), tiered "
+            f"{sc['tiered_s']:.2f}s vs exhaustive "
+            f"~{sc['baseline_estimated_s']:.2f}s = "
+            f"{sc['speedup']:.1f}x, {sc['unsound_prunes']} unsound of "
+            f"{sc['audit_checked']} audited -> {verdict}")
     return "\n".join(lines)

@@ -14,7 +14,12 @@ Entry points mirroring the production workflow:
   circuit-breaker policies, ``--init-timeout``/``--watchdog-factor``/
   ``--rss-budget-mb`` configure the worker watchdog, and
   ``--audit-rate P`` re-runs a seeded sample of nets through the
-  legacy oracle and fails on any mismatch.
+  legacy oracle and fails on any mismatch.  ``--noise-threshold V``
+  switches on the three-tier screen (closed-form bound, reduced-order
+  estimate, full analysis — see ``repro.core.screening``): nets whose
+  conservative bound stays below V are pruned without touching the
+  nonlinear kernels, and ``--prune-audit-rate P`` re-checks a seeded
+  sample of the prunes at tier 2, failing the run on any unsound one.
 * ``repro bench --perf`` — time the Newton kernels (fast vs. legacy
   reference) on a seeded population, write ``BENCH_perf.json`` and fail
   on solver-equivalence drift; ``--history``/``--baseline`` append to
@@ -158,8 +163,40 @@ def build_parser() -> argparse.ArgumentParser:
         "screen", help="screen a synthetic population")
     p_scr.add_argument("--seed", type=int, default=1)
     p_scr.add_argument("--count", type=int, default=4)
-    p_scr.add_argument("--preset", choices=("default", "hp"),
-                       default="default")
+    p_scr.add_argument("--preset",
+                       choices=("default", "hp", "screening"),
+                       default="default",
+                       help="population flavour; 'screening' generates "
+                            "the realistic mostly-quiet distribution "
+                            "(log-uniform coupling) the tiered screen "
+                            "is designed for")
+    p_scr.add_argument("--noise-threshold", type=_value, default=None,
+                       metavar="V",
+                       help="enable tiered screening: nets whose "
+                            "conservative closed-form bound (tier 0) "
+                            "or reduced-order estimate (tier 1) stays "
+                            "below this composite pulse height (volts, "
+                            "e.g. 0.6) are pruned; only escalated nets "
+                            "get the full Rtr/alignment analysis")
+    p_scr.add_argument("--tier-policy",
+                       choices=("auto", "bound-only", "full"),
+                       default="auto",
+                       help="tier progression under --noise-threshold: "
+                            "auto = bound, then MOR estimate, then "
+                            "full; bound-only skips the MOR tier; full "
+                            "escalates every net (the exhaustive "
+                            "baseline)")
+    p_scr.add_argument("--guard-band", type=float, default=None,
+                       metavar="G",
+                       help="tier-1 safety multiplier on the "
+                            "reduced-order estimate (default 1.25)")
+    p_scr.add_argument("--prune-audit-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="re-run a seeded fraction P of the pruned "
+                            "nets through the full tier-2 analysis; a "
+                            "pruned net measuring at/above the "
+                            "threshold is an unsound prune and fails "
+                            "the run (1.0 re-checks every prune)")
     p_scr.add_argument("--hold", action="store_true",
                        help="also report worst-case hold speed-up")
     p_scr.add_argument("--jobs", type=_positive_int, default=1,
@@ -249,6 +286,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="MNA unknown count of the extracted-scale "
                               "sparse-vs-dense phase (0 disables; "
                               "default 2000)")
+    p_bench.add_argument("--screening-count", type=int, default=60,
+                         metavar="N",
+                         help="population size of the tiered-screening "
+                              "phase (0 disables; skipped under "
+                              "--quick; default 60)")
+    p_bench.add_argument("--screening-threshold", type=_value,
+                         default=None, metavar="V",
+                         help="noise threshold of the screening phase "
+                              "(default 0.6)")
     p_bench.add_argument("--out", default="BENCH_perf.json",
                          metavar="FILE",
                          help="result JSON (default BENCH_perf.json)")
@@ -425,12 +471,33 @@ def _cmd_screen(args) -> int:
         out.error(f"--audit-rate must be in [0, 1], got "
                   f"{args.audit_rate}")
         return 2
+    if not 0.0 <= args.prune_audit_rate <= 1.0:
+        out.error(f"--prune-audit-rate must be in [0, 1], got "
+                  f"{args.prune_audit_rate}")
+        return 2
+    if args.noise_threshold is None and args.prune_audit_rate:
+        out.error("--prune-audit-rate requires --noise-threshold")
+        return 2
     if args.inject:
         install_faults(FaultPlan.from_file(args.inject))
         out.info(f"# fault injection active from {args.inject}")
 
-    config = NetGenConfig.high_performance() if args.preset == "hp" \
-        else None
+    screening_cfg = None
+    if args.noise_threshold is not None:
+        from repro.core.screening import DEFAULT_GUARD_BAND, ScreeningConfig
+        try:
+            screening_cfg = ScreeningConfig(
+                noise_threshold=args.noise_threshold,
+                policy=args.tier_policy,
+                guard_band=args.guard_band if args.guard_band is not None
+                else DEFAULT_GUARD_BAND)
+        except ValueError as exc:
+            out.error(str(exc))
+            return 2
+
+    presets = {"hp": NetGenConfig.high_performance,
+               "screening": NetGenConfig.screening}
+    config = presets[args.preset]() if args.preset in presets else None
     generator = NetGenerator(seed=args.seed, config=config)
     analyzer = DelayNoiseAnalyzer()
     nets = generator.population(args.count)
@@ -445,6 +512,12 @@ def _cmd_screen(args) -> int:
             "init_timeout": args.init_timeout,
             "watchdog_factor": args.watchdog_factor,
             "rss_budget_mb": args.rss_budget_mb,
+            "noise_threshold": args.noise_threshold,
+            "tier_policy": args.tier_policy
+            if screening_cfg else None,
+            "guard_band": screening_cfg.guard_band
+            if screening_cfg else None,
+            "prune_audit_rate": args.prune_audit_rate,
         })
     tracker = None
     if args.progress or args.manifest:
@@ -460,12 +533,29 @@ def _cmd_screen(args) -> int:
     rss_budget = int(args.rss_budget_mb * 2**20) \
         if args.rss_budget_mb else None
 
+    # Tiered screening: triage the population first so the pool can
+    # prune tier-0/1-settled nets before any worker warms nonlinear
+    # state for them.
+    decisions_by_name = {}
+    screen_stats = None
+    tier_labels = None
+    if screening_cfg is not None:
+        from repro.core.screening import triage
+        t_triage = time.perf_counter()
+        decisions, screen_stats = triage(nets, screening_cfg)
+        if manifest:
+            manifest.add_stage("triage",
+                               time.perf_counter() - t_triage)
+        decisions_by_name = {d.net_name: d for d in decisions}
+        tier_labels = {d.net_name: d.tier for d in decisions}
+
     # Delay-noise analysis fans out over worker processes (warm-started
     # from the parent's tables); the functional screen below reuses the
     # same warmed caches serially.
     try:
         result = analyze_nets(nets, jobs=args.jobs, analyzer=analyzer,
                               timeout=args.timeout, alignment="table",
+                              tier_labels=tier_labels,
                               retries=args.retries,
                               max_failures=args.max_failures,
                               checkpoint=args.checkpoint,
@@ -510,7 +600,15 @@ def _cmd_screen(args) -> int:
     if args.hold:
         header += "   hold speedup (ps)"
     out.info(header)
+    violations = 0
     for net, report in zip(nets, result.reports):
+        decision = decisions_by_name.get(net.name)
+        if decision is not None and decision.pruned and report is None:
+            # Pruned below the noise threshold at tier 0/1 — the whole
+            # point is to skip the nonlinear engines here, so no
+            # functional screen and no table row either (a 10k-net
+            # screen would otherwise be 90% "pruned" lines).
+            continue
         engine = SuperpositionEngine(net, cache=analyzer.cache)
         func = functional_noise(net, engine=engine)
         verdict = "FAIL" if func.fails else "ok"
@@ -520,6 +618,9 @@ def _cmd_screen(args) -> int:
                      f"{verdict:5s}  analysis failed: "
                      f"{failures[net.name].error}")
             continue
+        if (screening_cfg is not None and abs(report.pulse_height)
+                >= screening_cfg.noise_threshold):
+            violations += 1
         line = (f"{net.name:6s}  {len(net.aggressors):4d}  "
                 f"{func.input_peak:6.3f}/{func.output_peak:6.3f}  "
                 f"{verdict:5s}  "
@@ -565,6 +666,40 @@ def _cmd_screen(args) -> int:
                     f"{stats.sparse_retries} net(s) retried sparse")
     out.info(summary)
 
+    prune_audit = None
+    if screen_stats is not None:
+        # The pool's wall time is the tier-2 cost; tiers 0/1 were timed
+        # inside triage.
+        screen_stats.seconds_by_tier[2] = stats.wall_time
+        by_tier = screen_stats.by_tier
+        secs = screen_stats.seconds_by_tier
+        out.info(
+            f"# screening: threshold "
+            f"{screening_cfg.noise_threshold:.3f} V, policy "
+            f"{screening_cfg.policy} | "
+            f"t0 {by_tier[0]} ({secs[0]:.2f} s) / "
+            f"t1 {by_tier[1]} ({secs[1]:.2f} s) / "
+            f"t2 {by_tier[2]} ({secs[2]:.2f} s) | "
+            f"{screen_stats.pruned} pruned "
+            f"({100.0 * screen_stats.pruned_fraction:.1f}%), "
+            f"{screen_stats.escalated} escalated, "
+            f"{violations} above threshold")
+        if args.prune_audit_rate:
+            from repro.core.screening import audit_prunes
+            t_audit = time.perf_counter()
+            prune_audit = audit_prunes(
+                nets, list(decisions_by_name.values()),
+                config=screening_cfg, analyzer=analyzer,
+                rate=args.prune_audit_rate, seed=args.seed,
+                analyze_kwargs={"alignment": "table"})
+            if manifest:
+                manifest.add_stage("prune-audit",
+                                   time.perf_counter() - t_audit)
+            out.info(f"# prune audit: {prune_audit['checked']}/"
+                     f"{prune_audit['eligible']} pruned net(s) re-run "
+                     f"at tier 2, {prune_audit['unsound_prunes']} "
+                     f"unsound")
+
     audit = None
     if args.audit_rate:
         reports_by_name = {net.name: report
@@ -590,17 +725,30 @@ def _cmd_screen(args) -> int:
         degraded_stages = sorted({d.stage for report in result.reports
                                   if report is not None
                                   for d in report.degradations})
+        extra = {}
+        if audit is not None:
+            extra["audit"] = audit
+        if screen_stats is not None:
+            extra["screening"] = dict(screen_stats.to_dict(),
+                                      violations=violations)
+            if prune_audit is not None:
+                extra["screening"]["audit"] = prune_audit
         manifest.write(
             args.manifest,
             failures=result.failures,
             degraded={"total": stats.degraded,
                       "stages": degraded_stages},
             progress=tracker.snapshot() if tracker else None,
-            extra={"audit": audit} if audit is not None else None)
+            extra=extra or None)
         out.info(f"# wrote manifest to {args.manifest}")
     if audit is not None and not audit["ok"]:
         out.error(f"audit failed: {len(audit['mismatches'])} "
                   f"mismatch(es) against the legacy oracle")
+        return 1
+    if prune_audit is not None and not prune_audit["ok"]:
+        out.error(f"prune audit failed: "
+                  f"{prune_audit['unsound_prunes']} unsound prune(s) — "
+                  f"a pruned net measured at/above the noise threshold")
         return 1
     return 0 if not failures else 1
 
@@ -615,7 +763,7 @@ def _cmd_bench(args) -> int:
         history_record,
         load_history,
     )
-    from repro.bench.perf import format_perf, run_perf
+    from repro.bench.perf import SCREEN_THRESHOLD, format_perf, run_perf
 
     if not args.perf:
         out.error("nothing to do: pass --perf")
@@ -628,25 +776,32 @@ def _cmd_bench(args) -> int:
     window = args.history_window \
         if args.history_window is not None else DEFAULT_WINDOW
 
+    screening_threshold = args.screening_threshold \
+        if args.screening_threshold is not None else SCREEN_THRESHOLD
     manifest = None
     if args.manifest:
         manifest = RunManifest("bench", config={
             "seed": args.seed, "count": args.count,
             "t_stop": args.t_stop, "quick": args.quick,
             "sparse_dim": args.sparse_dim,
+            "screening_count": args.screening_count,
+            "screening_threshold": screening_threshold,
         })
     with manifest.stage("perf") if manifest else nullcontext():
         payload = run_perf(seed=args.seed, count=args.count,
                            t_stop=args.t_stop, skip_analysis=args.quick,
-                           sparse_dim=args.sparse_dim)
+                           sparse_dim=args.sparse_dim,
+                           screening_count=args.screening_count,
+                           screening_threshold=screening_threshold)
     atomic_write_json(args.out, payload)
     out.info(format_perf(payload))
     out.info(f"# wrote {args.out}")
     if manifest:
-        manifest.write(args.manifest,
-                       extra={"speedup": payload.get("speedup", {}),
-                              "equivalence": payload.get("equivalence",
-                                                         {})})
+        extra = {"speedup": payload.get("speedup", {}),
+                 "equivalence": payload.get("equivalence", {})}
+        if "screening" in payload:
+            extra["screening"] = payload["screening"]
+        manifest.write(args.manifest, extra=extra)
         out.info(f"# wrote manifest to {args.manifest}")
 
     regressions = []
@@ -682,6 +837,12 @@ def _cmd_bench(args) -> int:
         out.error(f"trust layer overhead "
                   f"{trust_phase['overhead_fraction']:+.1%} exceeds the "
                   f"{trust_phase['budget']:.0%} clean-path budget")
+        return 1
+    if not payload.get("screening", {}).get("sound", True):
+        out.error(f"screening soundness: "
+                  f"{payload['screening']['unsound_prunes']} pruned "
+                  f"net(s) measured at/above the noise threshold at "
+                  f"tier 2")
         return 1
     if regressions:
         return 1

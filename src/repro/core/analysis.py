@@ -210,8 +210,14 @@ class DelayNoiseAnalyzer:
                 exhaustive_steps: int = 25,
                 rtr_driver_load: str = "pi",
                 rtr_driver_engine: str = "transistor",
-                alignment_probes: int = 3) -> NoiseReport:
+                alignment_probes: int = 3,
+                tier_label: int = 2) -> NoiseReport:
         """Analyze one coupled net for worst-case delay noise.
+
+        ``tier_label`` records which screening tier escalated this net
+        into the full analysis (2 means a direct/exhaustive call); it
+        only annotates the trace span and the ``analysis.tier.N``
+        counter — the flow itself is identical for every label.
 
         ``alignment_probes`` (table mode only): after the table predicts
         the worst-case peak position, that many nearby candidates are
@@ -248,7 +254,7 @@ class DelayNoiseAnalyzer:
 
         with span("net.analyze", net=net.name,
                   aggressors=len(net.aggressors),
-                  alignment=alignment) as net_span:
+                  alignment=alignment, tier=tier_label) as net_span:
             report = self._analyze_traced(
                 net, net_span, use_rtr=use_rtr, alignment=alignment,
                 outer_iterations=outer_iterations,
@@ -257,6 +263,7 @@ class DelayNoiseAnalyzer:
                 rtr_driver_engine=rtr_driver_engine,
                 alignment_probes=alignment_probes)
         metrics().counter("analysis.nets").inc()
+        metrics().counter(f"analysis.tier.{tier_label}").inc()
         metrics().histogram("analysis.outer_iterations").observe(
             report.iterations)
         log.debug("%s: extra delay %.1f ps out / %.1f ps in after %d "

@@ -27,6 +27,7 @@ import networkx as nx
 
 from repro.circuit.netlist import GROUND, Circuit
 from repro.core.net import CoupledNet
+from repro.obs import metrics
 
 __all__ = ["AggressorRank", "partition_nodes", "rank_aggressors",
            "filter_aggressors"]
@@ -39,7 +40,32 @@ def partition_nodes(net: CoupledNet) -> dict[str, str]:
     separate nets); keys are ``"victim"`` or the aggressor name.  Nodes
     not resistively reachable from any driver root (should not happen in
     a well-formed net) are omitted.
+
+    The partition is memoized on the interconnect's topology version
+    (and the aggressor roots): the analyze path calls this once per
+    ranking *and* once per filtering pass over the same unchanged net,
+    and the tiered screen adds a third caller — recomputing the
+    connected components each time is pure waste.  Adding any element
+    to the interconnect bumps its ``_topology_version`` and invalidates
+    the cache; traffic shows up as ``filtering.partition.hits`` /
+    ``.misses``.
     """
+    version = getattr(net.interconnect, "_topology_version", None)
+    roots_key = (net.victim_root,
+                 tuple((a.name, a.root) for a in net.aggressors))
+    cached = getattr(net, "_partition_cache", None)
+    if cached is not None and cached[0] == (version, roots_key):
+        metrics().counter("filtering.partition.hits").inc()
+        return cached[1]
+    metrics().counter("filtering.partition.misses").inc()
+    assignment = _partition_nodes_uncached(net)
+    # CoupledNet is a plain (mutable) dataclass, so the cache rides on
+    # the instance itself and dies with it.
+    net._partition_cache = ((version, roots_key), assignment)
+    return assignment
+
+
+def _partition_nodes_uncached(net: CoupledNet) -> dict[str, str]:
     graph = nx.Graph()
     graph.add_nodes_from(net.interconnect.nodes())
     for r in net.interconnect.resistors:

@@ -179,6 +179,11 @@ class ExecStats:
     #: Nets re-submitted with the sparse backend forced after their
     #: worker blew the RSS budget.
     sparse_retries: int = 0
+    #: Nets pruned by the tiered screen (``tier_labels`` < 2): never
+    #: dispatched, never warmed, no report and no failure.
+    pruned: int = 0
+    #: Pruned-net tally per screening tier (0 and 1 only).
+    pruned_by_tier: dict[int, int] = field(default_factory=dict)
 
     @property
     def nets_per_second(self) -> float:
@@ -191,9 +196,11 @@ class ExecStats:
 class ExecResult:
     """Outcome of :func:`analyze_nets`, in input-net order.
 
-    ``reports[i]`` corresponds to ``nets[i]``; it is ``None`` exactly
-    when that net produced a :class:`NetFailure` (failures are also
-    listed in input order).
+    ``reports[i]`` corresponds to ``nets[i]``; it is ``None`` when that
+    net produced a :class:`NetFailure` (failures are also listed in
+    input order) — or, in a tiered screening run, when the net was
+    *pruned* (``tier_labels`` < 2): pruned nets carry neither report
+    nor failure, which :meth:`analyzed` distinguishes.
     """
 
     reports: list[NoiseReport | None]
@@ -203,6 +210,12 @@ class ExecResult:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def analyzed(self, net_name: str) -> bool:
+        """False when the tiered screen pruned this net (no report,
+        no failure — by design, not by accident)."""
+        reports, failures = self._index()
+        return net_name in reports or net_name in failures
 
     def _index(self) -> tuple[dict, dict]:
         """O(1) name lookup tables, built once on first use."""
@@ -414,7 +427,8 @@ def _decode_checkpoint_record(record: dict
 
 
 def _run_identity(nets, analyzer: DelayNoiseAnalyzer,
-                  analyze_kwargs: dict) -> str:
+                  analyze_kwargs: dict,
+                  tier_labels: dict[str, int] | None = None) -> str:
     """Digest of everything that shapes this run's numerical results.
 
     Stamped into the checkpoint header so ``resume`` can refuse a
@@ -451,6 +465,12 @@ def _run_identity(nets, analyzer: DelayNoiseAnalyzer,
         "analyze_kwargs": {k: repr(v) for k, v in
                            sorted(analyze_kwargs.items())},
     }
+    if tier_labels is not None:
+        # Only stamped when screening is active, so checkpoints from
+        # pre-screening runs keep their hashes.  Labels shape which
+        # nets have reports at all, so a different threshold/policy
+        # must read as a different run.
+        payload["tier_labels"] = dict(sorted(tier_labels.items()))
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode()).hexdigest()
 
@@ -503,6 +523,7 @@ def analyze_nets(nets, *, jobs: int = 1,
                  init_timeout: float | None = None,
                  rss_budget_bytes: int | None = None,
                  watchdog_factor: float | None = WATCHDOG_FACTOR,
+                 tier_labels: dict[str, int] | None = None,
                  **analyze_kwargs) -> ExecResult:
     """Analyze every net, optionally across ``jobs`` worker processes.
 
@@ -572,6 +593,18 @@ def analyze_nets(nets, *, jobs: int = 1,
         as each net completes (in completion order, not input order) —
         the hook live progress rendering hangs off
         (:class:`repro.obs.ProgressTracker.record`).
+    tier_labels:
+        Screening-tier label per net name (0/1/2; missing names default
+        to 2), as produced by :func:`repro.core.screening.triage`.
+        Nets labelled below 2 were *pruned* by the tiered screen: they
+        are never dispatched and never warmed — the whole point of the
+        screen is that workers skip the non-linear characterization
+        state for them — and finish with neither report nor failure.
+        Each still emits one tier-tagged heartbeat so live progress and
+        the manifest count it.  When set, the labels join the
+        checkpoint run-identity hash (a different threshold or policy
+        produces a different prune set, so its checkpoints must not
+        cross-resume).
     **analyze_kwargs:
         Forwarded to :meth:`DelayNoiseAnalyzer.analyze` (``alignment``,
         ``use_rtr``, ...).
@@ -587,6 +620,15 @@ def analyze_nets(nets, *, jobs: int = 1,
         dupes = sorted({n for n in names if n in seen or seen.add(n)})
         raise ValueError(
             f"net names must be unique (duplicated: {', '.join(dupes)})")
+    if tier_labels is not None:
+        unknown = sorted(set(tier_labels) - set(names))
+        if unknown:
+            raise ValueError(
+                f"tier_labels name unknown nets: {', '.join(unknown)}")
+        bad = sorted({v for v in tier_labels.values()
+                      if v not in (0, 1, 2)})
+        if bad:
+            raise ValueError(f"tier labels must be 0, 1 or 2, got {bad}")
     if analyzer is None:
         analyzer = DelayNoiseAnalyzer()
 
@@ -598,7 +640,7 @@ def analyze_nets(nets, *, jobs: int = 1,
     # Resume: answer already-checkpointed nets from disk.
     writer: CheckpointWriter | None = None
     todo = list(range(len(nets)))
-    run_hash = _run_identity(nets, analyzer, analyze_kwargs)
+    run_hash = _run_identity(nets, analyzer, analyze_kwargs, tier_labels)
     if checkpoint is not None:
         if resume:
             header = load_checkpoint_header(checkpoint)
@@ -636,6 +678,28 @@ def analyze_nets(nets, *, jobs: int = 1,
                       stats.resumed, checkpoint, len(todo))
         writer = CheckpointWriter(checkpoint, resume=resume,
                                   header={"run_hash": run_hash})
+
+    # Tiered screening: pruned nets leave the todo list here — before
+    # warm-up, before dispatch — so neither the parent nor any worker
+    # spends a single non-linear simulation on them.  Applied after
+    # resume so force-resumed reports (if any) win over a prune.
+    if tier_labels is not None:
+        pruned = [i for i in todo if tier_labels.get(names[i], 2) < 2]
+        if pruned:
+            pruned_set = set(pruned)
+            todo = [i for i in todo if i not in pruned_set]
+            stats.pruned = len(pruned)
+            for i in pruned:
+                label = tier_labels[names[i]]
+                stats.pruned_by_tier[label] = \
+                    stats.pruned_by_tier.get(label, 0) + 1
+                if on_heartbeat is not None:
+                    on_heartbeat(Heartbeat(net=names[i], seconds=0.0,
+                                           rss_bytes=0, pid=os.getpid(),
+                                           tier=label))
+            metrics().counter("exec.pruned").inc(len(pruned))
+            log.debug("tiered screen pruned %d of %d nets before "
+                      "dispatch", len(pruned), len(nets))
 
     def record_outcome(i: int, report: NoiseReport | None,
                        failure: NetFailure | None) -> None:

@@ -251,6 +251,32 @@ def format_manifest(payload: dict) -> str:
         if progress.get("stragglers"):
             line += ", stragglers: " + ",".join(progress["stragglers"])
         lines.append(line)
+    screening = payload.get("screening")
+    if screening:
+        by_tier = screening.get("by_tier", {})
+        seconds = screening.get("seconds_by_tier", {})
+        lines.append(
+            f"screening: {screening.get('pruned', 0)} of "
+            f"{screening.get('total', 0)} nets pruned "
+            f"({100.0 * screening.get('pruned_fraction', 0.0):.1f}%), "
+            f"{screening.get('escalated', 0)} escalated")
+        for tier in ("0", "1", "2"):
+            if by_tier.get(tier):
+                lines.append(
+                    f"  tier {tier}: {by_tier[tier]:>6d} nets  "
+                    f"{seconds.get(tier, 0.0):9.3f} s")
+        reasons = screening.get("reasons", {})
+        if reasons:
+            lines.append("  reasons: " + ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(reasons.items())))
+        audit = screening.get("audit")
+        if audit:
+            verdict = "ok" if audit.get("ok") else "UNSOUND"
+            lines.append(
+                f"  prune audit: {audit.get('checked', 0)}/"
+                f"{audit.get('eligible', 0)} re-checked, "
+                f"{audit.get('unsound_prunes', 0)} unsound ({verdict})")
     failures = payload.get("failures", {})
     if failures.get("total"):
         by_type = ", ".join(f"{k} x{v}" for k, v

@@ -13,7 +13,11 @@ carriage-return progress line on stderr::
 
     [ 37/100]  2.81 nets/s  eta 22s  p95 512 ms  stragglers: net12
 
-and the final tracker state lands in the run manifest, so the ledger
+Tiered screening runs add a live per-tier tally (``t0/t1/t2 141/5/54``)
+right after the throughput; pruned nets tick ``done`` but stay out of
+the duration distribution (see :meth:`ProgressTracker.record`).
+
+The final tracker state lands in the run manifest, so the ledger
 records the same distribution the operator watched.
 """
 
@@ -55,11 +59,15 @@ class Heartbeat:
     rss_bytes: int     #: the analyzing process's peak RSS at completion
     pid: int = 0       #: originating process
     failed: bool = False
+    #: Screening tier that settled the net: 0/1 mean it was pruned
+    #: without analysis; 2 (the default) means the full tier-2 flow
+    #: ran.  Non-screening runs leave this at 2 everywhere.
+    tier: int = 2
 
     def to_dict(self) -> dict:
         return {"net": self.net, "seconds": self.seconds,
                 "rss_bytes": self.rss_bytes, "pid": self.pid,
-                "failed": self.failed}
+                "failed": self.failed, "tier": self.tier}
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -87,17 +95,29 @@ class ProgressTracker:
         self.failed = 0
         self.durations: list[float] = []
         self.stragglers: list[str] = []
+        #: Completed nets per screening tier (0/1 pruned, 2 analyzed).
+        self.by_tier: dict[int, int] = {}
         self._t_start = time.monotonic()
         self._last_render = 0.0
 
     # -- accounting ----------------------------------------------------
     def record(self, heartbeat: Heartbeat) -> None:
-        """Fold one completed net in (the pool's ``on_heartbeat``)."""
-        if (len(self.durations) >= MIN_STRAGGLER_SAMPLES
-                and heartbeat.seconds
-                > STRAGGLER_FACTOR * self.p95()):
-            self.stragglers.append(heartbeat.net)
-        self.durations.append(heartbeat.seconds)
+        """Fold one completed net in (the pool's ``on_heartbeat``).
+
+        Pruned nets (``tier < 2``) count toward ``done`` and the
+        per-tier tally but are excluded from the duration distribution:
+        a tier-0 bound takes microseconds, and folding thousands of
+        those samples in would collapse the p50/p95 — and with them the
+        straggler flag and the adaptive hang deadline — to zero.
+        """
+        self.by_tier[heartbeat.tier] = \
+            self.by_tier.get(heartbeat.tier, 0) + 1
+        if heartbeat.tier >= 2:
+            if (len(self.durations) >= MIN_STRAGGLER_SAMPLES
+                    and heartbeat.seconds
+                    > STRAGGLER_FACTOR * self.p95()):
+                self.stragglers.append(heartbeat.net)
+            self.durations.append(heartbeat.seconds)
         self.done += 1
         if heartbeat.failed:
             self.failed += 1
@@ -121,7 +141,7 @@ class ProgressTracker:
 
     def snapshot(self) -> dict:
         """Final state for the run manifest."""
-        return {
+        snap = {
             "nets": self.done,
             "total": self.total,
             "failed": self.failed,
@@ -130,12 +150,20 @@ class ProgressTracker:
             "p95_s": self.p95(),
             "stragglers": list(self.stragglers),
         }
+        if set(self.by_tier) - {2}:
+            snap["by_tier"] = {str(t): n for t, n
+                               in sorted(self.by_tier.items())}
+        return snap
 
     # -- rendering -----------------------------------------------------
     def render_line(self) -> str:
         width = len(str(self.total))
         parts = [f"[{self.done:>{width}d}/{self.total}]",
                  f"{self.nets_per_second():.2f} nets/s"]
+        if set(self.by_tier) - {2}:
+            parts.append("t0/t1/t2 "
+                         + "/".join(str(self.by_tier.get(t, 0))
+                                    for t in (0, 1, 2)))
         eta = self.eta_seconds()
         if self.done < self.total and eta != float("inf"):
             parts.append(f"eta {eta:.0f}s")

@@ -24,6 +24,7 @@ point                fired from                             key
 ``analysis.alignment``  the table-alignment stage           net name
 ``exec.worker``      per-net execution in the pool          net name
 ``exec.worker_init``  pool-worker warm-start initializer    "init"
+``screening.estimate``  the tier-1 reduced-order estimate   net name
 ===================  =====================================  ==========
 
 Actions: ``"convergence"`` raises
@@ -37,7 +38,10 @@ corruption actions ``"nan"`` and ``"perturb"`` raise
 :class:`InjectedCorruption`, which only the trust layer's verification
 wrappers catch — they poison the *accepted* solver state (NaNs, or a
 gross perturbation) so the residual audit must detect it and escalate;
-at any other fault point they propagate like an ``"error"``.
+``screening.estimate`` catches them as well, silently deflating the
+tier-1 noise estimate so the pruning audit — not the estimator — must
+flag the resulting unsound prune; at any other fault point they
+propagate like an ``"error"``.
 
 The hot-path cost when no plan is installed is a single module-global
 ``None`` check inside :func:`fire` — no allocation, no lookup.
@@ -78,7 +82,8 @@ log = get_logger("resilience.faults")
 #: The registered fault-point names (see the module docstring table).
 FAULT_POINTS = ("newton.step", "newton.batched", "trust.verify",
                 "analysis.net", "analysis.rtr", "analysis.alignment",
-                "exec.worker", "exec.worker_init")
+                "exec.worker", "exec.worker_init",
+                "screening.estimate")
 
 _ACTIONS = ("convergence", "error", "crash", "sleep", "nan", "perturb")
 

@@ -198,6 +198,67 @@ class TestScreen:
         assert "2 resumed from checkpoint" in out
 
 
+class TestTieredScreening:
+    """``screen --noise-threshold``: the tiered triage front end."""
+
+    def test_audit_rate_requires_threshold(self, capsys):
+        code = main(["screen", "--count", "1",
+                     "--prune-audit-rate", "0.5"])
+        assert code == 2
+        assert "--noise-threshold" in capsys.readouterr().out
+
+    def test_audit_rate_range_validated(self, capsys):
+        code = main(["screen", "--count", "1",
+                     "--noise-threshold", "0.5",
+                     "--prune-audit-rate", "1.5"])
+        assert code == 2
+        assert "[0, 1]" in capsys.readouterr().out
+
+    def test_all_pruned_run_skips_tier2(self, tmp_path, capsys):
+        """An unreachable threshold prunes every net at tier 0: no
+        table rows, no characterization of the pruned nets, and the
+        manifest records the per-tier split."""
+        from repro.obs import load_manifest
+
+        manifest_file = tmp_path / "run.json"
+        metrics().reset()
+        code = main(["screen", "--preset", "screening", "--seed", "3",
+                     "--count", "4", "--noise-threshold", "100",
+                     "--manifest", str(manifest_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# screening: threshold 100.000 V" in out
+        assert "4 pruned (100.0%), 0 escalated" in out
+        assert "net0" not in out  # pruned nets render no table row
+
+        payload = load_manifest(manifest_file)
+        sc = payload["screening"]
+        assert sc["pruned"] == 4
+        assert sc["by_tier"]["0"] == 4
+        assert sc["escalated"] == 0
+        assert payload["config"]["noise_threshold"] == 100.0
+        assert payload["config"]["tier_policy"] == "auto"
+        assert "triage" in payload["stages"]
+
+    def test_full_policy_analyzes_all(self, capsys):
+        code = main(["screen", "--seed", "3", "--count", "1",
+                     "--noise-threshold", "100",
+                     "--tier-policy", "full"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "net0" in out  # escalated by policy, so a row renders
+        assert "1 escalated" in out
+
+    def test_clean_prune_audit(self, capsys):
+        code = main(["screen", "--preset", "screening", "--seed", "3",
+                     "--count", "2", "--noise-threshold", "100",
+                     "--prune-audit-rate", "1.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# prune audit: 2/2 pruned net(s) re-run at tier 2, " \
+            "0 unsound" in out
+
+
 class TestObservability:
     SUMMARY_COLUMNS = ("stage", "count", "total s", "self s",
                        "p50 ms", "p95 ms")
@@ -285,7 +346,7 @@ class TestBenchPerf:
                      "--out", str(out)])
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro.bench.perf/v4"
+        assert payload["schema"] == "repro.bench.perf/v5"
         assert payload["equivalence"]["within_tolerance"] is True
         assert payload["equivalence"]["max_state_delta"] <= 1e-9
         assert payload["equivalence"]["batched_within_tolerance"] is True
@@ -443,7 +504,7 @@ class TestBenchHistoryCLI:
     kernels are exercised by TestBenchPerf)."""
 
     PAYLOAD = {
-        "schema": "repro.bench.perf/v4",
+        "schema": "repro.bench.perf/v5",
         "config": {"seed": 1, "count": 1, "t_stop": 1e-10},
         "kernels": {"fast": {"transient_s": 0.05,
                              "steps_per_second": 20000.0}},

@@ -189,6 +189,59 @@ class TestHeartbeats:
         assert beat.failed
 
 
+class TestTierLabels:
+    def test_pruned_nets_carry_no_report_and_no_failure(
+            self, analyzer, population):
+        beats = []
+        labels = {"net0": 0, "net1": 2, "net2": 1}
+        result = analyze_nets(population, jobs=1, analyzer=analyzer,
+                              alignment="table", tier_labels=labels,
+                              on_heartbeat=beats.append)
+        assert result.ok  # pruned is not failed
+        assert result.reports[0] is None
+        assert result.reports[1] is not None
+        assert result.reports[2] is None
+        assert not result.failures
+        assert result.stats.pruned == 2
+        assert result.stats.pruned_by_tier == {0: 1, 1: 1}
+        assert not result.analyzed("net0")
+        assert result.analyzed("net1")
+        assert not result.analyzed("net2")
+        # One tier-tagged heartbeat per net, pruned ones included.
+        tiers = {b.net: b.tier for b in beats}
+        assert tiers == {"net0": 0, "net1": 2, "net2": 1}
+
+    def test_missing_names_default_to_tier2(self, analyzer, population):
+        result = analyze_nets(population, jobs=1, analyzer=analyzer,
+                              alignment="table",
+                              tier_labels={"net0": 0})
+        assert result.reports[0] is None
+        assert all(r is not None for r in result.reports[1:])
+        assert result.stats.pruned == 1
+
+    def test_unknown_net_name_rejected(self, analyzer, population):
+        with pytest.raises(ValueError, match="unknown nets"):
+            analyze_nets(population, jobs=1, analyzer=analyzer,
+                         tier_labels={"nope": 0})
+
+    def test_bad_tier_value_rejected(self, analyzer, population):
+        with pytest.raises(ValueError, match="tier labels"):
+            analyze_nets(population, jobs=1, analyzer=analyzer,
+                         tier_labels={"net0": 3})
+
+    def test_run_hash_unchanged_without_labels(self, analyzer,
+                                               population):
+        """tier_labels=None must hash exactly like the pre-screening
+        code: old checkpoints stay resumable."""
+        from repro.exec.pool import _run_identity
+        kwargs = {"alignment": "table"}
+        base = _run_identity(population, analyzer, kwargs)
+        assert _run_identity(population, analyzer, kwargs,
+                             tier_labels=None) == base
+        assert _run_identity(population, analyzer, kwargs,
+                             tier_labels={"net0": 0}) != base
+
+
 class TestBenchFront:
     def test_run_population(self, analyzer, population, serial_result):
         result = run_population([population[0]], analyzer=analyzer,

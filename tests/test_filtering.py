@@ -65,6 +65,46 @@ class TestPartition:
         assert assignment["a1_root"] == "agg1"
 
 
+class TestPartitionCache:
+    def _counters(self):
+        from repro.obs import metrics
+        counters = metrics().snapshot()["counters"]
+        return (counters.get("filtering.partition.hits", 0),
+                counters.get("filtering.partition.misses", 0))
+
+    def test_repeat_call_hits_cache(self):
+        net = lopsided_net()
+        first = partition_nodes(net)
+        hits_before, _ = self._counters()
+        second = partition_nodes(net)
+        hits_after, _ = self._counters()
+        assert second is first  # the cached assignment, not a rebuild
+        assert hits_after == hits_before + 1
+
+    def test_topology_change_invalidates(self):
+        net = lopsided_net()
+        first = partition_nodes(net)
+        # Any element addition bumps the interconnect's topology
+        # version; the stale partition must not be served.
+        net.interconnect.add_resistor("bridge", "v_rcv", "v_n3",
+                                      1 * KOHM)
+        _, misses_before = self._counters()
+        second = partition_nodes(net)
+        _, misses_after = self._counters()
+        assert second is not first
+        assert misses_after == misses_before + 1
+        assert second["v_root"] == "victim"
+
+    def test_aggressor_set_part_of_key(self):
+        """Same interconnect, different aggressor list -> recompute."""
+        from dataclasses import replace
+        net = lopsided_net()
+        full = partition_nodes(net)
+        slim = replace(net, aggressors=net.aggressors[:1])
+        assert "tiny" not in partition_nodes(slim).values()
+        assert "tiny" in full.values()
+
+
 class TestRanking:
     def test_order_and_values(self):
         ranks = rank_aggressors(lopsided_net())

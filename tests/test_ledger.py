@@ -201,7 +201,7 @@ class TestProgress:
         hb = beat("n", seconds=0.5, failed=True)
         assert hb.to_dict() == {"net": "n", "seconds": 0.5,
                                 "rss_bytes": 1 << 20, "pid": 1234,
-                                "failed": True}
+                                "failed": True, "tier": 2}
 
 
 # ----------------------------------------------------------------------
@@ -357,7 +357,7 @@ class TestChromeTrace:
 # ----------------------------------------------------------------------
 def perf_payload(newton=2.5, batched=4.0, sparse=25.0):
     return {
-        "schema": "repro.bench.perf/v4",
+        "schema": "repro.bench.perf/v5",
         "config": {"seed": 1, "count": 2, "t_stop": 2e-9, "dt": 1e-12,
                    "sparse_dim": 2000},
         "kernels": {"fast": {"transient_s": 0.1,
@@ -375,7 +375,7 @@ class TestHistory:
         assert record["phases"] == {"newton_throughput": 2.5,
                                     "alignment_search_batched": 4.0,
                                     "sparse_speedup": 25.0}
-        assert record["bench_schema"] == "repro.bench.perf/v4"
+        assert record["bench_schema"] == "repro.bench.perf/v5"
         assert record["config"]["seed"] == 1
         assert record["wall"]["steps_per_second_fast"] == 20000.0
 
